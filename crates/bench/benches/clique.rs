@@ -1,0 +1,23 @@
+//! Criterion microbenchmarks of working-set extraction (analysis step 3).
+
+use bwsa_core::conflict::{ConflictAnalysis, ConflictConfig};
+use bwsa_graph::clique::{greedy_clique_partition, maximal_cliques};
+use bwsa_workload::suite::{Benchmark, InputSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_clique(c: &mut Criterion) {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.2);
+    let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(20).unwrap());
+    let graph = analysis.graph;
+    let mut group = c.benchmark_group("clique");
+    group.bench_function("greedy_partition", |b| {
+        b.iter(|| greedy_clique_partition(&graph).len())
+    });
+    group.bench_function("bron_kerbosch_capped", |b| {
+        b.iter(|| maximal_cliques(&graph, 10_000).cliques.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

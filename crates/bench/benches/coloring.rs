@@ -1,0 +1,23 @@
+//! Criterion microbenchmarks of graph coloring — the allocation
+//! routine's inner loop, probed ~30 times per required-size search.
+
+use bwsa_core::conflict::{ConflictAnalysis, ConflictConfig};
+use bwsa_graph::coloring::{color_graph, ColoringOptions};
+use bwsa_workload::suite::{Benchmark, InputSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_coloring(c: &mut Criterion) {
+    let trace = Benchmark::Perl.generate_scaled(InputSet::A, 0.2);
+    let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(20).unwrap());
+    let graph = analysis.graph;
+    let mut group = c.benchmark_group("coloring");
+    for k in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("color_graph", k), &k, |b, &k| {
+            b.iter(|| color_graph(&graph, k, &ColoringOptions::default()).conflict_mass)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

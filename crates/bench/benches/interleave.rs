@@ -1,0 +1,27 @@
+//! Criterion microbenchmarks of the timestamp interleaving engine
+//! (analysis step 1) — the pipeline's dominant cost.
+
+use bwsa_core::interleave_counts;
+use bwsa_workload::suite::{Benchmark, InputSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_interleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interleave");
+    for (bench, scale) in [
+        (Benchmark::Compress, 0.05),
+        (Benchmark::Pgp, 0.05),
+        (Benchmark::Li, 0.02),
+    ] {
+        let trace = bench.generate_scaled(InputSet::A, scale);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("counts", bench.name()),
+            &trace,
+            |b, trace| b.iter(|| interleave_counts(trace).edge_count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleave);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the predictor simulator (`sim-bpred`
+//! loop), across the predictor zoo.
+
+use bwsa_predictor::{
+    simulate, Agree, BhtIndexer, Bimodal, BranchPredictor, Gag, Gshare, Hybrid, Pag, Pap,
+    StaticPredictor,
+};
+use bwsa_workload::suite::{Benchmark, InputSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn predictors() -> Vec<(&'static str, Box<dyn BranchPredictor>)> {
+    vec![
+        ("static", Box::new(StaticPredictor::always_taken())),
+        ("bimodal", Box::new(Bimodal::new(1024))),
+        ("gag", Box::new(Gag::new(12))),
+        ("gshare", Box::new(Gshare::new(12))),
+        ("pag", Box::new(Pag::paper_baseline())),
+        ("pag-free", Box::new(Pag::interference_free())),
+        ("pap", Box::new(Pap::new(BhtIndexer::pc_modulo(128), 8))),
+        (
+            "hybrid",
+            Box::new(Hybrid::new(Gshare::new(12), Bimodal::new(1024), 1024)),
+        ),
+        ("agree", Box::new(Agree::new(12, 1024))),
+    ]
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = Benchmark::Pgp.generate_scaled(InputSet::A, 0.2);
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, _proto) in predictors() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, trace| {
+            b.iter_batched(
+                || proto_clone(name),
+                |mut p| simulate(&mut *p, trace).mispredictions,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Criterion needs a fresh predictor per iteration; trait objects aren't
+/// Clone, so rebuild by name.
+fn proto_clone(name: &str) -> Box<dyn BranchPredictor> {
+    predictors()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| p)
+        .expect("known name")
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: merge-candidate ordering in the allocation coloring.
+//!
+//! The paper merges "the branches with the fewest conflicts" when a
+//! working set overflows the table. This binary compares that choice
+//! (min weighted degree) against min unweighted degree and against a
+//! deliberately bad max-weighted-degree order, reporting the required BHT
+//! size and the residual mass at 128 entries.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin ablation_coloring [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::analyze;
+use bwsa_bench::text::render_table;
+use bwsa_bench::{run_parallel, Cli};
+use bwsa_core::allocation::{allocate, required_bht_size, AllocationConfig};
+use bwsa_graph::coloring::{ColoringOptions, MergeOrder};
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&[Benchmark::Li, Benchmark::M88ksim, Benchmark::Plot]);
+    let orders = [
+        ("min-weighted (paper)", MergeOrder::MinWeightedDegree),
+        ("min-degree", MergeOrder::MinDegree),
+        ("max-weighted (bad)", MergeOrder::MaxWeightedDegree),
+    ];
+    let runs = run_parallel(&benches, |b| {
+        (b, analyze(b, InputSet::A, cli.scale, cli.threshold()))
+    });
+    let mut rows = Vec::new();
+    for (b, run) in &runs {
+        for (label, order) in orders {
+            let cfg = AllocationConfig {
+                coloring: ColoringOptions { merge_order: order },
+            };
+            let req =
+                required_bht_size(&run.analysis.conflict.graph, run.trace.table(), 1024, &cfg);
+            let at128 = allocate(&run.analysis.conflict.graph, 128, &cfg);
+            rows.push(vec![
+                b.name().to_owned(),
+                label.to_owned(),
+                req.size.to_string(),
+                at128.conflict_mass.to_string(),
+                at128.conflicting_pairs.to_string(),
+            ]);
+        }
+    }
+    println!("Ablation: merge-candidate order in allocation coloring\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "merge order",
+                "required BHT",
+                "mass@128",
+                "pairs@128"
+            ],
+            &rows
+        )
+    );
+}

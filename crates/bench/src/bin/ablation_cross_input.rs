@@ -1,0 +1,80 @@
+//! Ablation: profile-input sensitivity and cumulative profiles (§5.2).
+//!
+//! Profiles an allocation on one input and evaluates it on another:
+//!
+//! * `self` — profile A, evaluate A (the Figures 3–4 methodology);
+//! * `cross` — profile A, evaluate B: the paper's warning that a profile
+//!   "will not be effective when input data for actual run of a program
+//!   exercises different segments of the code";
+//! * `cumulative` — merge the conflict graphs of A *and* B, allocate on
+//!   the union, evaluate B: the paper's proposed fix.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin ablation_cross_input [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, cross_input_rate};
+use bwsa_bench::text::{pct, render_table};
+use bwsa_bench::{run_parallel, Cli};
+use bwsa_core::allocation::{allocate, AllocationConfig};
+use bwsa_core::merge::CumulativeProfile;
+use bwsa_predictor::{simulate, Pag};
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&[Benchmark::Perl, Benchmark::Ss, Benchmark::Compress]);
+    const TABLE: usize = 128;
+    let rows = run_parallel(&benches, |b| {
+        let cfg = AllocationConfig::default();
+        let run_a = analyze(b, InputSet::A, cli.scale, cli.threshold());
+        let run_b = analyze(b, InputSet::B, cli.scale, cli.threshold());
+        let alloc_a = run_a.analysis.allocate(TABLE, &cfg);
+
+        let self_rate = {
+            let mut pag = Pag::paper_with_indexer(bwsa_predictor::BhtIndexer::Allocated(
+                alloc_a.index.clone(),
+            ));
+            simulate(&mut pag, &run_a.trace).misprediction_rate()
+        };
+        let cross_rate = cross_input_rate(&alloc_a.index, run_a.trace.table(), &run_b.trace);
+
+        // Cumulative: merge both inputs' conflict graphs, allocate over
+        // the union id space, evaluate on B.
+        let mut cumulative = CumulativeProfile::new();
+        cumulative.add_trace(&run_a.trace);
+        cumulative.add_trace(&run_b.trace);
+        let merged = cumulative.conflict_analysis(run_a.analysis.conflict.config);
+        let alloc_union = allocate(&merged.graph, TABLE, &cfg);
+        let cumulative_rate =
+            cross_input_rate(&alloc_union.index, cumulative.table(), &run_b.trace);
+
+        // Conventional baseline on B for reference.
+        let conv_b = simulate(&mut Pag::paper_baseline(), &run_b.trace).misprediction_rate();
+
+        vec![
+            b.name().to_owned(),
+            pct(self_rate),
+            pct(cross_rate),
+            pct(cumulative_rate),
+            pct(conv_b),
+        ]
+    });
+    println!(
+        "Ablation: profile-input sensitivity (allocation table = {TABLE} entries, eval on input B)\n"
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "self (A→A)",
+                "cross (A→B)",
+                "cumulative (A+B→B)",
+                "PAg-1024 on B"
+            ],
+            &rows
+        )
+    );
+    println!("\nExpected: cumulative ≤ cross (merged profiles recover coverage, §5.2).");
+}

@@ -1,0 +1,59 @@
+//! Ablation: PAg history length (PHT size) under each indexing scheme.
+//!
+//! The paper fixes a 4096-entry PHT (12 history bits). This sweep shows
+//! how the allocation advantage behaves at other history lengths: first-
+//! level interference corrupts *histories*, so schemes separate at every
+//! width once the PHT is not the bottleneck.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin ablation_history [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::analyze;
+use bwsa_bench::text::{pct, render_table};
+use bwsa_bench::{run_parallel, Cli};
+use bwsa_core::allocation::AllocationConfig;
+use bwsa_predictor::{simulate, BhtIndexer, Pag};
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&[Benchmark::Compress, Benchmark::Li, Benchmark::M88ksim]);
+    let widths = [4u32, 8, 12, 16];
+    let runs = run_parallel(&benches, |b| {
+        (b, analyze(b, InputSet::A, cli.scale, cli.threshold()))
+    });
+    let mut rows = Vec::new();
+    for (b, run) in &runs {
+        let allocation = run.analysis.allocate(1024, &AllocationConfig::default());
+        for w in widths {
+            let conv = simulate(&mut Pag::new(BhtIndexer::pc_modulo(1024), w), &run.trace);
+            let alloc = simulate(
+                &mut Pag::new(BhtIndexer::Allocated(allocation.index.clone()), w),
+                &run.trace,
+            );
+            let free = simulate(&mut Pag::new(BhtIndexer::PerBranch, w), &run.trace);
+            rows.push(vec![
+                b.name().to_owned(),
+                w.to_string(),
+                pct(conv.misprediction_rate()),
+                pct(alloc.misprediction_rate()),
+                pct(free.misprediction_rate()),
+            ]);
+        }
+    }
+    println!("Ablation: PAg history width sweep (PHT = 2^width counters)\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "history bits",
+                "PAg-1024",
+                "alloc-1024",
+                "interf-free"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,227 @@
+//! Runs **every** experiment (Tables 1–4, Figures 3–4) with a single
+//! analysis pass per benchmark run — the efficient way to regenerate the
+//! whole evaluation for EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin experiments_all [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{
+    analyze, figure_row, required_row, table1_row, table2_row, table34_runs, BenchRun,
+};
+use bwsa_bench::text::{f1, pct, render_table};
+use bwsa_bench::{paper, run_parallel, Cli};
+use bwsa_core::report::{FigureRow, RequiredSizeRow};
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+struct FullRun {
+    run: BenchRun,
+    required_plain: RequiredSizeRow,
+    required_classified: RequiredSizeRow,
+    figure3: FigureRow,
+    figure4: FigureRow,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let mut runs = table34_runs();
+    if !cli.benchmarks.is_empty() {
+        runs.retain(|(b, _)| cli.benchmarks.contains(b));
+    }
+    eprintln!(
+        "analysing {} runs at scale {} (threshold {})...",
+        runs.len(),
+        cli.scale,
+        cli.threshold()
+    );
+    let results = run_parallel(&runs, |(b, s)| {
+        let started = std::time::Instant::now();
+        let run = analyze(b, s, cli.scale, cli.threshold());
+        let required_plain = required_row(&run, false);
+        let required_classified = required_row(&run, true);
+        let figure3 = figure_row(&run, false);
+        let figure4 = figure_row(&run, true);
+        eprintln!(
+            "  {} done in {:.1}s",
+            figure3.benchmark,
+            started.elapsed().as_secs_f64()
+        );
+        FullRun {
+            run,
+            required_plain,
+            required_classified,
+            figure3,
+            figure4,
+        }
+    });
+
+    // ---- Table 1 -------------------------------------------------------
+    println!("## Table 1: dynamic branches analysed\n");
+    let body: Vec<Vec<String>> = results
+        .iter()
+        .filter(|r| r.run.set == InputSet::A)
+        .map(|r| {
+            let t = table1_row(&r.run);
+            vec![
+                t.benchmark,
+                t.input_set,
+                t.total_dynamic.to_string(),
+                t.analyzed_dynamic.to_string(),
+                format!("{:.2}%", t.analyzed_percent),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "input set",
+                "total dynamic",
+                "analyzed",
+                "% analyzed"
+            ],
+            &body
+        )
+    );
+
+    // ---- Table 2 -------------------------------------------------------
+    println!(
+        "\n## Table 2: working set sizes (threshold {})\n",
+        cli.threshold()
+    );
+    let body: Vec<Vec<String>> = results
+        .iter()
+        .filter(|r| r.run.set == InputSet::A && Benchmark::TABLE2.contains(&r.run.benchmark))
+        .map(|r| {
+            let t = table2_row(&r.run);
+            let p = paper::TABLE2.iter().find(|(n, ..)| *n == t.benchmark);
+            vec![
+                t.benchmark.clone(),
+                t.static_branches.to_string(),
+                t.total_sets.to_string(),
+                f1(t.avg_static_size),
+                f1(t.avg_dynamic_size),
+                t.max_size.to_string(),
+                p.map_or("-".into(), |&(_, _, s, d)| format!("{s}/{d}")),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "static br",
+                "sets",
+                "avg static",
+                "avg dynamic",
+                "max",
+                "paper st/dyn"
+            ],
+            &body
+        )
+    );
+
+    // ---- Tables 3 and 4 --------------------------------------------------
+    println!("\n## Tables 3 and 4: required BHT size (baseline: conventional 1024)\n");
+    let body: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.required_plain.benchmark.clone(),
+                r.required_plain.required_size.to_string(),
+                paper::lookup(&paper::TABLE3, &r.required_plain.benchmark)
+                    .map_or("-".into(), |v| v.to_string()),
+                r.required_classified.required_size.to_string(),
+                paper::lookup(&paper::TABLE4, &r.required_classified.benchmark)
+                    .map_or("-".into(), |v| v.to_string()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "T3 required",
+                "T3 paper",
+                "T4 required (classified)",
+                "T4 paper"
+            ],
+            &body
+        )
+    );
+
+    // ---- Figures 3 and 4 -------------------------------------------------
+    for (title, pick) in [
+        ("Figure 3: misprediction rates (no classification)", false),
+        ("Figure 4: misprediction rates (with classification)", true),
+    ] {
+        println!("\n## {title}\n");
+        let body: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                let f = if pick { &r.figure4 } else { &r.figure3 };
+                vec![
+                    f.benchmark.clone(),
+                    pct(f.alloc_16),
+                    pct(f.alloc_128),
+                    pct(f.alloc_1024),
+                    pct(f.pag_1024),
+                    pct(f.interference_free),
+                    format!("{:+.1}%", f.alloc_1024_improvement() * 100.0),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &[
+                    "benchmark",
+                    "alloc-16",
+                    "alloc-128",
+                    "alloc-1024",
+                    "PAg-1024",
+                    "interf-free",
+                    "gain"
+                ],
+                &body
+            )
+        );
+    }
+
+    // ---- Shape summary ---------------------------------------------------
+    let n = results.len().max(1);
+    let t3_below = results
+        .iter()
+        .filter(|r| r.required_plain.required_size < 1024)
+        .count();
+    let t4_shrinks = results
+        .iter()
+        .filter(|r| r.required_classified.required_size <= r.required_plain.required_size.max(3))
+        .count();
+    let f4_wins_128 = results
+        .iter()
+        .filter(|r| r.figure4.alloc_128 <= r.figure4.pag_1024 + 0.001)
+        .count();
+    let f4_near_free = results
+        .iter()
+        .filter(|r| r.figure4.alloc_1024 <= r.figure4.interference_free * 1.10 + 1e-9)
+        .count();
+    let mean_gain: f64 = results
+        .iter()
+        .map(|r| r.figure4.alloc_1024_improvement())
+        .sum::<f64>()
+        / n as f64;
+    println!("\n## Shape summary\n");
+    println!("  Table 3: required < 1024 on {t3_below}/{n} runs (paper: all)");
+    println!("  Table 4: classification shrinks/maintains requirement on {t4_shrinks}/{n} runs (paper: all)");
+    println!("  Figure 4: alloc-128 beats/ties (within 0.1pp) PAg-1024 on {f4_wins_128}/{n} runs (paper: all but gcc)");
+    println!("  Figure 4: alloc-1024 within 10% of interference-free on {f4_near_free}/{n} runs (paper: all)");
+    println!(
+        "  Figure 4: mean relative gain of alloc-1024 over PAg-1024: {:.1}% (paper: ~{:.0}%)",
+        mean_gain * 100.0,
+        paper::HEADLINE_IMPROVEMENT * 100.0
+    );
+}

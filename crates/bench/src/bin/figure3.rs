@@ -1,0 +1,63 @@
+//! Regenerates **Figure 3**: misprediction rates of the branch-allocation
+//! PAg (16/128/1024-entry BHT, no classification) against the
+//! conventional 1024-entry PAg and the interference-free PAg. All use a
+//! 4096-entry PHT (12 history bits).
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin figure3 [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, figure_row, table34_runs};
+use bwsa_bench::text::{pct, render_table};
+use bwsa_bench::{run_parallel, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut runs = table34_runs();
+    if !cli.benchmarks.is_empty() {
+        runs.retain(|(b, _)| cli.benchmarks.contains(b));
+    }
+    let rows = run_parallel(&runs, |(b, s)| {
+        let run = analyze(b, s, cli.scale, cli.threshold());
+        figure_row(&run, false)
+    });
+    println!("Figure 3: misprediction rates, branch allocation WITHOUT classification\n");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                pct(r.alloc_16),
+                pct(r.alloc_128),
+                pct(r.alloc_1024),
+                pct(r.pag_1024),
+                pct(r.interference_free),
+                format!("{:+.1}%", r.alloc_1024_improvement() * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "alloc-16",
+                "alloc-128",
+                "alloc-1024",
+                "PAg-1024",
+                "interf-free",
+                "alloc1024 gain"
+            ],
+            &body
+        )
+    );
+    let wins = rows.iter().filter(|r| r.alloc_1024 <= r.pag_1024).count();
+    let mean_gain: f64 =
+        rows.iter().map(|r| r.alloc_1024_improvement()).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\nShape check: alloc-1024 beats/ties PAg-1024 on {}/{} runs; mean relative gain {:.1}%.",
+        wins,
+        rows.len(),
+        mean_gain * 100.0
+    );
+}

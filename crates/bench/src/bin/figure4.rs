@@ -1,0 +1,82 @@
+//! Regenerates **Figure 4**: misprediction rates of the branch-allocation
+//! PAg *with branch classification* against the conventional 1024-entry
+//! PAg and the interference-free PAg. The paper's headline: the 128-entry
+//! allocated BHT outperforms the conventional 1024-entry BHT (except on
+//! gcc), and allocation at 1024 entries improves accuracy by ~16%,
+//! approaching the interference-free table.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin figure4 [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, figure_row, table34_runs};
+use bwsa_bench::text::{pct, render_table};
+use bwsa_bench::{paper, run_parallel, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut runs = table34_runs();
+    if !cli.benchmarks.is_empty() {
+        runs.retain(|(b, _)| cli.benchmarks.contains(b));
+    }
+    let rows = run_parallel(&runs, |(b, s)| {
+        let run = analyze(b, s, cli.scale, cli.threshold());
+        figure_row(&run, true)
+    });
+    println!("Figure 4: misprediction rates, branch allocation WITH classification\n");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                pct(r.alloc_16),
+                pct(r.alloc_128),
+                pct(r.alloc_1024),
+                pct(r.pag_1024),
+                pct(r.interference_free),
+                format!("{:+.1}%", r.alloc_1024_improvement() * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "alloc-16",
+                "alloc-128",
+                "alloc-1024",
+                "PAg-1024",
+                "interf-free",
+                "alloc1024 gain"
+            ],
+            &body
+        )
+    );
+    let wins_128 = rows
+        .iter()
+        .filter(|r| r.alloc_128 <= r.pag_1024 + 0.001)
+        .count();
+    let near_free = rows
+        .iter()
+        .filter(|r| r.alloc_1024 <= r.interference_free * 1.10 + 1e-9)
+        .count();
+    let mean_gain: f64 =
+        rows.iter().map(|r| r.alloc_1024_improvement()).sum::<f64>() / rows.len().max(1) as f64;
+    println!("\nShape checks (paper expectations):");
+    println!(
+        "  alloc-128 beats/ties (within 0.1pp) PAg-1024 on {}/{} runs (paper: all but gcc)",
+        wins_128,
+        rows.len()
+    );
+    println!(
+        "  alloc-1024 within 10% of interference-free on {}/{} runs (paper: all)",
+        near_free,
+        rows.len()
+    );
+    println!(
+        "  mean relative gain of alloc-1024 over PAg-1024: {:.1}% (paper: ~{:.0}%)",
+        mean_gain * 100.0,
+        paper::HEADLINE_IMPROVEMENT * 100.0
+    );
+}

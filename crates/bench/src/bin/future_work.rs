@@ -1,0 +1,96 @@
+//! The paper's future-work question, answered: **are clustered branch
+//! mispredictions caused by changes in working set?**
+//!
+//! Method: cut each trace into fixed windows of dynamic branches; compute
+//! (a) each window's instantaneous working set and the Jaccard-based
+//! phase transitions, and (b) the conventional PAg's mispredictions per
+//! window. Compare misprediction rates in transition windows versus
+//! stable windows and report the Fano factor of the miss process.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin future_work [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::text::{pct, render_table};
+use bwsa_bench::{run_parallel, Cli};
+use bwsa_core::phases::PhaseTimeline;
+use bwsa_predictor::clustering::{clustering_stats, misprediction_flags};
+use bwsa_predictor::Pag;
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+const WINDOW: usize = 1000;
+const JACCARD_THRESHOLD: f64 = 0.5;
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&[
+        Benchmark::Compress,
+        Benchmark::Perl,
+        Benchmark::M88ksim,
+        Benchmark::Li,
+    ]);
+    let rows = run_parallel(&benches, |b| {
+        let trace = b.generate_scaled(InputSet::A, cli.scale);
+        let timeline = PhaseTimeline::of_trace(&trace, WINDOW);
+        let transitions: std::collections::HashSet<usize> = timeline
+            .transitions(JACCARD_THRESHOLD)
+            .into_iter()
+            .collect();
+
+        let flags = misprediction_flags(&mut Pag::paper_baseline(), &trace);
+        let stats = clustering_stats(&flags, WINDOW);
+
+        // Misprediction rate in transition windows vs stable windows.
+        let mut trans_miss = 0usize;
+        let mut trans_total = 0usize;
+        let mut stable_miss = 0usize;
+        let mut stable_total = 0usize;
+        for (i, chunk) in flags.chunks_exact(WINDOW).enumerate() {
+            let misses = chunk.iter().filter(|&&f| f).count();
+            if transitions.contains(&i) {
+                trans_miss += misses;
+                trans_total += WINDOW;
+            } else {
+                stable_miss += misses;
+                stable_total += WINDOW;
+            }
+        }
+        let trans_rate = trans_miss as f64 / trans_total.max(1) as f64;
+        let stable_rate = stable_miss as f64 / stable_total.max(1) as f64;
+
+        vec![
+            b.name().to_owned(),
+            timeline.windows.len().to_string(),
+            transitions.len().to_string(),
+            format!("{:.1}", timeline.mean_working_set_size()),
+            pct(trans_rate),
+            pct(stable_rate),
+            format!("{:.2}x", trans_rate / stable_rate.max(1e-12)),
+            format!("{:.2}", stats.fano_factor),
+            format!("{:.2}", stats.mean_run_length),
+        ]
+    });
+    println!(
+        "Future work: do working-set changes cause misprediction clusters?\n(window = {WINDOW} branches, transition = Jaccard < {JACCARD_THRESHOLD}, predictor = conventional PAg-1024)\n"
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "windows",
+                "transitions",
+                "mean WS size",
+                "miss@transition",
+                "miss@stable",
+                "ratio",
+                "fano",
+                "mean run"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nExpected: ratio > 1 (transition windows mispredict more) and Fano > 1 (misses cluster)."
+    );
+}

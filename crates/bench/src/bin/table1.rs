@@ -1,0 +1,51 @@
+//! Regenerates **Table 1**: benchmarks, input sets, and the percentage of
+//! dynamic branches analysed after frequency-filtering static branches.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin table1 [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, table1_row};
+use bwsa_bench::text::render_table;
+use bwsa_bench::{run_parallel, Cli};
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&Benchmark::ALL);
+    let rows = run_parallel(&benches, |b| {
+        let run = analyze(b, InputSet::A, cli.scale, cli.threshold());
+        table1_row(&run)
+    });
+    println!("Table 1: benchmarks, input sets, and dynamic branches analysed");
+    println!(
+        "(scale {} => frequency filter keeps branches with >= {} executions)\n",
+        cli.scale,
+        ((20.0 * cli.scale).round() as u64).max(2)
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.input_set.clone(),
+                r.total_dynamic.to_string(),
+                r.analyzed_dynamic.to_string(),
+                format!("{:.2}%", r.analyzed_percent),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "input set",
+                "total dynamic",
+                "analyzed",
+                "% analyzed"
+            ],
+            &body
+        )
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 2**: the sizes of branch working sets.
+//!
+//! Prints measured values next to the paper's published ones. Absolute
+//! counts differ (scaled synthetic workloads); the shape claim is that
+//! working sets stay small relative to the static branch population.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin table2 [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, table2_row};
+use bwsa_bench::text::{f1, render_table};
+use bwsa_bench::{paper, run_parallel, Cli};
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&Benchmark::TABLE2);
+    let rows = run_parallel(&benches, |b| {
+        let run = analyze(b, InputSet::A, cli.scale, cli.threshold());
+        table2_row(&run)
+    });
+    println!(
+        "Table 2: the sizes of branch working sets (threshold {})\n",
+        cli.threshold()
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let paper_row = paper::TABLE2.iter().find(|(n, ..)| *n == r.benchmark);
+            vec![
+                r.benchmark.clone(),
+                r.static_branches.to_string(),
+                r.total_sets.to_string(),
+                f1(r.avg_static_size),
+                f1(r.avg_dynamic_size),
+                r.max_size.to_string(),
+                paper_row.map_or("-".into(), |(_, s, ..)| s.to_string()),
+                paper_row.map_or("-".into(), |&(_, _, s, _)| s.to_string()),
+                paper_row.map_or("-".into(), |&(_, _, _, d)| d.to_string()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "static br",
+                "sets",
+                "avg static",
+                "avg dynamic",
+                "max",
+                "paper sets",
+                "paper static",
+                "paper dynamic",
+            ],
+            &body
+        )
+    );
+    println!("\nShape check: every avg working set is small relative to the static population.");
+    for r in &rows {
+        let frac = r.avg_static_size / r.static_branches.max(1) as f64;
+        println!(
+            "  {:<10} avg set = {:>6.1} of {:>6} static branches ({:.1}%)",
+            r.benchmark,
+            r.avg_static_size,
+            r.static_branches,
+            frac * 100.0
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Table 3**: the BHT size required for branch allocation
+//! (without classification) to reduce table conflicts below a
+//! conventional 1024-entry pc-indexed BHT.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin table3 [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, required_row, table34_runs};
+use bwsa_bench::text::render_table;
+use bwsa_bench::{paper, run_parallel, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut runs = table34_runs();
+    if !cli.benchmarks.is_empty() {
+        runs.retain(|(b, _)| cli.benchmarks.contains(b));
+    }
+    let rows = run_parallel(&runs, |(b, s)| {
+        let run = analyze(b, s, cli.scale, cli.threshold());
+        required_row(&run, false)
+    });
+    println!(
+        "Table 3: BHT size required for branch allocation (baseline: conventional 1024-entry)\n"
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.required_size.to_string(),
+                r.target_mass.to_string(),
+                r.achieved_mass.to_string(),
+                paper::lookup(&paper::TABLE3, &r.benchmark).map_or("-".into(), |v| v.to_string()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "required BHT",
+                "target mass",
+                "achieved mass",
+                "paper"
+            ],
+            &body
+        )
+    );
+    let below = rows.iter().filter(|r| r.required_size < 1024).count();
+    println!(
+        "\nShape check: {}/{} runs need fewer than 1024 entries (paper: all).",
+        below,
+        rows.len()
+    );
+}

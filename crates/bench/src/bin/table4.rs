@@ -1,0 +1,62 @@
+//! Regenerates **Table 4**: the BHT size required for branch allocation
+//! *with branch classification* (two reserved entries for highly biased
+//! branches) to beat a conventional 1024-entry BHT.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin table4 [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::experiments::{analyze, required_row, table34_runs};
+use bwsa_bench::text::render_table;
+use bwsa_bench::{paper, run_parallel, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut runs = table34_runs();
+    if !cli.benchmarks.is_empty() {
+        runs.retain(|(b, _)| cli.benchmarks.contains(b));
+    }
+    let rows = run_parallel(&runs, |(b, s)| {
+        let run = analyze(b, s, cli.scale, cli.threshold());
+        (required_row(&run, true), required_row(&run, false))
+    });
+    println!(
+        "Table 4: BHT size required for branch allocation with classification\n(baseline: conventional 1024-entry; entries include the 2 reserved biased entries)\n"
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(c, plain)| {
+            vec![
+                c.benchmark.clone(),
+                c.required_size.to_string(),
+                plain.required_size.to_string(),
+                c.target_mass.to_string(),
+                c.achieved_mass.to_string(),
+                paper::lookup(&paper::TABLE4, &c.benchmark).map_or("-".into(), |v| v.to_string()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "required (classified)",
+                "required (plain)",
+                "target mass",
+                "achieved mass",
+                "paper"
+            ],
+            &body
+        )
+    );
+    let shrunk = rows
+        .iter()
+        .filter(|(c, p)| c.required_size <= p.required_size.max(3))
+        .count();
+    println!(
+        "\nShape check: classification shrinks (or maintains) the requirement on {}/{} runs (paper: all).",
+        shrunk,
+        rows.len()
+    );
+}

@@ -1,0 +1,53 @@
+//! Prints workload-characterisation statistics for the benchmark suite:
+//! branch density, re-execution distances (the temporal locality the
+//! working-set analysis feeds on), and taken-rate distribution (what
+//! classification can harvest).
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin trace_stats [--scale F] [--quick]
+//! ```
+
+use bwsa_bench::text::render_table;
+use bwsa_bench::{run_parallel, Cli};
+use bwsa_trace::stats::trace_stats;
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = cli.benchmarks_or(&Benchmark::ALL);
+    let rows = run_parallel(&benches, |b| {
+        let trace = b.generate_scaled(InputSet::A, cli.scale);
+        let s = trace_stats(&trace);
+        let dist = s.reexecution_distance;
+        let biased = s.taken_rate_deciles[0] + s.taken_rate_deciles[9];
+        let total: usize = s.taken_rate_deciles.iter().sum();
+        vec![
+            b.name().to_owned(),
+            trace.len().to_string(),
+            trace.static_branch_count().to_string(),
+            format!("{:.3}", s.branch_density),
+            format!("{:.2}%", s.dynamic_taken_rate * 100.0),
+            dist.map_or("-".into(), |d| d.median.to_string()),
+            dist.map_or("-".into(), |d| format!("{:.0}", d.mean)),
+            format!("{:.0}%", 100.0 * biased as f64 / total.max(1) as f64),
+        ]
+    });
+    println!("Workload characterisation (input A)\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "dynamic br",
+                "static br",
+                "br/instr",
+                "taken rate",
+                "reexec median",
+                "reexec mean",
+                "extreme-decile br"
+            ],
+            &rows
+        )
+    );
+    println!("\n(~1 conditional branch per 16 instructions; extreme deciles feed classification)");
+}

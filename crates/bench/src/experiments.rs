@@ -1,0 +1,276 @@
+//! The experiment implementations behind every table and figure binary.
+
+use bwsa_core::allocation::AllocationConfig;
+use bwsa_core::conflict::ConflictConfig;
+use bwsa_core::pipeline::{Analysis, AnalysisPipeline};
+use bwsa_core::report::{FigureRow, RequiredSizeRow, Table1Row, Table2Row};
+use bwsa_core::WorkingSetDefinition;
+use bwsa_predictor::{simulate, BhtIndexer, Pag};
+use bwsa_trace::profile::{FilterOutcome, FrequencyFilter};
+use bwsa_trace::Trace;
+use bwsa_workload::suite::{Benchmark, InputSet};
+
+/// A fully analysed benchmark run: the (frequency-filtered) trace, the
+/// Table 1 coverage accounting, and the complete analysis.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Which input set.
+    pub set: InputSet,
+    /// Scale the trace was generated at.
+    pub scale: f64,
+    /// The frequency-filtered trace all analyses and simulations use.
+    pub trace: Trace,
+    /// Coverage accounting of the frequency filter (Table 1).
+    pub filter: FilterOutcome,
+    /// The full working-set / classification analysis.
+    pub analysis: Analysis,
+}
+
+/// Label used in Tables 3–4 (`perl_a`, `ss_b`, plain name otherwise).
+pub fn run_label(benchmark: Benchmark, set: InputSet) -> String {
+    match benchmark {
+        Benchmark::Perl | Benchmark::Ss => format!("{}_{}", benchmark.name(), set.suffix()),
+        _ => benchmark.name().to_owned(),
+    }
+}
+
+/// Generates, filters, and analyses one benchmark run.
+///
+/// The paper reduces each benchmark to its frequently executed static
+/// branches (Table 1); we drop branches executed fewer than `20 × scale`
+/// times (floor 2), then run the default pipeline with the scale-adjusted
+/// `threshold`.
+pub fn analyze(benchmark: Benchmark, set: InputSet, scale: f64, threshold: u64) -> BenchRun {
+    let raw = benchmark.generate_scaled(set, scale);
+    let min_execs = ((20.0 * scale).round() as u64).max(2);
+    let (trace, filter) = FrequencyFilter::MinExecutions(min_execs).filter_trace(&raw);
+    let pipeline = AnalysisPipeline {
+        conflict: ConflictConfig::with_threshold(threshold).expect("threshold >= 1"),
+        ..AnalysisPipeline::new()
+    };
+    let analysis = pipeline.run(&trace);
+    BenchRun {
+        benchmark,
+        set,
+        scale,
+        trace,
+        filter,
+        analysis,
+    }
+}
+
+/// Like [`analyze`] but with an explicit working-set definition (used by
+/// the working-set ablation).
+pub fn analyze_with_definition(
+    benchmark: Benchmark,
+    set: InputSet,
+    scale: f64,
+    threshold: u64,
+    definition: WorkingSetDefinition,
+) -> BenchRun {
+    let mut run = analyze(benchmark, set, scale, threshold);
+    run.analysis.working_sets = bwsa_core::working_sets(
+        &run.analysis.conflict.graph,
+        &run.analysis.profile,
+        definition,
+    );
+    run
+}
+
+/// The Table 1 row of a run.
+pub fn table1_row(run: &BenchRun) -> Table1Row {
+    Table1Row {
+        benchmark: run.benchmark.name().to_owned(),
+        input_set: run.benchmark.input_name(run.set).to_owned(),
+        total_dynamic: run.filter.total_dynamic,
+        analyzed_dynamic: run.filter.analyzed_dynamic,
+        analyzed_percent: run.filter.analyzed_percent(),
+    }
+}
+
+/// The Table 2 row of a run.
+pub fn table2_row(run: &BenchRun) -> Table2Row {
+    let r = &run.analysis.working_sets.report;
+    Table2Row {
+        benchmark: run.benchmark.name().to_owned(),
+        static_branches: run.trace.static_branch_count(),
+        total_sets: r.total_sets,
+        avg_static_size: r.avg_static_size,
+        avg_dynamic_size: r.avg_dynamic_size,
+        max_size: r.max_size,
+    }
+}
+
+/// The baseline BHT size the required-size experiments compare against.
+pub const BASELINE_BHT: usize = 1024;
+
+/// One Table 3 (`classified = false`) or Table 4 (`classified = true`)
+/// row.
+pub fn required_row(run: &BenchRun, classified: bool) -> RequiredSizeRow {
+    let cfg = AllocationConfig::default();
+    let r = if classified {
+        run.analysis
+            .required_bht_size_classified(&run.trace, BASELINE_BHT, &cfg)
+    } else {
+        run.analysis
+            .required_bht_size(&run.trace, BASELINE_BHT, &cfg)
+    };
+    RequiredSizeRow {
+        benchmark: run_label(run.benchmark, run.set),
+        classified,
+        baseline_size: BASELINE_BHT,
+        target_mass: r.target_mass,
+        required_size: r.size,
+        achieved_mass: r.achieved_mass,
+    }
+}
+
+/// The BHT sizes Figure 3/4 sweeps for the allocation-indexed PAg.
+pub const FIGURE_ALLOC_SIZES: [usize; 3] = [16, 128, 1024];
+
+/// Simulates one allocation-indexed PAg at `table_size`.
+pub fn alloc_rate(run: &BenchRun, table_size: usize, classified: bool) -> f64 {
+    let cfg = AllocationConfig::default();
+    let allocation = if classified {
+        run.analysis.allocate_classified(table_size, &cfg)
+    } else {
+        run.analysis.allocate(table_size, &cfg)
+    };
+    let mut pag = Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index));
+    simulate(&mut pag, &run.trace).misprediction_rate()
+}
+
+/// One Figure 3 (`classified = false`) or Figure 4 (`classified = true`)
+/// bar group: all five schemes on this run's trace.
+pub fn figure_row(run: &BenchRun, classified: bool) -> FigureRow {
+    let [a16, a128, a1024] = FIGURE_ALLOC_SIZES.map(|size| alloc_rate(run, size, classified));
+    let pag_1024 = simulate(&mut Pag::paper_baseline(), &run.trace).misprediction_rate();
+    let interference_free =
+        simulate(&mut Pag::interference_free(), &run.trace).misprediction_rate();
+    FigureRow {
+        benchmark: run_label(run.benchmark, run.set),
+        classified,
+        alloc_16: a16,
+        alloc_128: a128,
+        alloc_1024: a1024,
+        pag_1024,
+        interference_free,
+    }
+}
+
+/// Translates an allocation computed over one trace's branch-id space
+/// into another trace's id space, matching branches by pc.
+///
+/// Branches of the target trace that the profiling trace never saw get no
+/// entry and fall back to conventional pc-modulo indexing — exactly the
+/// paper's caveat that "branches in library routines [un-annotated code]
+/// will not be affected by the allocation technique".
+pub fn remap_allocation(
+    allocation: &bwsa_predictor::AllocatedIndex,
+    profiled: &bwsa_trace::BranchTable,
+    target: &bwsa_trace::BranchTable,
+) -> bwsa_predictor::AllocatedIndex {
+    let entries = target
+        .iter()
+        .map(|(_, pc)| profiled.id_of(pc).and_then(|id| allocation.entry(id)))
+        .collect();
+    bwsa_predictor::AllocatedIndex::new(allocation.table_size(), entries)
+        .expect("entries copied from a valid allocation")
+}
+
+/// Misprediction rate of an allocation-indexed PAg evaluated on a trace
+/// whose id space may differ from the profiling trace's.
+pub fn cross_input_rate(
+    allocation: &bwsa_predictor::AllocatedIndex,
+    profiled: &bwsa_trace::BranchTable,
+    eval: &Trace,
+) -> f64 {
+    let remapped = remap_allocation(allocation, profiled, eval.table());
+    let mut pag = Pag::paper_with_indexer(BhtIndexer::Allocated(remapped));
+    simulate(&mut pag, eval).misprediction_rate()
+}
+
+/// The benchmark/input pairs of Tables 3–4 and Figures 3–4: every
+/// benchmark's input A plus the B inputs of `perl` and `ss`.
+pub fn table34_runs() -> Vec<(Benchmark, InputSet)> {
+    let mut runs: Vec<(Benchmark, InputSet)> =
+        Benchmark::ALL.iter().map(|&b| (b, InputSet::A)).collect();
+    runs.push((Benchmark::Perl, InputSet::B));
+    runs.push((Benchmark::Ss, InputSet::B));
+    runs.sort_by_key(|&(b, s)| run_label(b, s));
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_run() -> BenchRun {
+        analyze(Benchmark::Compress, InputSet::A, 0.02, 3)
+    }
+
+    #[test]
+    fn analyze_produces_consistent_artifacts() {
+        let run = tiny_run();
+        assert!(!run.trace.is_empty());
+        assert_eq!(run.analysis.profile.total_dynamic(), run.trace.len() as u64);
+        assert_eq!(
+            run.analysis.conflict.graph.node_count(),
+            run.trace.static_branch_count()
+        );
+        assert!(run.filter.analyzed_percent() > 90.0);
+    }
+
+    #[test]
+    fn table_rows_are_populated() {
+        let run = tiny_run();
+        let t1 = table1_row(&run);
+        assert_eq!(t1.benchmark, "compress");
+        assert!(t1.analyzed_dynamic <= t1.total_dynamic);
+        let t2 = table2_row(&run);
+        assert!(t2.total_sets > 0);
+        assert!(t2.avg_static_size >= 1.0);
+    }
+
+    #[test]
+    fn required_rows_beat_their_targets() {
+        let run = tiny_run();
+        for classified in [false, true] {
+            let row = required_row(&run, classified);
+            assert!(row.achieved_mass <= row.target_mass || row.required_size <= 3);
+            assert!(row.required_size <= run.trace.static_branch_count() + 3);
+        }
+    }
+
+    #[test]
+    fn figure_row_rates_are_sane() {
+        let run = tiny_run();
+        let row = figure_row(&run, false);
+        for rate in [
+            row.alloc_16,
+            row.alloc_128,
+            row.alloc_1024,
+            row.pag_1024,
+            row.interference_free,
+        ] {
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn labels_distinguish_multi_input_benchmarks() {
+        assert_eq!(run_label(Benchmark::Perl, InputSet::A), "perl_a");
+        assert_eq!(run_label(Benchmark::Ss, InputSet::B), "ss_b");
+        assert_eq!(run_label(Benchmark::Gcc, InputSet::A), "gcc");
+    }
+
+    #[test]
+    fn table34_runs_cover_all_benchmarks_plus_b_inputs() {
+        let runs = table34_runs();
+        assert_eq!(runs.len(), 15);
+        assert!(runs.contains(&(Benchmark::Perl, InputSet::B)));
+        assert!(runs.contains(&(Benchmark::Ss, InputSet::B)));
+    }
+}

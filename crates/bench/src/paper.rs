@@ -1,0 +1,99 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+//!
+//! Absolute values are not expected to match (our substrate is a scaled
+//! synthetic workload, not SPECint95 under SimpleScalar); they are printed
+//! next to measured values so the *shape* claims are easy to eyeball and
+//! are asserted in EXPERIMENTS.md.
+
+/// Paper Table 2: `(benchmark, total working sets, avg static size, avg
+/// dynamic size)`.
+pub const TABLE2: [(&str, u64, u64, u64); 11] = [
+    ("compress", 224, 41, 25),
+    ("gcc", 51888, 365, 336),
+    ("ijpeg", 246, 27, 36),
+    ("li", 2792, 178, 154),
+    ("m88ksim", 1203, 144, 150),
+    ("perl", 1079, 51, 51),
+    ("chess", 23936, 250, 244),
+    ("pgp", 775, 45, 39),
+    ("plot", 5370, 143, 185),
+    ("python", 25216, 347, 318),
+    ("ss", 19368, 287, 246),
+];
+
+/// Paper Table 3: `(benchmark label, required BHT size)` for plain branch
+/// allocation against a conventional 1024-entry BHT.
+pub const TABLE3: [(&str, u64); 14] = [
+    ("chess", 320),
+    ("compress", 208),
+    ("gcc", 544),
+    ("gs", 740),
+    ("li", 270),
+    ("m88ksim", 166),
+    ("perl_a", 288),
+    ("perl_b", 288),
+    ("pgp", 188),
+    ("plot", 224),
+    ("python", 570),
+    ("ss_a", 336),
+    ("ss_b", 360),
+    ("tex", 680),
+];
+
+/// Paper Table 4: `(benchmark label, required BHT size)` with branch
+/// classification.
+pub const TABLE4: [(&str, u64); 14] = [
+    ("chess", 160),
+    ("compress", 40),
+    ("gcc", 150),
+    ("gs", 80),
+    ("li", 48),
+    ("m88ksim", 40),
+    ("perl_a", 32),
+    ("perl_b", 32),
+    ("pgp", 118),
+    ("plot", 40),
+    ("python", 48),
+    ("ss_a", 160),
+    ("ss_b", 85),
+    ("tex", 80),
+];
+
+/// The paper's headline Figure 4 claim: allocation at 1024 entries
+/// improves prediction accuracy by ~16% relative to the conventional
+/// 1024-entry PAg.
+pub const HEADLINE_IMPROVEMENT: f64 = 0.16;
+
+/// Looks up a paper value by label in one of the tables above.
+pub fn lookup(table: &[(&str, u64)], label: &str) -> Option<u64> {
+    table.iter().find(|(l, _)| *l == label).map(|&(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_rows() {
+        assert_eq!(lookup(&TABLE3, "gcc"), Some(544));
+        assert_eq!(lookup(&TABLE4, "gcc"), Some(150));
+        assert_eq!(lookup(&TABLE3, "nope"), None);
+    }
+
+    #[test]
+    fn classification_shrinks_every_paper_row() {
+        // The shape claim our Table 4 must reproduce, verified on the
+        // paper's own numbers.
+        for (label, t3) in TABLE3 {
+            let t4 = lookup(&TABLE4, label).unwrap();
+            assert!(t4 <= t3, "{label}: {t4} > {t3}");
+        }
+    }
+
+    #[test]
+    fn paper_requirements_are_below_1024() {
+        for (_, v) in TABLE3.iter().chain(TABLE4.iter()) {
+            assert!(*v < 1024);
+        }
+    }
+}

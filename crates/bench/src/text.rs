@@ -1,0 +1,94 @@
+//! Fixed-width text-table rendering for experiment output.
+
+/// Renders a table with a header row, a separator, and the body rows.
+/// Columns are left-aligned and padded to the widest cell.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_bench::text::render_table;
+///
+/// let s = render_table(
+///     &["bench", "rate"],
+///     &[vec!["gcc".into(), "0.10".into()]],
+/// );
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("gcc"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity must match headers");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            line.push_str(&" ".repeat(w - cell.len()));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a misprediction rate as a percentage with two decimals.
+pub fn pct(rate: f64) -> String {
+    format!("{:.2}%", rate * 100.0)
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let s = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["xxxxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset in every body row.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find('2').unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_rows_panic() {
+        render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(f1(3.24), "3.2");
+    }
+}

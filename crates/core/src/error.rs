@@ -1,0 +1,45 @@
+//! Error type for the analysis pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by analysis configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Description of the offending value.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn config(reason: impl Into<String>) -> Self {
+        CoreError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid analysis config: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        assert!(CoreError::config("bad threshold")
+            .to_string()
+            .contains("bad threshold"));
+    }
+}

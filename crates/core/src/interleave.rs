@@ -1,0 +1,342 @@
+//! Step 1 of the analysis: detecting branch execution interleaving from
+//! instruction-count timestamps (§4.1).
+//!
+//! Each static branch remembers the timestamp of its previous dynamic
+//! instance. When it executes again, every branch whose *latest* execution
+//! timestamp exceeds that previous timestamp has interleaved with it since
+//! then, and each such pair's interleave counter is incremented once — the
+//! paper's Figure 1 procedure, verbatim.
+//!
+//! [`interleave_counts`] maintains a recency index (an ordered set of
+//! `(latest timestamp, branch)` pairs) so each detection is a range scan
+//! over exactly the branches involved, costing `O(k log n)` per dynamic
+//! branch where `k` is the instantaneous working-set size — the very
+//! quantity the paper shows stays small. [`interleave_counts_naive`] is an
+//! independent quadratic oracle used by the tests.
+
+use bwsa_graph::GraphBuilder;
+use bwsa_trace::Trace;
+use std::collections::BTreeSet;
+
+/// Computes pairwise interleave counts for every branch pair in the trace.
+///
+/// The returned [`GraphBuilder`] has one node per static branch (node id =
+/// [`bwsa_trace::BranchId`] index) and one weighted edge per interleaving
+/// pair; feed it to [`bwsa_graph::GraphBuilder::build`] and threshold with
+/// [`bwsa_graph::ConflictGraph::pruned`], or use
+/// [`crate::conflict::ConflictAnalysis`] which does both.
+///
+/// Ties: two branches stamped with the *same* timestamp are treated as
+/// simultaneous, not interleaved (the paper requires a strictly greater
+/// stamp).
+///
+/// # Example
+///
+/// ```
+/// use bwsa_core::interleave_counts;
+/// use bwsa_trace::TraceBuilder;
+///
+/// // Figure 1: A(5) B(10) C(15) A(20) → A/B and A/C interleave once.
+/// let mut t = TraceBuilder::new("fig1");
+/// t.record(0xa, true, 5).record(0xb, true, 10).record(0xc, true, 15).record(0xa, true, 20);
+/// let g = interleave_counts(&t.finish()).build();
+/// assert_eq!(g.edge_weight(0, 1), Some(1)); // A–B
+/// assert_eq!(g.edge_weight(0, 2), Some(1)); // A–C
+/// assert_eq!(g.edge_weight(1, 2), None);    // B and C never re-executed
+/// ```
+pub fn interleave_counts(trace: &Trace) -> GraphBuilder {
+    let n = trace.static_branch_count();
+    let mut builder = GraphBuilder::new(n as u32);
+    // last_stamp[b] = timestamp of b's previous dynamic instance.
+    let mut last_stamp: Vec<Option<u64>> = vec![None; n];
+    // Recency index: (latest stamp, branch), one entry per executed branch.
+    let mut recency: BTreeSet<(u64, u32)> = BTreeSet::new();
+    // Reusable scratch for the branches hit by each range scan.
+    let mut hits: Vec<u32> = Vec::new();
+
+    for (id, rec) in trace.indexed_records() {
+        let node = id.as_u32();
+        let t = rec.time.get();
+        if let Some(prev) = last_stamp[node as usize] {
+            // Every branch whose latest stamp is strictly greater than
+            // this branch's previous stamp interleaved with it.
+            hits.clear();
+            for &(_, b) in recency.range((prev + 1, 0)..) {
+                if b != node {
+                    hits.push(b);
+                }
+            }
+            for &b in &hits {
+                builder.add_edge(node, b, 1);
+            }
+            recency.remove(&(prev, node));
+        }
+        recency.insert((t, node));
+        last_stamp[node as usize] = Some(t);
+    }
+    builder
+}
+
+/// Quadratic reference implementation of [`interleave_counts`].
+///
+/// For each re-execution of a branch, scans the whole trace segment since
+/// its previous instance and counts each distinct other branch once. Only
+/// suitable for small traces; exists to cross-validate the fast engine.
+pub fn interleave_counts_naive(trace: &Trace) -> GraphBuilder {
+    let n = trace.static_branch_count();
+    let mut builder = GraphBuilder::new(n as u32);
+    let records: Vec<(u32, u64)> = trace
+        .indexed_records()
+        .map(|(id, r)| (id.as_u32(), r.time.get()))
+        .collect();
+    let mut last_index: Vec<Option<usize>> = vec![None; n];
+    for (i, &(node, _)) in records.iter().enumerate() {
+        if let Some(prev_i) = last_index[node as usize] {
+            let prev_t = records[prev_i].1;
+            // Latest stamp per other branch as of just before this record.
+            let mut seen = std::collections::HashMap::new();
+            for &(b, bt) in &records[..i] {
+                seen.insert(b, bt); // later entries overwrite: keeps latest
+            }
+            for (&b, &bt) in &seen {
+                if b != node && bt > prev_t {
+                    builder.add_edge(node, b, 1);
+                }
+            }
+        }
+        last_index[node as usize] = Some(i);
+    }
+    builder
+}
+
+/// Streaming variant of [`interleave_counts`]: consumes any fallible
+/// record iterator (e.g. a [`bwsa_trace::stream::StreamReader`] over a
+/// trace file) without materialising the trace, interning static
+/// branches by pc on the fly.
+///
+/// Returns the interleave-count builder together with the pc ↔ id
+/// interner needed to relate graph nodes back to branches.
+///
+/// Memory use is `O(static branches + edges)` — independent of trace
+/// length — so arbitrarily long profiling runs can be analysed.
+///
+/// # Errors
+///
+/// Propagates the first error the record source yields.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_core::interleave::interleave_counts_streaming;
+/// use bwsa_trace::BranchRecord;
+///
+/// # fn main() -> Result<(), bwsa_trace::TraceError> {
+/// let records = [(0xa, 5), (0xb, 10), (0xc, 15), (0xa, 20)]
+///     .map(|(pc, t)| Ok(BranchRecord::from_raw(pc, true, t)));
+/// let (builder, table) = interleave_counts_streaming(records)?;
+/// let g = builder.build();
+/// assert_eq!(table.len(), 3);
+/// assert_eq!(g.edge_weight(0, 1), Some(1)); // A–B
+/// assert_eq!(g.edge_weight(0, 2), Some(1)); // A–C
+/// # Ok(())
+/// # }
+/// ```
+pub fn interleave_counts_streaming<I>(
+    records: I,
+) -> Result<(GraphBuilder, bwsa_trace::BranchTable), bwsa_trace::TraceError>
+where
+    I: IntoIterator<Item = Result<bwsa_trace::BranchRecord, bwsa_trace::TraceError>>,
+{
+    let mut table = bwsa_trace::BranchTable::new();
+    let mut builder = GraphBuilder::new(0);
+    let mut last_stamp: Vec<Option<u64>> = Vec::new();
+    let mut recency: BTreeSet<(u64, u32)> = BTreeSet::new();
+    let mut hits: Vec<u32> = Vec::new();
+
+    for record in records {
+        let rec = record?;
+        let node = table.intern(rec.pc).as_u32();
+        if node as usize >= last_stamp.len() {
+            last_stamp.resize(node as usize + 1, None);
+            builder.ensure_nodes(node + 1);
+        }
+        let t = rec.time.get();
+        if let Some(prev) = last_stamp[node as usize] {
+            hits.clear();
+            for &(_, b) in recency.range((prev + 1, 0)..) {
+                if b != node {
+                    hits.push(b);
+                }
+            }
+            for &b in &hits {
+                builder.add_edge(node, b, 1);
+            }
+            recency.remove(&(prev, node));
+        }
+        recency.insert((t, node));
+        last_stamp[node as usize] = Some(t);
+    }
+    Ok((builder, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwsa_trace::TraceBuilder;
+
+    fn weights(b: &GraphBuilder) -> Vec<(u32, u32, u64)> {
+        let g = b.build();
+        let mut v: Vec<_> = g.iter_edges().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure_1_example() {
+        // The paper's Figure 1, extended by one more round.
+        let mut t = TraceBuilder::new("fig1");
+        t.record(0xa, true, 5)
+            .record(0xb, true, 10)
+            .record(0xc, true, 15)
+            .record(0xa, true, 20) // A sees B, C
+            .record(0xb, true, 25) // B sees C(15)? no: C=15 > B's prev 10 → yes; and A(20)
+            .record(0xc, true, 30); // C sees A(20), B(25)
+        let g = interleave_counts(&t.finish()).build();
+        assert_eq!(g.edge_weight(0, 1), Some(2)); // A–B both directions
+        assert_eq!(g.edge_weight(0, 2), Some(2)); // A–C
+        assert_eq!(g.edge_weight(1, 2), Some(2)); // B–C
+    }
+
+    #[test]
+    fn tight_loop_of_one_branch_has_no_edges() {
+        let mut t = TraceBuilder::new("solo");
+        for i in 1..=100u64 {
+            t.record(0x40, true, i * 5);
+        }
+        let b = interleave_counts(&t.finish());
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn two_alternating_branches_interleave_every_round() {
+        let mut t = TraceBuilder::new("alt");
+        for i in 0..10u64 {
+            t.record(0x40 + (i % 2) * 4, true, i + 1);
+        }
+        let g = interleave_counts(&t.finish()).build();
+        // A executes at 1,3,5,7,9; from the 2nd instance on it sees B: 4
+        // detections. Same for B → weight 8.
+        assert_eq!(g.edge_weight(0, 1), Some(8));
+    }
+
+    #[test]
+    fn phases_do_not_interleave_without_revisit() {
+        // A A A then B B B: B never executes between two A instances and
+        // vice versa.
+        let mut t = TraceBuilder::new("phase");
+        for i in 1..=3u64 {
+            t.record(0xa, true, i);
+        }
+        for i in 4..=6u64 {
+            t.record(0xb, true, i);
+        }
+        let b = interleave_counts(&t.finish());
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn phase_revisit_creates_one_detection() {
+        // A A, B B, A: the final A sees B once (one detection event),
+        // regardless of how many times B ran in between.
+        let mut t = TraceBuilder::new("revisit");
+        t.record(0xa, true, 1)
+            .record(0xa, true, 2)
+            .record(0xb, true, 3)
+            .record(0xb, true, 4)
+            .record(0xa, true, 5);
+        let g = interleave_counts(&t.finish()).build();
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+    }
+
+    #[test]
+    fn equal_timestamps_do_not_interleave() {
+        let mut t = TraceBuilder::new("ties");
+        t.record(0xa, true, 5)
+            .record(0xb, true, 5)
+            .record(0xa, true, 5);
+        let b = interleave_counts(&t.finish());
+        assert_eq!(
+            b.edge_count(),
+            0,
+            "stamps must be strictly greater to count"
+        );
+    }
+
+    #[test]
+    fn naive_and_fast_agree_on_small_cases() {
+        let mut t = TraceBuilder::new("mix");
+        let pcs = [0xa, 0xb, 0xc, 0xa, 0xc, 0xb, 0xa, 0xd, 0xb, 0xd, 0xa, 0xc];
+        for (i, pc) in pcs.into_iter().enumerate() {
+            t.record(pc, i % 3 == 0, (i as u64 + 1) * 7);
+        }
+        let trace = t.finish();
+        assert_eq!(
+            weights(&interleave_counts(&trace)),
+            weights(&interleave_counts_naive(&trace))
+        );
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_on_a_real_trace() {
+        let mut t = TraceBuilder::new("s");
+        let pcs = [0xa, 0xb, 0xa, 0xc, 0xb, 0xa, 0xd, 0xc, 0xa, 0xb];
+        for (i, pc) in pcs.into_iter().enumerate() {
+            t.record(pc, i % 2 == 0, (i as u64 + 1) * 3);
+        }
+        let trace = t.finish();
+        let in_memory = interleave_counts(&trace).build();
+        let records = trace.records().iter().map(|r| Ok(*r));
+        let (builder, table) = interleave_counts_streaming(records).unwrap();
+        assert_eq!(builder.build(), in_memory);
+        assert_eq!(table.len(), trace.static_branch_count());
+        // Interning order matches the trace's.
+        for (id, pc) in trace.table().iter() {
+            assert_eq!(table.id_of(pc), Some(id));
+        }
+    }
+
+    #[test]
+    fn streaming_propagates_source_errors() {
+        let records = vec![
+            Ok(bwsa_trace::BranchRecord::from_raw(0xa, true, 1)),
+            Err(bwsa_trace::TraceError::format("boom")),
+        ];
+        assert!(interleave_counts_streaming(records).is_err());
+    }
+
+    #[test]
+    fn streaming_from_stream_reader_roundtrip() {
+        use bwsa_trace::stream::{StreamReader, StreamWriter};
+        let mut t = TraceBuilder::new("s");
+        for i in 0..500u64 {
+            t.record(0x100 + (i % 5) * 4, i % 3 == 0, i + 1);
+        }
+        let trace = t.finish();
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, "s").unwrap();
+        for r in trace.records() {
+            w.push(*r).unwrap();
+        }
+        w.finish(0).unwrap();
+        let reader = StreamReader::new(&buf[..]).unwrap();
+        let (builder, _) = interleave_counts_streaming(reader).unwrap();
+        assert_eq!(builder.build(), interleave_counts(&trace).build());
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_builder() {
+        let b = interleave_counts(&bwsa_trace::Trace::new("empty"));
+        assert_eq!(b.node_count(), 0);
+        assert_eq!(b.edge_count(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! **Branch working set analysis and branch allocation** — the primary
+//! contribution of Kim & Tyson, *Analyzing the Working Set
+//! Characteristics of Branch Execution* (MICRO 1998).
+//!
+//! The pipeline has the paper's three steps (§4.1) plus the allocation
+//! technique built on them (§5):
+//!
+//! 1. [`interleave`] — timestamp analysis: when a branch re-executes,
+//!    every branch whose latest execution falls after its previous
+//!    instance has *interleaved* with it; each detection bumps the pair's
+//!    interleave counter.
+//! 2. [`conflict`] — the counters become a weighted **branch conflict
+//!    graph**, thresholded (default 100) to discard incidental conflicts.
+//! 3. [`working_set`] — working sets are completely interconnected
+//!    subgraphs of the conflict graph; their sizes are Table 2.
+//!
+//! On top of that:
+//!
+//! * [`classify`] — branch classification (Chang et al.) marks ≥99%- and
+//!   ≤1%-taken branches; same-class conflicts are ignored (§5.2).
+//! * [`allocation`] — **branch allocation**: graph-coloring assignment of
+//!   branches to BHT entries, the required-table-size search of Tables
+//!   3–4, and construction of the [`bwsa_predictor::AllocatedIndex`]
+//!   consumed by the PAg simulator for Figures 3–4.
+//! * [`merge`] — cumulative multi-input profiles (§5.2).
+//! * [`phases`] — working sets over time (transition detection).
+//! * [`pipeline`] — one-call orchestration of all of the above.
+//!
+//! # Example
+//!
+//! ```
+//! use bwsa_core::pipeline::AnalysisPipeline;
+//! use bwsa_trace::TraceBuilder;
+//!
+//! // Two branches ping-ponging: one working set of size 2.
+//! let mut b = TraceBuilder::new("pingpong");
+//! for i in 0..600u64 {
+//!     b.record(0x400 + (i % 2) * 4, i % 4 < 2, i + 1);
+//! }
+//! let analysis = AnalysisPipeline::new().run(&b.finish());
+//! assert_eq!(analysis.working_sets.report.total_sets, 1);
+//! assert_eq!(analysis.working_sets.report.max_size, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod allocation;
+pub mod classify;
+pub mod conflict;
+mod error;
+pub mod interleave;
+pub mod merge;
+pub mod phases;
+pub mod pipeline;
+pub mod report;
+pub mod working_set;
+
+pub use allocation::{allocate, required_bht_size, Allocation, AllocationConfig};
+pub use classify::{classify, BiasClass, Classification};
+pub use conflict::{ConflictAnalysis, ConflictConfig};
+pub use error::CoreError;
+pub use interleave::{interleave_counts, interleave_counts_naive};
+pub use pipeline::{Analysis, AnalysisPipeline};
+pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};

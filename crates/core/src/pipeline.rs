@@ -1,0 +1,204 @@
+//! One-call orchestration of the full analysis.
+
+use crate::allocation::{
+    allocate, allocate_classified, required_bht_size, required_bht_size_classified, Allocation,
+    AllocationConfig, RequiredSize,
+};
+use crate::classify::{classify_with, Classification};
+use crate::conflict::{ConflictAnalysis, ConflictConfig};
+use crate::working_set::{working_sets, WorkingSetDefinition, WorkingSets};
+use bwsa_trace::{profile::BranchProfile, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the end-to-end analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisPipeline {
+    /// Conflict-graph thresholding (§4.2; default 100).
+    pub conflict: ConflictConfig,
+    /// Working-set extraction method (§4.1 step 3).
+    pub definition: WorkingSetDefinition,
+    /// Classification thresholds (§5.2; defaults 0.99 / 0.01).
+    pub taken_threshold: f64,
+    /// See [`AnalysisPipeline::taken_threshold`].
+    pub not_taken_threshold: f64,
+    /// Allocation options (§5.1).
+    pub allocation: AllocationConfig,
+}
+
+impl Default for AnalysisPipeline {
+    fn default() -> Self {
+        AnalysisPipeline {
+            conflict: ConflictConfig::default(),
+            definition: WorkingSetDefinition::Partition,
+            taken_threshold: 0.99,
+            not_taken_threshold: 0.01,
+            allocation: AllocationConfig::default(),
+        }
+    }
+}
+
+/// Everything the paper computes about one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Per-branch execution statistics.
+    pub profile: BranchProfile,
+    /// Steps 1–2: thresholded conflict graph.
+    pub conflict: ConflictAnalysis,
+    /// Step 3: working sets and the Table 2 statistics.
+    pub working_sets: WorkingSets,
+    /// §5.2 bias classes.
+    pub classification: Classification,
+}
+
+impl AnalysisPipeline {
+    /// The paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs steps 1–3 plus classification on a trace.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bwsa_core::pipeline::AnalysisPipeline;
+    /// use bwsa_trace::TraceBuilder;
+    ///
+    /// let mut t = TraceBuilder::new("demo");
+    /// for i in 0..1000u64 {
+    ///     t.record(0x100 + (i % 3) * 4, i % 2 == 0, i + 1);
+    /// }
+    /// let analysis = AnalysisPipeline::new().run(&t.finish());
+    /// assert_eq!(analysis.working_sets.report.total_sets, 1);
+    /// assert_eq!(analysis.working_sets.report.max_size, 3);
+    /// ```
+    pub fn run(&self, trace: &Trace) -> Analysis {
+        let profile = BranchProfile::from_trace(trace);
+        let conflict = ConflictAnalysis::of_trace(trace, self.conflict);
+        let working = working_sets(&conflict.graph, &profile, self.definition);
+        let classification =
+            classify_with(&profile, self.taken_threshold, self.not_taken_threshold);
+        Analysis {
+            profile,
+            conflict,
+            working_sets: working,
+            classification,
+        }
+    }
+}
+
+impl Analysis {
+    /// Branch allocation into a `table_size`-entry BHT (§5.1).
+    pub fn allocate(&self, table_size: usize, config: &AllocationConfig) -> Allocation {
+        allocate(&self.conflict.graph, table_size, config)
+    }
+
+    /// Classified branch allocation (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size < 3`.
+    pub fn allocate_classified(&self, table_size: usize, config: &AllocationConfig) -> Allocation {
+        allocate_classified(
+            &self.conflict.graph,
+            &self.classification,
+            table_size,
+            config,
+        )
+    }
+
+    /// The Table 3 cell: minimum BHT size for plain allocation to beat a
+    /// conventional `baseline`-entry table, for the trace this analysis
+    /// was computed from.
+    pub fn required_bht_size(
+        &self,
+        trace: &Trace,
+        baseline: usize,
+        config: &AllocationConfig,
+    ) -> RequiredSize {
+        required_bht_size(&self.conflict.graph, trace.table(), baseline, config)
+    }
+
+    /// The Table 4 cell: minimum BHT size for classified allocation.
+    pub fn required_bht_size_classified(
+        &self,
+        trace: &Trace,
+        baseline: usize,
+        config: &AllocationConfig,
+    ) -> RequiredSize {
+        required_bht_size_classified(
+            &self.conflict.graph,
+            &self.classification,
+            trace.table(),
+            baseline,
+            config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwsa_trace::TraceBuilder;
+
+    /// Two phases of three branches each, revisited enough that intra-phase
+    /// edges clear the threshold but cross-phase edges do not.
+    fn phased_trace() -> Trace {
+        let mut t = TraceBuilder::new("phased");
+        let mut time = 0;
+        for phase_round in 0..6 {
+            for phase in 0..2u64 {
+                if phase_round >= 3 && phase == 1 {
+                    continue; // phase 1 visited less
+                }
+                for _ in 0..60 {
+                    for b in 0..3u64 {
+                        time += 1;
+                        t.record(0x1000 * (phase + 1) + b * 4, (time % 3) != 0, time);
+                    }
+                }
+            }
+        }
+        t.finish()
+    }
+
+    #[test]
+    fn pipeline_finds_the_phase_structure() {
+        let analysis = AnalysisPipeline::new().run(&phased_trace());
+        assert_eq!(analysis.working_sets.report.total_sets, 2);
+        assert_eq!(analysis.working_sets.report.max_size, 3);
+        assert_eq!(analysis.profile.static_count(), 6);
+    }
+
+    #[test]
+    fn allocation_methods_agree_with_direct_calls() {
+        let trace = phased_trace();
+        let analysis = AnalysisPipeline::new().run(&trace);
+        let cfg = AllocationConfig::default();
+        let a = analysis.allocate(4, &cfg);
+        let direct = crate::allocation::allocate(&analysis.conflict.graph, 4, &cfg);
+        assert_eq!(a, direct);
+        let r = analysis.required_bht_size(&trace, 1024, &cfg);
+        assert!(r.size <= 6);
+    }
+
+    #[test]
+    fn classified_required_size_not_larger() {
+        let trace = phased_trace();
+        let analysis = AnalysisPipeline::new().run(&trace);
+        let cfg = AllocationConfig::default();
+        let plain = analysis.required_bht_size(&trace, 2, &cfg);
+        let classified = analysis.required_bht_size_classified(&trace, 2, &cfg);
+        // Classified needs at least 3 (reserved), but never more than
+        // plain + 2.
+        assert!(classified.size <= plain.size + 2);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let p = AnalysisPipeline::new();
+        assert_eq!(p.conflict.threshold, 100);
+        assert_eq!(p.taken_threshold, 0.99);
+        assert_eq!(p.not_taken_threshold, 0.01);
+    }
+}

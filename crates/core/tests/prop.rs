@@ -1,0 +1,118 @@
+//! Property-based tests for the analysis core.
+
+use bwsa_core::allocation::{allocate, conventional_conflict_mass, AllocationConfig};
+use bwsa_core::conflict::{ConflictAnalysis, ConflictConfig};
+use bwsa_core::{
+    classify, interleave_counts, interleave_counts_naive, working_sets, WorkingSetDefinition,
+};
+use bwsa_trace::{profile::BranchProfile, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u8..10, any::<bool>(), 1u64..4), 1..250).prop_map(|steps| {
+        let mut b = TraceBuilder::new("prop");
+        let mut t = 0u64;
+        for (slot, taken, dt) in steps {
+            t += dt;
+            b.record(0x1000 + u64::from(slot) * 4, taken, t);
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #[test]
+    fn fast_interleave_matches_naive_oracle(trace in arb_trace()) {
+        let fast = interleave_counts(&trace).build();
+        let naive = interleave_counts_naive(&trace).build();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn interleave_weight_bounded_by_detections(trace in arb_trace()) {
+        // Each dynamic branch instance can contribute at most
+        // (static_branches - 1) detections.
+        let g = interleave_counts(&trace).build();
+        let bound = trace.len() as u64 * trace.static_branch_count().max(1) as u64;
+        prop_assert!(g.total_weight() <= bound);
+    }
+
+    #[test]
+    fn thresholding_is_monotone(trace in arb_trace(), t1 in 1u64..20, t2 in 1u64..20) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let a_lo = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(lo).unwrap());
+        let a_hi = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(hi).unwrap());
+        prop_assert!(a_hi.graph.edge_count() <= a_lo.graph.edge_count());
+        prop_assert!(a_hi.graph.total_weight() <= a_lo.graph.total_weight());
+    }
+
+    #[test]
+    fn working_set_partition_covers_all_branches(trace in arb_trace()) {
+        let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(2).unwrap());
+        let profile = BranchProfile::from_trace(&trace);
+        let ws = working_sets(&analysis.graph, &profile, WorkingSetDefinition::Partition);
+        let covered: usize = ws.sets.iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, trace.static_branch_count());
+        // Sets are cliques of the graph.
+        for set in &ws.sets {
+            let raw: Vec<u32> = set.iter().map(|id| id.as_u32()).collect();
+            prop_assert!(analysis.graph.is_clique(&raw));
+        }
+    }
+
+    #[test]
+    fn allocation_mass_never_exceeds_graph_weight(trace in arb_trace(), k in 1usize..12) {
+        let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(1).unwrap());
+        let a = allocate(&analysis.graph, k, &AllocationConfig::default());
+        prop_assert!(a.conflict_mass <= analysis.graph.total_weight());
+        // Every branch receives an entry within the table.
+        prop_assert_eq!(a.index.assigned_count(), trace.static_branch_count());
+    }
+
+    #[test]
+    fn allocation_with_node_count_entries_is_conflict_free(trace in arb_trace()) {
+        let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(1).unwrap());
+        let n = analysis.graph.node_count().max(1);
+        let a = allocate(&analysis.graph, n, &AllocationConfig::default());
+        prop_assert_eq!(a.conflict_mass, 0);
+    }
+
+    #[test]
+    fn conventional_mass_decreases_with_table_size(trace in arb_trace()) {
+        let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(1).unwrap());
+        // A table large enough that all 10 possible word-indexes are
+        // distinct has zero conventional mass.
+        let huge = conventional_conflict_mass(&analysis.graph, trace.table(), 1 << 16);
+        prop_assert_eq!(huge, 0);
+        let tiny = conventional_conflict_mass(&analysis.graph, trace.table(), 1);
+        prop_assert_eq!(tiny, analysis.graph.total_weight());
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_consistent(trace in arb_trace()) {
+        let profile = BranchProfile::from_trace(&trace);
+        let c = classify(&profile);
+        let (t, n, m) = c.counts();
+        prop_assert_eq!(t + n + m, trace.static_branch_count());
+        for (id, stats) in profile.iter() {
+            let rate = stats.taken_rate();
+            match c.class(id) {
+                bwsa_core::BiasClass::BiasedTaken => prop_assert!(rate >= 0.99),
+                bwsa_core::BiasClass::BiasedNotTaken => prop_assert!(rate <= 0.01),
+                bwsa_core::BiasClass::Mixed => prop_assert!(rate > 0.01 && rate < 0.99),
+            }
+        }
+    }
+
+    #[test]
+    fn refined_graph_is_subgraph(trace in arb_trace()) {
+        let profile = BranchProfile::from_trace(&trace);
+        let c = classify(&profile);
+        let analysis = ConflictAnalysis::of_trace(&trace, ConflictConfig::with_threshold(1).unwrap());
+        let refined = c.refine_graph(&analysis.graph);
+        prop_assert!(refined.edge_count() <= analysis.graph.edge_count());
+        for (a, b, w) in refined.iter_edges() {
+            prop_assert_eq!(analysis.graph.edge_weight(a, b), Some(w));
+        }
+    }
+}

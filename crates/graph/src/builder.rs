@@ -1,0 +1,168 @@
+//! Accumulating builder for [`ConflictGraph`].
+
+use crate::{ConflictGraph, GraphError};
+use std::collections::HashMap;
+
+/// Accumulates weighted undirected edges, then compiles them into an
+/// immutable CSR [`ConflictGraph`].
+///
+/// Adding the same edge repeatedly sums the weights, which is exactly what
+/// the interleaving analysis needs: each detection event contributes one
+/// increment to the pair's interleave counter.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1);
+/// b.add_edge(1, 0, 2); // same undirected edge
+/// let g = b.build();
+/// assert_eq!(g.edge_weight(0, 1), Some(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    nodes: u32,
+    edges: HashMap<(u32, u32), u64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over nodes `0..nodes`.
+    pub fn new(nodes: u32) -> Self {
+        GraphBuilder {
+            nodes,
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes the graph will have.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of distinct edges accumulated so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grows the node count (never shrinks).
+    pub fn ensure_nodes(&mut self, nodes: u32) -> &mut Self {
+        self.nodes = self.nodes.max(nodes);
+        self
+    }
+
+    /// Adds `weight` to the undirected edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loop) or either node is out of range. Use
+    /// [`GraphBuilder::try_add_edge`] for fallible insertion.
+    pub fn add_edge(&mut self, a: u32, b: u32, weight: u64) -> &mut Self {
+        self.try_add_edge(a, b, weight).expect("invalid edge");
+        self
+    }
+
+    /// Adds `weight` to the undirected edge `{a, b}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] when `a == b` and
+    /// [`GraphError::NodeOutOfRange`] when either endpoint is at or beyond
+    /// the declared node count.
+    pub fn try_add_edge(&mut self, a: u32, b: u32, weight: u64) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        for n in [a, b] {
+            if n >= self.nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: n,
+                    count: self.nodes,
+                });
+            }
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        *self.edges.entry(key).or_insert(0) += weight;
+        Ok(())
+    }
+
+    /// Merges every edge of another builder into this one, summing weights.
+    ///
+    /// This is the graph-level primitive behind the paper's §5.2 cumulative
+    /// profiles: conflict graphs from several profiling runs are merged
+    /// "until the resulting graph indicates that most part of the program
+    /// has been exercised".
+    pub fn merge(&mut self, other: &GraphBuilder) -> &mut Self {
+        self.nodes = self.nodes.max(other.nodes);
+        for (&(a, b), &w) in &other.edges {
+            *self.edges.entry((a, b)).or_insert(0) += w;
+        }
+        self
+    }
+
+    /// Compiles the accumulated edges into an immutable CSR graph.
+    pub fn build(&self) -> ConflictGraph {
+        ConflictGraph::from_edge_map(self.nodes, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_accumulate_across_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 5).add_edge(1, 0, 7);
+        assert_eq!(b.edge_count(), 1);
+        assert_eq!(b.build().edge_weight(0, 1), Some(12));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.try_add_edge(1, 1, 3),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.try_add_edge(0, 2, 3),
+            Err(GraphError::NodeOutOfRange { node: 2, count: 2 })
+        );
+    }
+
+    #[test]
+    fn ensure_nodes_grows_only() {
+        let mut b = GraphBuilder::new(2);
+        b.ensure_nodes(5);
+        assert_eq!(b.node_count(), 5);
+        b.ensure_nodes(1);
+        assert_eq!(b.node_count(), 5);
+    }
+
+    #[test]
+    fn merge_sums_weights_and_grows() {
+        let mut a = GraphBuilder::new(2);
+        a.add_edge(0, 1, 10);
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5).add_edge(2, 3, 1);
+        a.merge(&b);
+        let g = a.build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_weight(0, 1), Some(15));
+        assert_eq!(g.edge_weight(2, 3), Some(1));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

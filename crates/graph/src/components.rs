@@ -1,0 +1,122 @@
+//! Connected components of a conflict graph.
+
+use crate::ConflictGraph;
+
+/// The connected components of a graph.
+///
+/// Nodes are labelled with dense component ids in order of each
+/// component's smallest node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    labels: Vec<u32>,
+    count: u32,
+}
+
+impl Components {
+    /// Number of components (isolated nodes count as singleton components).
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// The component label of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn label(&self, node: u32) -> u32 {
+        self.labels[node as usize]
+    }
+
+    /// Returns `true` if two nodes share a component.
+    pub fn connected(&self, a: u32, b: u32) -> bool {
+        self.label(a) == self.label(b)
+    }
+
+    /// Groups node ids by component, ordered by component label.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.count as usize];
+        for (node, &label) in self.labels.iter().enumerate() {
+            out[label as usize].push(node as u32);
+        }
+        out
+    }
+}
+
+/// Computes connected components with an iterative DFS.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_graph::{components::connected_components, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1, 1).add_edge(2, 3, 1);
+/// let c = connected_components(&b.build());
+/// assert_eq!(c.count(), 2);
+/// assert!(c.connected(0, 1));
+/// assert!(!c.connected(1, 2));
+/// ```
+pub fn connected_components(graph: &ConflictGraph) -> Components {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        stack.push(start);
+        while let Some(node) = stack.pop() {
+            for &nb in graph.neighbors(node) {
+                if labels[nb as usize] == u32::MAX {
+                    labels[nb as usize] = count;
+                    stack.push(nb);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { labels, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn single_component_path() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).add_edge(1, 2, 1).add_edge(2, 3, 1);
+        let c = connected_components(&b.build());
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.groups(), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let c = connected_components(&GraphBuilder::new(3).build());
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.groups(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn labels_are_dense_and_ordered_by_smallest_node() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(3, 4, 1).add_edge(0, 2, 1);
+        let c = connected_components(&b.build());
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.label(0), 0);
+        assert_eq!(c.label(2), 0);
+        assert_eq!(c.label(1), 1);
+        assert_eq!(c.label(3), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = connected_components(&GraphBuilder::new(0).build());
+        assert_eq!(c.count(), 0);
+        assert!(c.groups().is_empty());
+    }
+}

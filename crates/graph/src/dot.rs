@@ -1,0 +1,144 @@
+//! Graphviz DOT export of conflict graphs.
+//!
+//! Useful for eyeballing working-set structure on small graphs: nodes can
+//! be grouped (e.g. by working set or BHT entry) and edge thickness
+//! follows the interleave weight.
+
+use crate::ConflictGraph;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Optional group label per node (same label → same fill color class);
+    /// length must match the node count when present.
+    pub groups: Option<Vec<u32>>,
+    /// Hide nodes with no surviving edges.
+    pub skip_isolated: bool,
+}
+
+/// Renders the graph in DOT format.
+///
+/// # Panics
+///
+/// Panics if `options.groups` is present with the wrong length.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_graph::{dot::{to_dot, DotOptions}, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 500);
+/// let dot = to_dot(&b.build(), &DotOptions::default());
+/// assert!(dot.starts_with("graph conflict"));
+/// assert!(dot.contains("n0 -- n1"));
+/// ```
+pub fn to_dot(graph: &ConflictGraph, options: &DotOptions) -> String {
+    if let Some(groups) = &options.groups {
+        assert_eq!(
+            groups.len(),
+            graph.node_count(),
+            "groups length must match node count"
+        );
+    }
+    let max_weight = graph
+        .iter_edges()
+        .map(|(_, _, w)| w)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::from("graph conflict {\n  node [shape=circle fontsize=10];\n");
+    for n in 0..graph.node_count() as u32 {
+        if options.skip_isolated && graph.degree(n) == 0 {
+            continue;
+        }
+        match &options.groups {
+            Some(groups) => {
+                let g = groups[n as usize];
+                let _ = writeln!(
+                    out,
+                    "  n{n} [label=\"b{n}\" colorscheme=set312 style=filled fillcolor={}];",
+                    (g % 12) + 1
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  n{n} [label=\"b{n}\"];");
+            }
+        }
+    }
+    for (a, b, w) in graph.iter_edges() {
+        let width = 1.0 + 4.0 * (w as f64 / max_weight as f64);
+        let _ = writeln!(out, "  n{a} -- n{b} [penwidth={width:.2} label=\"{w}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> ConflictGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 100).add_edge(1, 2, 50);
+        b.build()
+    }
+
+    #[test]
+    fn contains_all_nodes_and_edges() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        for frag in ["n0 [", "n1 [", "n2 [", "n0 -- n1", "n1 -- n2"] {
+            assert!(dot.contains(frag), "missing {frag} in {dot}");
+        }
+    }
+
+    #[test]
+    fn groups_color_nodes() {
+        let dot = to_dot(
+            &sample(),
+            &DotOptions {
+                groups: Some(vec![0, 0, 1]),
+                skip_isolated: false,
+            },
+        );
+        assert!(dot.contains("fillcolor=1"));
+        assert!(dot.contains("fillcolor=2"));
+    }
+
+    #[test]
+    fn skip_isolated_hides_lonely_nodes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 10);
+        let dot = to_dot(
+            &b.build(),
+            &DotOptions {
+                groups: None,
+                skip_isolated: true,
+            },
+        );
+        assert!(!dot.contains("n2 ["));
+    }
+
+    #[test]
+    fn weights_scale_penwidth() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(
+            dot.contains("penwidth=5.00"),
+            "heaviest edge gets max width"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "groups length")]
+    fn wrong_group_length_panics() {
+        to_dot(
+            &sample(),
+            &DotOptions {
+                groups: Some(vec![0]),
+                skip_isolated: false,
+            },
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while constructing or manipulating a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was at or beyond the declared node count.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The declared node count.
+        count: u32,
+    },
+    /// A self-loop was supplied; conflict graphs are simple graphs.
+    SelfLoop {
+        /// The node the loop was attached to.
+        node: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, count } => {
+                write!(f, "node {node} out of range for graph of {count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, count: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = GraphError::SelfLoop { node: 2 };
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Immutable CSR conflict graph.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An immutable weighted undirected simple graph in compressed sparse row
+/// form.
+///
+/// Per-node adjacency lists are sorted, so `has_edge`/`edge_weight` are
+/// binary searches and neighbor iteration is cache-friendly — the analysis
+/// repeatedly scans adjacency during clique extraction and coloring.
+///
+/// Build one with [`crate::GraphBuilder`].
+///
+/// # Example
+///
+/// ```
+/// use bwsa_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 4).add_edge(0, 2, 6);
+/// let g = b.build();
+/// assert_eq!(g.degree(0), 2);
+/// assert_eq!(g.weighted_degree(0), 10);
+/// assert_eq!(g.neighbors(1), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictGraph {
+    /// `offsets[n]..offsets[n+1]` is node n's slice of `neighbors`/`weights`.
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    weights: Vec<u64>,
+}
+
+impl ConflictGraph {
+    pub(crate) fn from_edge_map(nodes: u32, edges: &HashMap<(u32, u32), u64>) -> Self {
+        let n = nodes as usize;
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges.keys() {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut neighbors = vec![0u32; acc];
+        let mut weights = vec![0u64; acc];
+        let mut cursor = offsets[..n].to_vec();
+        for (&(a, b), &w) in edges {
+            let ca = cursor[a as usize];
+            neighbors[ca] = b;
+            weights[ca] = w;
+            cursor[a as usize] += 1;
+            let cb = cursor[b as usize];
+            neighbors[cb] = a;
+            weights[cb] = w;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency slice by neighbor id (weights stay parallel).
+        let mut graph = ConflictGraph {
+            offsets,
+            neighbors,
+            weights,
+        };
+        for node in 0..n {
+            let range = graph.offsets[node]..graph.offsets[node + 1];
+            let mut pairs: Vec<(u32, u64)> = graph.neighbors[range.clone()]
+                .iter()
+                .copied()
+                .zip(graph.weights[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(nb, _)| nb);
+            for (i, (nb, w)) in pairs.into_iter().enumerate() {
+                graph.neighbors[range.start + i] = nb;
+                graph.weights[range.start + i] = w;
+            }
+        }
+        graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree (neighbor count) of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: u32) -> usize {
+        let n = node as usize;
+        self.offsets[n + 1] - self.offsets[n]
+    }
+
+    /// Sum of edge weights incident to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn weighted_degree(&self, node: u32) -> u64 {
+        let n = node as usize;
+        self.weights[self.offsets[n]..self.offsets[n + 1]]
+            .iter()
+            .sum()
+    }
+
+    /// The sorted neighbor ids of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        let n = node as usize;
+        &self.neighbors[self.offsets[n]..self.offsets[n + 1]]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of a node in neighbor-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbor_weights(&self, node: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let n = node as usize;
+        let range = self.offsets[n]..self.offsets[n + 1];
+        self.neighbors[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Returns `true` if `{a, b}` is an edge.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.edge_weight(a, b).is_some()
+    }
+
+    /// The weight of edge `{a, b}`, or `None` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn edge_weight(&self, a: u32, b: u32) -> Option<u64> {
+        let n = a as usize;
+        let slice = &self.neighbors[self.offsets[n]..self.offsets[n + 1]];
+        slice
+            .binary_search(&b)
+            .ok()
+            .map(|i| self.weights[self.offsets[n] + i])
+    }
+
+    /// Iterates every undirected edge once as `(a, b, weight)` with `a < b`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        (0..self.node_count() as u32).flat_map(move |a| {
+            self.neighbor_weights(a)
+                .filter(move |&(b, _)| a < b)
+                .map(move |(b, w)| (a, b, w))
+        })
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum::<u64>() / 2
+    }
+
+    /// Returns a new graph with every edge of weight `< threshold` removed.
+    ///
+    /// This is the paper's §4.2 refinement: "a threshold value is given and
+    /// any edge with a smaller count than the threshold is eliminated"
+    /// (they use 100 and note 500/1000 make no significant difference).
+    pub fn pruned(&self, threshold: u64) -> ConflictGraph {
+        let edges: HashMap<(u32, u32), u64> = self
+            .iter_edges()
+            .filter(|&(_, _, w)| w >= threshold)
+            .map(|(a, b, w)| ((a, b), w))
+            .collect();
+        ConflictGraph::from_edge_map(self.node_count() as u32, &edges)
+    }
+
+    /// Returns a copy with the given edges removed (endpoints in either
+    /// order). Weights of surviving edges are unchanged.
+    ///
+    /// Used by branch classification (§5.2): conflicts between two branches
+    /// of the same highly-biased class are ignored "even if [the interleave
+    /// count] is above a threshold value".
+    pub fn without_edges(&self, remove: impl Fn(u32, u32) -> bool) -> ConflictGraph {
+        let edges: HashMap<(u32, u32), u64> = self
+            .iter_edges()
+            .filter(|&(a, b, _)| !remove(a, b))
+            .map(|(a, b, w)| ((a, b), w))
+            .collect();
+        ConflictGraph::from_edge_map(self.node_count() as u32, &edges)
+    }
+
+    /// Returns the subgraph induced on `keep` (node ids preserved; edges
+    /// with an endpoint outside `keep` dropped).
+    pub fn induced(&self, keep: impl Fn(u32) -> bool) -> ConflictGraph {
+        let edges: HashMap<(u32, u32), u64> = self
+            .iter_edges()
+            .filter(|&(a, b, _)| keep(a) && keep(b))
+            .map(|(a, b, w)| ((a, b), w))
+            .collect();
+        ConflictGraph::from_edge_map(self.node_count() as u32, &edges)
+    }
+
+    /// Returns `true` if `set` forms a clique (every pair adjacent).
+    pub fn is_clique(&self, set: &[u32]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if !self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for ConflictGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict graph: {} nodes, {} edges, total weight {}",
+            self.node_count(),
+            self.edge_count(),
+            self.total_weight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> ConflictGraph {
+        // 0-1-2 triangle with weights 10/20/30, plus 2-3 with weight 5.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10)
+            .add_edge(1, 2, 20)
+            .add_edge(0, 2, 30)
+            .add_edge(2, 3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.weighted_degree(2), 55);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn edge_weight_lookup_is_symmetric() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.edge_weight(0, 2), Some(30));
+        assert_eq!(g.edge_weight(2, 0), Some(30));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn iter_edges_yields_each_once() {
+        let g = triangle_plus_tail();
+        let mut edges: Vec<_> = g.iter_edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 10), (0, 2, 30), (1, 2, 20), (2, 3, 5)]);
+        assert_eq!(g.total_weight(), 65);
+    }
+
+    #[test]
+    fn pruning_removes_light_edges() {
+        let g = triangle_plus_tail();
+        let p = g.pruned(10);
+        assert_eq!(p.edge_count(), 3, "weight-5 edge pruned, weight-10 kept");
+        assert!(p.has_edge(0, 1));
+        assert!(!p.has_edge(2, 3));
+        assert_eq!(p.node_count(), 4, "nodes survive pruning");
+    }
+
+    #[test]
+    fn without_edges_filters_by_predicate() {
+        let g = triangle_plus_tail();
+        let h = g.without_edges(|a, b| (a, b) == (0, 1) || (a, b) == (1, 0));
+        assert!(!h.has_edge(0, 1));
+        assert_eq!(h.edge_count(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_ids() {
+        let g = triangle_plus_tail();
+        let h = g.induced(|n| n != 2);
+        assert_eq!(h.node_count(), 4);
+        assert_eq!(h.edge_count(), 1);
+        assert!(h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = triangle_plus_tail();
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_clique(&[2, 3]));
+        assert!(g.is_clique(&[1]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.total_weight(), 0);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let g = triangle_plus_tail();
+        assert_eq!(
+            g.to_string(),
+            "conflict graph: 4 nodes, 4 edges, total weight 65"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Conflict-graph persistence: a compact binary format (`BWSG1`).
+//!
+//! The interleaving analysis is the pipeline's dominant cost — minutes
+//! for the large benchmarks — while everything downstream (working sets,
+//! classification, allocation, size searches) re-runs in milliseconds.
+//! Persisting the conflict graph lets tools analyse once and iterate on
+//! allocations forever after.
+//!
+//! ```text
+//! magic "BWSG", version u16 LE
+//! node_count u32 LE, edge_count u64 LE
+//! per edge (sorted by (a, b)): varint(a - prev_a), varint(b), varint(w)
+//! ```
+
+use crate::{ConflictGraph, GraphBuilder, GraphError};
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"BWSG";
+const VERSION: u16 = 1;
+
+/// Error produced while reading or writing graph files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Malformed input.
+    Format(String),
+    /// A decoded edge was structurally invalid.
+    Graph(GraphError),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "graph i/o error: {e}"),
+            GraphIoError::Format(m) => write!(f, "malformed graph file: {m}"),
+            GraphIoError::Graph(e) => write!(f, "invalid graph data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Graph(e) => Some(e),
+            GraphIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+impl From<GraphError> for GraphIoError {
+    fn from(e: GraphError) -> Self {
+        GraphIoError::Graph(e)
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, GraphIoError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| GraphIoError::Format("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(GraphIoError::Format("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a graph into the `BWSG1` binary format.
+pub fn encode(graph: &ConflictGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + graph.edge_count() * 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(graph.node_count() as u32).to_le_bytes());
+    out.extend_from_slice(&(graph.edge_count() as u64).to_le_bytes());
+    let mut prev_a = 0u64;
+    // iter_edges yields ascending (a, b) because adjacency is sorted.
+    for (a, b, w) in graph.iter_edges() {
+        put_varint(&mut out, u64::from(a) - prev_a);
+        put_varint(&mut out, u64::from(b));
+        put_varint(&mut out, w);
+        prev_a = u64::from(a);
+    }
+    out
+}
+
+/// Writes a graph in binary format to any [`Write`] (a `&mut` reference
+/// also works).
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Io`] on write failure.
+pub fn write<W: Write>(graph: &ConflictGraph, mut w: W) -> Result<(), GraphIoError> {
+    w.write_all(&encode(graph))?;
+    Ok(())
+}
+
+/// Decodes a graph from a `BWSG1` buffer.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Format`] for malformed bytes and
+/// [`GraphIoError::Graph`] for structurally invalid edges.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_graph::{io as graph_io, GraphBuilder};
+///
+/// # fn main() -> Result<(), bwsa_graph::io::GraphIoError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 500).add_edge(1, 2, 100);
+/// let g = b.build();
+/// let bytes = graph_io::encode(&g);
+/// let back = graph_io::decode(&bytes)?;
+/// assert_eq!(back, g);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(buf: &[u8]) -> Result<ConflictGraph, GraphIoError> {
+    if buf.len() < 18 || &buf[..4] != MAGIC {
+        return Err(GraphIoError::Format("bad magic (expected \"BWSG\")".into()));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(GraphIoError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let nodes = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]);
+    let edges = u64::from_le_bytes([
+        buf[10], buf[11], buf[12], buf[13], buf[14], buf[15], buf[16], buf[17],
+    ]);
+    let mut pos = 18usize;
+    let mut builder = GraphBuilder::new(nodes);
+    let mut prev_a = 0u64;
+    for _ in 0..edges {
+        let a = prev_a + get_varint(buf, &mut pos)?;
+        let b = get_varint(buf, &mut pos)?;
+        let w = get_varint(buf, &mut pos)?;
+        let a32 = u32::try_from(a).map_err(|_| GraphIoError::Format("node overflow".into()))?;
+        let b32 = u32::try_from(b).map_err(|_| GraphIoError::Format("node overflow".into()))?;
+        builder.try_add_edge(a32, b32, w)?;
+        prev_a = a;
+    }
+    if pos != buf.len() {
+        return Err(GraphIoError::Format(format!(
+            "{} trailing bytes after last edge",
+            buf.len() - pos
+        )));
+    }
+    Ok(builder.build())
+}
+
+/// Reads a binary-format graph from any [`Read`].
+///
+/// # Errors
+///
+/// Returns [`GraphIoError`] on IO failure or malformed input.
+pub fn read<R: Read>(mut r: R) -> Result<ConflictGraph, GraphIoError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    decode(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConflictGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1000)
+            .add_edge(0, 5, 7)
+            .add_edge(2, 3, 123_456_789)
+            .add_edge(4, 5, 1);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        assert_eq!(decode(&encode(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_via_io_traits() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        assert_eq!(read(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(decode(&encode(&g)).unwrap(), g);
+        let g = GraphBuilder::new(10).build();
+        assert_eq!(decode(&encode(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            decode(b"NOPE--------------------"),
+            Err(GraphIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&sample());
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        // Hand-craft a file claiming 1 node but an edge to node 5.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        put_varint(&mut buf, 0); // a = 0
+        put_varint(&mut buf, 5); // b = 5 (out of range)
+        put_varint(&mut buf, 9);
+        assert!(matches!(decode(&buf), Err(GraphIoError::Graph(_))));
+    }
+
+    #[test]
+    fn format_is_compact() {
+        // A 100-node path graph: ~3 bytes/edge.
+        let mut b = GraphBuilder::new(100);
+        for i in 0..99 {
+            b.add_edge(i, i + 1, 500);
+        }
+        let bytes = encode(&b.build());
+        assert!(bytes.len() < 18 + 99 * 6, "{} bytes", bytes.len());
+    }
+}

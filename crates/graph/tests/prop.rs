@@ -1,0 +1,127 @@
+//! Property-based tests for the graph crate.
+
+use bwsa_graph::{clique, coloring, components, GraphBuilder};
+use proptest::prelude::*;
+
+/// Random simple graph on up to 24 nodes.
+fn arb_graph() -> impl Strategy<Value = bwsa_graph::ConflictGraph> {
+    (
+        2u32..24,
+        prop::collection::vec((any::<u32>(), any::<u32>(), 1u64..5000), 0..150),
+    )
+        .prop_map(|(n, raw)| {
+            let mut b = GraphBuilder::new(n);
+            for (a, bb, w) in raw {
+                let a = a % n;
+                let bb = bb % n;
+                if a != bb {
+                    b.add_edge(a, bb, w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn builder_weight_equals_graph_weight(g in arb_graph()) {
+        let from_edges: u64 = g.iter_edges().map(|(_, _, w)| w).sum();
+        prop_assert_eq!(from_edges, g.total_weight());
+        let by_degree: u64 = (0..g.node_count() as u32).map(|v| g.weighted_degree(v)).sum();
+        prop_assert_eq!(by_degree, 2 * g.total_weight());
+    }
+
+    #[test]
+    fn pruned_graph_has_no_light_edges(g in arb_graph(), t in 1u64..6000) {
+        let p = g.pruned(t);
+        prop_assert!(p.iter_edges().all(|(_, _, w)| w >= t));
+        prop_assert_eq!(p.node_count(), g.node_count());
+        // Pruning only removes: every surviving edge existed with equal weight.
+        for (a, b, w) in p.iter_edges() {
+            prop_assert_eq!(g.edge_weight(a, b), Some(w));
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_cover_of_cliques(g in arb_graph()) {
+        let sets = clique::greedy_clique_partition(&g);
+        let mut seen = vec![false; g.node_count()];
+        for set in &sets {
+            prop_assert!(g.is_clique(set), "{:?} not a clique", set);
+            for &v in set {
+                prop_assert!(!seen[v as usize], "node {} in two sets", v);
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some node uncovered");
+    }
+
+    #[test]
+    fn maximal_cliques_are_cliques_and_maximal(g in arb_graph()) {
+        let e = clique::maximal_cliques(&g, 10_000);
+        prop_assert!(!e.truncated);
+        for c in &e.cliques {
+            prop_assert!(g.is_clique(c));
+            for v in 0..g.node_count() as u32 {
+                if !c.contains(&v) {
+                    prop_assert!(!c.iter().all(|&m| g.has_edge(v, m)),
+                        "clique {:?} extendable by {}", c, v);
+                }
+            }
+        }
+        // Every node appears in at least one maximal clique.
+        let mut covered = vec![false; g.node_count()];
+        for c in &e.cliques {
+            for &v in c {
+                covered[v as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn coloring_covers_all_nodes_in_range(g in arb_graph(), k in 1usize..8) {
+        let c = coloring::color_graph(&g, k, &coloring::ColoringOptions::default());
+        prop_assert_eq!(c.assignment.len(), g.node_count());
+        prop_assert!(c.assignment.iter().all(|&col| (col as usize) < k));
+        let (mass, edges) = coloring::conflict_mass(&g, &c.assignment);
+        prop_assert_eq!(mass, c.conflict_mass);
+        prop_assert_eq!(edges, c.conflicting_edges);
+    }
+
+    #[test]
+    fn enough_colors_gives_proper_coloring(g in arb_graph()) {
+        // Max degree + 1 colors always suffice (greedy bound).
+        let max_deg = (0..g.node_count() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        let c = coloring::color_graph(&g, max_deg + 1, &coloring::ColoringOptions::default());
+        prop_assert!(c.is_proper());
+    }
+
+    #[test]
+    fn coloring_mass_never_exceeds_total_weight(g in arb_graph(), k in 1usize..8) {
+        let c = coloring::color_graph(&g, k, &coloring::ColoringOptions::default());
+        prop_assert!(c.conflict_mass <= g.total_weight());
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph()) {
+        let comps = components::connected_components(&g);
+        let groups = comps.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        // Edge endpoints share a component.
+        for (a, b, _) in g.iter_edges() {
+            prop_assert!(comps.connected(a, b));
+        }
+    }
+
+    #[test]
+    fn clique_members_share_a_component(g in arb_graph()) {
+        let comps = components::connected_components(&g);
+        for set in clique::greedy_clique_partition(&g) {
+            for w in set.windows(2) {
+                prop_assert!(comps.connected(w[0], w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! GAp: global history, per-address pattern tables.
+
+use crate::{BranchPredictor, HistoryRegister, PatternHistoryTable};
+use bwsa_trace::{BranchId, Direction, Pc};
+
+/// GAp (Yeh & Patt): one global history register, but each pc-hash bucket
+/// owns a private pattern table — the second level is immune to
+/// cross-branch interference while the first level stays global.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_predictor::{simulate, Gap};
+/// use bwsa_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("loops");
+/// for i in 0..4000u64 {
+///     b.record(0x100 + (i % 2) * 4, i % 6 < 4, i + 1);
+/// }
+/// let r = simulate(&mut Gap::new(8, 64), &b.finish());
+/// assert!(r.misprediction_rate() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gap {
+    history: HistoryRegister,
+    tables: Vec<PatternHistoryTable>,
+}
+
+impl Gap {
+    /// Creates a GAp with `history_bits` of global history and
+    /// `address_tables` per-address pattern tables (each
+    /// `2^history_bits` two-bit counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is outside `1..=16` or `address_tables`
+    /// is zero.
+    pub fn new(history_bits: u32, address_tables: usize) -> Self {
+        assert!(
+            (1..=16).contains(&history_bits),
+            "history bits {history_bits} outside 1..=16"
+        );
+        assert!(address_tables > 0, "need at least one address table");
+        let history = HistoryRegister::new(history_bits);
+        Gap {
+            tables: vec![PatternHistoryTable::new(history.pattern_count()); address_tables],
+            history,
+        }
+    }
+
+    fn table_index(&self, pc: Pc) -> usize {
+        (pc.word_index() % self.tables.len() as u64) as usize
+    }
+}
+
+impl BranchPredictor for Gap {
+    fn name(&self) -> String {
+        format!("GAp/{}x{}", self.history.width(), self.tables.len())
+    }
+
+    fn predict(&mut self, pc: Pc, _id: BranchId) -> Direction {
+        self.tables[self.table_index(pc)].predict(self.history.value())
+    }
+
+    fn update(&mut self, pc: Pc, _id: BranchId, outcome: Direction) {
+        let t = self.table_index(pc);
+        self.tables[t].update(self.history.value(), outcome);
+        self.history.push(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_address_tables_are_independent() {
+        let mut p = Gap::new(4, 4);
+        let a = Pc::new(0x100); // table 0 (word 0x40 % 4 = 0)
+        let b = Pc::new(0x104); // table 1
+                                // Same (zero) history, opposite outcomes: both learnable.
+        for _ in 0..4 {
+            // Reset history to 0 by pushing not-taken 4 times via branch b
+            // after each training round would complicate things; instead
+            // train alternately and just check the tables differ.
+            p.update(a, BranchId::new(0), Direction::Taken);
+        }
+        let t0 = p.tables[p.table_index(a)].clone();
+        let t1 = p.tables[p.table_index(b)].clone();
+        assert_ne!(t0, t1, "only a's table was trained");
+    }
+
+    #[test]
+    fn name_reports_geometry() {
+        assert_eq!(Gap::new(8, 16).name(), "GAp/8x16");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_tables_rejected() {
+        Gap::new(4, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! McFarling-style hybrid predictor with a chooser table.
+
+use crate::{BranchPredictor, SaturatingCounter};
+use bwsa_trace::{BranchId, Direction, Pc};
+
+/// A combining predictor: two components plus a pc-indexed chooser of
+/// two-bit counters that learns, per branch, which component to trust
+/// (McFarling 1993; the hybrid designs of Chang et al. build on this).
+///
+/// The chooser counter moves toward the component that was correct when
+/// the two disagree; both components always train.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_predictor::{simulate, Bimodal, Gshare, Hybrid};
+/// use bwsa_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("mix");
+/// for i in 0..4000u64 {
+///     // One strongly biased branch and one globally patterned branch.
+///     b.record(0x100, true, 2 * i + 1);
+///     b.record(0x200, i % 2 == 0, 2 * i + 2);
+/// }
+/// let trace = b.finish();
+/// let mut h = Hybrid::new(Gshare::new(10), Bimodal::new(1024), 1024);
+/// let r = simulate(&mut h, &trace);
+/// assert!(r.misprediction_rate() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid<A, B> {
+    first: A,
+    second: B,
+    chooser: Vec<SaturatingCounter>,
+}
+
+impl<A: BranchPredictor, B: BranchPredictor> Hybrid<A, B> {
+    /// Creates a hybrid of two components with a `chooser_size`-entry
+    /// chooser table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chooser_size` is zero.
+    pub fn new(first: A, second: B, chooser_size: usize) -> Self {
+        assert!(chooser_size > 0, "chooser size must be positive");
+        Hybrid {
+            first,
+            second,
+            chooser: vec![SaturatingCounter::two_bit(); chooser_size],
+        }
+    }
+
+    fn chooser_index(&self, pc: Pc) -> usize {
+        (pc.word_index() % self.chooser.len() as u64) as usize
+    }
+
+    /// Read access to the components (for inspection in experiments).
+    pub fn components(&self) -> (&A, &B) {
+        (&self.first, &self.second)
+    }
+}
+
+impl<A: BranchPredictor, B: BranchPredictor> BranchPredictor for Hybrid<A, B> {
+    fn name(&self) -> String {
+        format!("hybrid({}+{})", self.first.name(), self.second.name())
+    }
+
+    fn predict(&mut self, pc: Pc, id: BranchId) -> Direction {
+        let a = self.first.predict(pc, id);
+        let b = self.second.predict(pc, id);
+        // Chooser counter high half → trust the first component.
+        if self.chooser[self.chooser_index(pc)].predict().is_taken() {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction) {
+        let a = self.first.predict(pc, id);
+        let b = self.second.predict(pc, id);
+        if a != b {
+            // Move toward whichever component was right.
+            let idx = self.chooser_index(pc);
+            self.chooser[idx].update(Direction::from_taken(a == outcome));
+        }
+        self.first.update(pc, id, outcome);
+        self.second.update(pc, id, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, Bimodal, Gshare, StaticPredictor};
+    use bwsa_trace::TraceBuilder;
+
+    #[test]
+    fn chooser_prefers_the_better_component() {
+        // always-taken vs always-not-taken on an always-taken stream:
+        // the chooser must settle on the first component.
+        let mut h = Hybrid::new(
+            StaticPredictor::always_taken(),
+            StaticPredictor::always_not_taken(),
+            16,
+        );
+        let pc = Pc::new(0x40);
+        let id = BranchId::new(0);
+        for _ in 0..8 {
+            h.update(pc, id, Direction::Taken);
+        }
+        assert!(h.predict(pc, id).is_taken());
+    }
+
+    #[test]
+    fn hybrid_is_at_least_as_good_as_its_worse_component() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..3000u64 {
+            b.record(0x100 + (i % 4) * 4, i % 3 == 0, i + 1);
+        }
+        let trace = b.finish();
+        let hybrid = simulate(
+            &mut Hybrid::new(Gshare::new(10), Bimodal::new(256), 256),
+            &trace,
+        );
+        let gshare = simulate(&mut Gshare::new(10), &trace);
+        let bimodal = simulate(&mut Bimodal::new(256), &trace);
+        let worst = gshare
+            .misprediction_rate()
+            .max(bimodal.misprediction_rate());
+        assert!(hybrid.misprediction_rate() <= worst + 0.02);
+    }
+
+    #[test]
+    fn name_mentions_both_components() {
+        let h = Hybrid::new(Gshare::new(4), Bimodal::new(8), 8);
+        assert_eq!(h.name(), "hybrid(gshare/4+bimodal/8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chooser_rejected() {
+        Hybrid::new(Bimodal::new(2), Bimodal::new(2), 0);
+    }
+}

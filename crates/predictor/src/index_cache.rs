@@ -1,0 +1,257 @@
+//! A hardware index cache for branch allocation — the paper's footnote 1.
+//!
+//! Branch allocation assumes the fetch stage knows a branch's
+//! compiler-assigned BHT index. Without an ISA change the paper suggests
+//! "hardware support to cache the index values", warning that "the
+//! parameters of a cache of indices would have to be carefully managed to
+//! avoid the original problem of contention, only this time in the cache
+//! instead of the BHT."
+//!
+//! [`CachedIndexPag`] models exactly that: a direct-mapped, pc-tagged
+//! cache of allocated indices sits in front of a PAg. A hit uses the
+//! allocated entry; a miss falls back to conventional pc-modulo indexing
+//! for this prediction and installs the mapping (as decode would, once the
+//! instruction's annotation is seen). The `ablation_index_cache` binary
+//! sweeps the cache size to reproduce the footnote's warning.
+
+use crate::{AllocatedIndex, BranchHistoryTable, BranchPredictor, PatternHistoryTable};
+use bwsa_trace::{BranchId, Direction, Pc};
+
+/// A direct-mapped cache of `(pc tag → allocated BHT entry)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexCache {
+    slots: Vec<Option<(u64, u32)>>,
+    hits: u64,
+    lookups: u64,
+}
+
+impl IndexCache {
+    /// Creates a cache with `slots` direct-mapped entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "index cache needs at least one slot");
+        IndexCache {
+            slots: vec![None; slots],
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    fn slot_of(&self, pc: Pc) -> usize {
+        (pc.word_index() % self.slots.len() as u64) as usize
+    }
+
+    /// Looks up the cached index for `pc`, counting hit statistics.
+    pub fn lookup(&mut self, pc: Pc) -> Option<u32> {
+        self.lookups += 1;
+        let slot = self.slot_of(pc);
+        match self.slots[slot] {
+            Some((tag, entry)) if tag == pc.addr() => {
+                self.hits += 1;
+                Some(entry)
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs (or replaces) the mapping for `pc`.
+    pub fn install(&mut self, pc: Pc, entry: u32) {
+        let slot = self.slot_of(pc);
+        self.slots[slot] = Some((pc.addr(), entry));
+    }
+
+    /// Fraction of lookups that hit, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A PAg whose allocated BHT index arrives through an [`IndexCache`]
+/// instead of an augmented ISA.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_predictor::{simulate, AllocatedIndex, CachedIndexPag};
+/// use bwsa_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("t");
+/// for i in 0..1000u64 {
+///     b.record(0x400 + (i % 2) * 4, i % 3 == 0, i + 1);
+/// }
+/// let map = AllocatedIndex::new(8, vec![Some(0), Some(1)]).unwrap();
+/// let mut p = CachedIndexPag::new(map, 64, 8);
+/// let r = simulate(&mut p, &b.finish());
+/// assert!(r.total > 0);
+/// assert!(p.cache().hit_rate() > 0.9, "two hot branches fit any cache");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedIndexPag {
+    map: AllocatedIndex,
+    cache: IndexCache,
+    bht: BranchHistoryTable,
+    pht: PatternHistoryTable,
+}
+
+impl CachedIndexPag {
+    /// Creates the predictor: `map` is the compiler's allocation,
+    /// `cache_slots` the index-cache size, and `history_bits` the PAg
+    /// geometry (PHT = `2^history_bits` counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_slots` is zero or `history_bits` outside `1..=24`.
+    pub fn new(map: AllocatedIndex, cache_slots: usize, history_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&history_bits),
+            "history bits {history_bits} outside 1..=24"
+        );
+        let bht = BranchHistoryTable::new(map.table_size(), history_bits);
+        let pht = PatternHistoryTable::new(1 << history_bits);
+        CachedIndexPag {
+            map,
+            cache: IndexCache::new(cache_slots),
+            bht,
+            pht,
+        }
+    }
+
+    /// The paper-geometry variant: 12 history bits, 4096-entry PHT.
+    pub fn paper(map: AllocatedIndex, cache_slots: usize) -> Self {
+        CachedIndexPag::new(map, cache_slots, 12)
+    }
+
+    /// The index cache (for hit-rate inspection).
+    pub fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// The effective BHT entry for this dynamic instance: the cached
+    /// allocated index on a hit, pc-modulo fallback on a miss.
+    fn entry(&mut self, pc: Pc) -> usize {
+        match self.cache.lookup(pc) {
+            Some(e) => e as usize,
+            None => pc.table_index(self.map.table_size()),
+        }
+    }
+}
+
+impl BranchPredictor for CachedIndexPag {
+    fn name(&self) -> String {
+        format!(
+            "PAg[alloc/{}+icache/{}]h{}",
+            self.map.table_size(),
+            self.cache.slots.len(),
+            self.bht.width()
+        )
+    }
+
+    fn predict(&mut self, pc: Pc, _id: BranchId) -> Direction {
+        // Peek without perturbing hit statistics: prediction and update
+        // see the same cache state because update runs immediately after.
+        let slot = self.cache.slot_of(pc);
+        let entry = match self.cache.slots[slot] {
+            Some((tag, e)) if tag == pc.addr() => e as usize,
+            _ => pc.table_index(self.map.table_size()),
+        };
+        self.pht.predict(self.bht.history(entry))
+    }
+
+    fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction) {
+        let entry = self.entry(pc);
+        let history = self.bht.history(entry);
+        self.pht.update(history, outcome);
+        self.bht.record(entry, outcome);
+        // Decode has now seen the annotation: install the true index.
+        if let Some(e) = self.map.entry(id) {
+            self.cache.install(pc, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, BhtIndexer, Pag};
+    use bwsa_trace::TraceBuilder;
+
+    fn two_branch_trace(n: u64) -> bwsa_trace::Trace {
+        let mut b = TraceBuilder::new("t");
+        let mut lcg: u64 = 99;
+        for i in 0..n {
+            if i % 2 == 0 {
+                b.record(0x100, (i / 2) % 4 != 3, i + 1);
+            } else {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b.record(0x104, (lcg >> 33) & 1 == 1, i + 1);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn big_cache_matches_pure_allocated_pag_after_warmup() {
+        let trace = two_branch_trace(6000);
+        let map = AllocatedIndex::new(4, vec![Some(0), Some(1)]).unwrap();
+        let mut cached = CachedIndexPag::new(map.clone(), 1024, 6);
+        let cached_result = simulate(&mut cached, &trace);
+        let mut pure = Pag::new(BhtIndexer::Allocated(map), 6);
+        let pure_result = simulate(&mut pure, &trace);
+        // First encounters miss the cache; everything after matches.
+        assert!(
+            cached_result.mispredictions <= pure_result.mispredictions + 2,
+            "cached {} vs pure {}",
+            cached_result.mispredictions,
+            pure_result.mispredictions
+        );
+        assert!(cached.cache().hit_rate() > 0.999);
+    }
+
+    #[test]
+    fn one_slot_cache_thrashes_on_conflicting_pcs() {
+        // Two pcs that alias in a 1-slot cache: every lookup misses.
+        let trace = two_branch_trace(2000);
+        let map = AllocatedIndex::new(4, vec![Some(0), Some(1)]).unwrap();
+        let mut p = CachedIndexPag::new(map, 1, 6);
+        let _ = simulate(&mut p, &trace);
+        assert!(
+            p.cache().hit_rate() < 0.01,
+            "hit rate {} should collapse",
+            p.cache().hit_rate()
+        );
+    }
+
+    #[test]
+    fn cache_misses_fall_back_to_pc_indexing() {
+        // No assignments at all: behaves exactly like conventional PAg.
+        let trace = two_branch_trace(4000);
+        let map = AllocatedIndex::new(8, vec![None, None]).unwrap();
+        let mut cached = CachedIndexPag::new(map, 64, 6);
+        let cached_result = simulate(&mut cached, &trace);
+        let conventional = simulate(&mut Pag::new(BhtIndexer::pc_modulo(8), 6), &trace);
+        assert_eq!(cached_result.mispredictions, conventional.mispredictions);
+        assert_eq!(cached.cache().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn name_reports_geometry() {
+        let map = AllocatedIndex::new(128, vec![]).unwrap();
+        assert_eq!(
+            CachedIndexPag::paper(map, 256).name(),
+            "PAg[alloc/128+icache/256]h12"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_cache_rejected() {
+        IndexCache::new(0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The predictor interface shared by every scheme.
+
+use bwsa_trace::{BranchId, Direction, Pc};
+
+/// A dynamic branch predictor driven by a branch trace.
+///
+/// The simulator calls [`BranchPredictor::predict`] before each dynamic
+/// branch and [`BranchPredictor::update`] with the resolved outcome
+/// afterwards. The dense `id` is the trace's interned static-branch
+/// identity; hardware-realistic schemes ignore it and hash `pc`, while the
+/// interference-free and allocation-indexed schemes use it the way the
+/// paper's augmented ISA would carry an index with the instruction.
+///
+/// The trait is object-safe: experiment harnesses hold
+/// `Vec<Box<dyn BranchPredictor>>`.
+pub trait BranchPredictor {
+    /// A short, human-readable configuration label (e.g. `"PAg/1024"`).
+    fn name(&self) -> String;
+
+    /// Predicts the direction of the upcoming dynamic branch.
+    fn predict(&mut self, pc: Pc, id: BranchId) -> Direction;
+
+    /// Trains the predictor with the resolved outcome.
+    fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction);
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn predict(&mut self, pc: Pc, id: BranchId) -> Direction {
+        (**self).predict(pc, id)
+    }
+
+    fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction) {
+        (**self).update(pc, id, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticPredictor;
+
+    #[test]
+    fn boxed_predictors_delegate() {
+        let mut boxed: Box<dyn BranchPredictor> = Box::new(StaticPredictor::always_taken());
+        assert_eq!(boxed.name(), "static/always-taken");
+        let d = boxed.predict(Pc::new(0), BranchId::new(0));
+        assert!(d.is_taken());
+        boxed.update(Pc::new(0), BranchId::new(0), Direction::NotTaken);
+    }
+}

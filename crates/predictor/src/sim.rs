@@ -1,0 +1,278 @@
+//! Trace-driven simulation of predictors — the `sim-bpred` loop.
+
+use crate::BranchPredictor;
+use bwsa_trace::{BranchId, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate result of simulating one predictor over one trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Predictor label.
+    pub predictor: String,
+    /// Trace label.
+    pub trace: String,
+    /// Dynamic branches simulated.
+    pub total: u64,
+    /// Mispredicted dynamic branches.
+    pub mispredictions: u64,
+}
+
+impl SimResult {
+    /// Fraction of dynamic branches mispredicted, in `[0, 1]`.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction predicted correctly, in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        1.0 - self.misprediction_rate()
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {}/{} mispredicted ({:.2}%)",
+            self.predictor,
+            self.trace,
+            self.mispredictions,
+            self.total,
+            100.0 * self.misprediction_rate()
+        )
+    }
+}
+
+/// [`SimResult`] plus per-static-branch misprediction counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetailedSimResult {
+    /// The aggregate result.
+    pub summary: SimResult,
+    /// `misses[id]` / `executions[id]` per static branch.
+    pub misses: Vec<u64>,
+    /// Dynamic executions per static branch.
+    pub executions: Vec<u64>,
+}
+
+impl DetailedSimResult {
+    /// Per-branch misprediction rate, or `None` if the branch never ran.
+    pub fn branch_rate(&self, id: BranchId) -> Option<f64> {
+        let e = *self.executions.get(id.index())?;
+        if e == 0 {
+            None
+        } else {
+            Some(self.misses[id.index()] as f64 / e as f64)
+        }
+    }
+}
+
+/// A simple pipeline cost model translating misprediction counts into
+/// cycles — the paper's motivation ("a wide issue and deeply pipelined
+/// processor demands a highly accurate branch prediction mechanism")
+/// made quantitative.
+///
+/// The model charges one cycle per `issue_width` instructions plus a
+/// fixed `mispredict_penalty` flush per mispredicted branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineModel {
+    /// Instructions issued per cycle when not stalled.
+    pub issue_width: u32,
+    /// Flush penalty in cycles per misprediction.
+    pub mispredict_penalty: u32,
+}
+
+impl Default for PipelineModel {
+    /// A late-90s wide core: 4-wide issue, 7-cycle flush.
+    fn default() -> Self {
+        PipelineModel {
+            issue_width: 4,
+            mispredict_penalty: 7,
+        }
+    }
+}
+
+impl PipelineModel {
+    /// Estimated cycles to run `instructions` with `mispredictions`
+    /// branch flushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` is zero.
+    pub fn cycles(&self, instructions: u64, mispredictions: u64) -> u64 {
+        assert!(self.issue_width > 0, "issue width must be positive");
+        instructions.div_ceil(u64::from(self.issue_width))
+            + mispredictions * u64::from(self.mispredict_penalty)
+    }
+
+    /// Speedup of predictor `better` over `worse` on the same run
+    /// (`> 1.0` means `better` is faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results cover different instruction streams
+    /// (different trace names or totals).
+    pub fn speedup(&self, instructions: u64, better: &SimResult, worse: &SimResult) -> f64 {
+        assert_eq!(
+            better.trace, worse.trace,
+            "results must come from the same trace"
+        );
+        assert_eq!(
+            better.total, worse.total,
+            "results must cover the same branches"
+        );
+        self.cycles(instructions, worse.mispredictions) as f64
+            / self.cycles(instructions, better.mispredictions) as f64
+    }
+}
+
+/// Runs a predictor over a trace: predict, compare, train — once per
+/// dynamic branch, in order.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_predictor::{simulate, StaticPredictor};
+/// use bwsa_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("t");
+/// b.record(0x40, true, 1).record(0x40, false, 2);
+/// let r = simulate(&mut StaticPredictor::always_taken(), &b.finish());
+/// assert_eq!(r.total, 2);
+/// assert_eq!(r.mispredictions, 1);
+/// ```
+pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    let mut mispredictions = 0u64;
+    for (id, rec) in trace.indexed_records() {
+        let predicted = predictor.predict(rec.pc, id);
+        if predicted != rec.direction {
+            mispredictions += 1;
+        }
+        predictor.update(rec.pc, id, rec.direction);
+    }
+    SimResult {
+        predictor: predictor.name(),
+        trace: trace.meta().name.clone(),
+        total: trace.len() as u64,
+        mispredictions,
+    }
+}
+
+/// Like [`simulate`] but also accumulates per-static-branch counts.
+pub fn simulate_detailed<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> DetailedSimResult {
+    let n = trace.static_branch_count();
+    let mut misses = vec![0u64; n];
+    let mut executions = vec![0u64; n];
+    let mut mispredictions = 0u64;
+    for (id, rec) in trace.indexed_records() {
+        let predicted = predictor.predict(rec.pc, id);
+        executions[id.index()] += 1;
+        if predicted != rec.direction {
+            mispredictions += 1;
+            misses[id.index()] += 1;
+        }
+        predictor.update(rec.pc, id, rec.direction);
+    }
+    DetailedSimResult {
+        summary: SimResult {
+            predictor: predictor.name(),
+            trace: trace.meta().name.clone(),
+            total: trace.len() as u64,
+            mispredictions,
+        },
+        misses,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticPredictor;
+    use bwsa_trace::TraceBuilder;
+
+    fn half_taken_trace() -> Trace {
+        let mut b = TraceBuilder::new("half");
+        for i in 0..10u64 {
+            b.record(0x100 + (i % 2) * 4, i % 2 == 0, i + 1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let trace = half_taken_trace();
+        let r = simulate(&mut StaticPredictor::always_taken(), &trace);
+        assert_eq!(r.total, 10);
+        assert_eq!(r.mispredictions, 5);
+        assert_eq!(r.misprediction_rate(), 0.5);
+        assert_eq!(r.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn detailed_splits_by_branch() {
+        let trace = half_taken_trace();
+        let d = simulate_detailed(&mut StaticPredictor::always_taken(), &trace);
+        assert_eq!(d.summary.mispredictions, 5);
+        assert_eq!(d.executions, vec![5, 5]);
+        assert_eq!(d.misses, vec![0, 5]);
+        assert_eq!(d.branch_rate(BranchId::new(0)), Some(0.0));
+        assert_eq!(d.branch_rate(BranchId::new(1)), Some(1.0));
+        assert_eq!(d.branch_rate(BranchId::new(9)), None);
+    }
+
+    #[test]
+    fn empty_trace_is_zero_rate() {
+        let trace = Trace::new("empty");
+        let r = simulate(&mut StaticPredictor::always_taken(), &trace);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_model_charges_issue_and_flushes() {
+        let m = PipelineModel {
+            issue_width: 4,
+            mispredict_penalty: 10,
+        };
+        assert_eq!(m.cycles(100, 0), 25);
+        assert_eq!(m.cycles(100, 3), 55);
+        assert_eq!(m.cycles(101, 0), 26, "partial issue group rounds up");
+    }
+
+    #[test]
+    fn speedup_compares_same_run() {
+        let trace = half_taken_trace();
+        let better = simulate(&mut crate::Bimodal::new(16), &trace);
+        let worse = simulate(&mut StaticPredictor::always_not_taken(), &trace);
+        let m = PipelineModel::default();
+        let s = m.speedup(1000, &better, &worse);
+        assert!(s >= 1.0, "fewer mispredictions must not slow down: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same trace")]
+    fn speedup_rejects_mismatched_traces() {
+        let a = simulate(&mut StaticPredictor::always_taken(), &half_taken_trace());
+        let mut other = Trace::new("different");
+        other
+            .push(bwsa_trace::BranchRecord::from_raw(0x4, true, 1))
+            .unwrap();
+        let b = simulate(&mut StaticPredictor::always_taken(), &other);
+        PipelineModel::default().speedup(10, &a, &b);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let trace = half_taken_trace();
+        let r = simulate(&mut StaticPredictor::always_taken(), &trace);
+        assert!(r.to_string().contains("50.00%"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Static (non-adaptive) predictors: the floor baselines.
+
+use crate::BranchPredictor;
+use bwsa_trace::{profile::BranchProfile, BranchId, Direction, Pc, Trace};
+
+/// A static predictor: its predictions never change with execution.
+///
+/// * [`StaticPredictor::always_taken`] / [`StaticPredictor::always_not_taken`]
+///   — the classic single-direction heuristics.
+/// * [`StaticPredictor::from_profile`] — profile-guided static prediction:
+///   each branch predicts its majority direction from a profiling run
+///   (the compiler-support baseline of the paper's related work, e.g.
+///   Ball & Larus style "branch prediction for free" upper bound).
+///
+/// # Example
+///
+/// ```
+/// use bwsa_predictor::{simulate, StaticPredictor};
+/// use bwsa_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("biased");
+/// for i in 0..100u64 {
+///     b.record(0x400, i % 10 != 0, i + 1); // 90% taken
+/// }
+/// let trace = b.finish();
+///
+/// let mut profiled = StaticPredictor::from_profile(&trace);
+/// let r = simulate(&mut profiled, &trace);
+/// assert!((r.misprediction_rate() - 0.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPredictor {
+    label: &'static str,
+    default: Direction,
+    per_branch: Vec<Direction>,
+}
+
+impl StaticPredictor {
+    /// Predicts taken for every branch.
+    pub fn always_taken() -> Self {
+        StaticPredictor {
+            label: "static/always-taken",
+            default: Direction::Taken,
+            per_branch: Vec::new(),
+        }
+    }
+
+    /// Predicts not-taken for every branch.
+    pub fn always_not_taken() -> Self {
+        StaticPredictor {
+            label: "static/always-not-taken",
+            default: Direction::NotTaken,
+            per_branch: Vec::new(),
+        }
+    }
+
+    /// Profile-guided: each branch predicts its majority direction in the
+    /// profiling trace; unseen branches predict taken.
+    pub fn from_profile(profile_trace: &Trace) -> Self {
+        let profile = BranchProfile::from_trace(profile_trace);
+        let per_branch = profile
+            .iter()
+            .map(|(_, s)| Direction::from_taken(s.taken_rate() >= 0.5))
+            .collect();
+        StaticPredictor {
+            label: "static/profile",
+            default: Direction::Taken,
+            per_branch,
+        }
+    }
+}
+
+impl BranchPredictor for StaticPredictor {
+    fn name(&self) -> String {
+        self.label.to_owned()
+    }
+
+    fn predict(&mut self, _pc: Pc, id: BranchId) -> Direction {
+        self.per_branch
+            .get(id.index())
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    fn update(&mut self, _pc: Pc, _id: BranchId, _outcome: Direction) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwsa_trace::TraceBuilder;
+
+    #[test]
+    fn fixed_direction_predictors() {
+        let mut t = StaticPredictor::always_taken();
+        let mut n = StaticPredictor::always_not_taken();
+        for i in 0..4 {
+            assert!(t
+                .predict(Pc::new(i * 4), BranchId::new(i as u32))
+                .is_taken());
+            assert!(!n
+                .predict(Pc::new(i * 4), BranchId::new(i as u32))
+                .is_taken());
+        }
+    }
+
+    #[test]
+    fn profile_predictor_learns_majority() {
+        let mut b = TraceBuilder::new("p");
+        // Branch 0: mostly taken; branch 1: mostly not taken.
+        let mut time = 0;
+        for i in 0..10u64 {
+            time += 1;
+            b.record(0x100, i != 0, time);
+            time += 1;
+            b.record(0x104, i == 0, time);
+        }
+        let trace = b.finish();
+        let mut p = StaticPredictor::from_profile(&trace);
+        assert!(p.predict(Pc::new(0x100), BranchId::new(0)).is_taken());
+        assert!(!p.predict(Pc::new(0x104), BranchId::new(1)).is_taken());
+        // Unseen branch defaults to taken.
+        assert!(p.predict(Pc::new(0x200), BranchId::new(99)).is_taken());
+    }
+
+    #[test]
+    fn update_is_a_no_op() {
+        let mut p = StaticPredictor::always_taken();
+        p.update(Pc::new(0), BranchId::new(0), Direction::NotTaken);
+        assert!(p.predict(Pc::new(0), BranchId::new(0)).is_taken());
+    }
+}

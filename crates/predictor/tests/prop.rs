@@ -1,0 +1,129 @@
+//! Property-based tests for the predictor crate.
+
+use bwsa_predictor::{
+    simulate, simulate_detailed, Agree, AllocatedIndex, BhtIndexer, BiMode, Bimodal,
+    BranchPredictor, CachedIndexPag, Gag, Gap, Gselect, Gshare, HistoryRegister, Hybrid, Pag, Pap,
+    SaturatingCounter, StaticPredictor,
+};
+use bwsa_trace::{Direction, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u8..16, any::<bool>()), 1..400).prop_map(|steps| {
+        let mut b = TraceBuilder::new("prop");
+        for (i, (slot, taken)) in steps.into_iter().enumerate() {
+            b.record(0x1000 + u64::from(slot) * 4, taken, (i as u64 + 1) * 3);
+        }
+        b.finish()
+    })
+}
+
+fn all_predictors() -> Vec<Box<dyn BranchPredictor>> {
+    vec![
+        Box::new(StaticPredictor::always_taken()),
+        Box::new(StaticPredictor::always_not_taken()),
+        Box::new(Bimodal::new(16)),
+        Box::new(Gag::new(6)),
+        Box::new(Gshare::new(6)),
+        Box::new(Pag::new(BhtIndexer::pc_modulo(8), 6)),
+        Box::new(Pag::new(BhtIndexer::PerBranch, 6)),
+        Box::new(Pap::new(BhtIndexer::pc_modulo(8), 4)),
+        Box::new(Hybrid::new(Gshare::new(6), Bimodal::new(16), 16)),
+        Box::new(Agree::new(6, 16)),
+        Box::new(Gap::new(5, 8)),
+        Box::new(Gselect::new(3, 3)),
+        Box::new(BiMode::new(6, 16)),
+        Box::new(CachedIndexPag::new(
+            AllocatedIndex::new(8, (0..16).map(|i| Some(i % 8)).collect()).unwrap(),
+            16,
+            6,
+        )),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mispredictions_never_exceed_total(trace in arb_trace()) {
+        for mut p in all_predictors() {
+            let r = simulate(&mut *p, &trace);
+            prop_assert!(r.mispredictions <= r.total);
+            prop_assert_eq!(r.total, trace.len() as u64);
+            let rate = r.misprediction_rate();
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn complementary_statics_sum_to_total(trace in arb_trace()) {
+        let t = simulate(&mut StaticPredictor::always_taken(), &trace);
+        let n = simulate(&mut StaticPredictor::always_not_taken(), &trace);
+        prop_assert_eq!(t.mispredictions + n.mispredictions, trace.len() as u64);
+    }
+
+    #[test]
+    fn detailed_counts_sum_to_summary(trace in arb_trace()) {
+        for mut p in all_predictors() {
+            let d = simulate_detailed(&mut *p, &trace);
+            let total_misses: u64 = d.misses.iter().sum();
+            let total_execs: u64 = d.executions.iter().sum();
+            prop_assert_eq!(total_misses, d.summary.mispredictions);
+            prop_assert_eq!(total_execs, d.summary.total);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(trace in arb_trace()) {
+        let a = simulate(&mut Pag::new(BhtIndexer::pc_modulo(8), 6), &trace);
+        let b = simulate(&mut Pag::new(BhtIndexer::pc_modulo(8), 6), &trace);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_static_is_optimal_among_statics(trace in arb_trace()) {
+        // The profile-trained static predictor cannot lose to either
+        // fixed-direction static predictor on its own training trace.
+        let p = simulate(&mut StaticPredictor::from_profile(&trace), &trace);
+        let t = simulate(&mut StaticPredictor::always_taken(), &trace);
+        let n = simulate(&mut StaticPredictor::always_not_taken(), &trace);
+        prop_assert!(p.mispredictions <= t.mispredictions.min(n.mispredictions));
+    }
+
+    #[test]
+    fn counter_stays_in_range(bits in 1u32..=8, flips in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits);
+        for f in flips {
+            c.update(Direction::from_taken(f));
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    #[test]
+    fn counter_converges_after_max_plus_one_same_updates(bits in 1u32..=8) {
+        let mut c = SaturatingCounter::new(bits);
+        for _ in 0..=c.max() {
+            c.update(Direction::Taken);
+        }
+        prop_assert!(c.predict().is_taken());
+        prop_assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn history_value_bounded_by_width(width in 1u32..=63, pushes in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut h = HistoryRegister::new(width);
+        for p in pushes {
+            h.push(Direction::from_taken(p));
+            if width < 63 {
+                prop_assert!(h.value() < (1u64 << width));
+            }
+        }
+    }
+
+    #[test]
+    fn per_branch_pag_matches_pc_modulo_when_no_aliasing(trace in arb_trace()) {
+        // With a BHT big enough that the 16 possible pcs never collide,
+        // pc-modulo indexing equals per-branch indexing behaviourally.
+        let a = simulate(&mut Pag::new(BhtIndexer::pc_modulo(1 << 12), 6), &trace);
+        let b = simulate(&mut Pag::new(BhtIndexer::PerBranch, 6), &trace);
+        prop_assert_eq!(a.mispredictions, b.mispredictions);
+    }
+}

@@ -1,0 +1,54 @@
+//! Dynamic conditional-branch traces: the data substrate of branch working
+//! set analysis.
+//!
+//! The paper's entire pipeline (Kim & Tyson, *Analyzing the Working Set
+//! Characteristics of Branch Execution*, MICRO 1998) consumes one artifact:
+//! a **dynamic conditional-branch trace** — the time-ordered sequence of
+//! `(pc, direction, instruction-count timestamp)` tuples produced by
+//! executing a program. In the paper that trace came from SimpleScalar
+//! running SPECint95; here it comes from the [`bwsa-workload`] interpreter,
+//! but nothing in this crate cares about the producer.
+//!
+//! # Contents
+//!
+//! * [`BranchRecord`] — a single dynamic branch instance.
+//! * [`Trace`] — an in-memory trace with interned static-branch identities
+//!   ([`BranchId`]) and summary metadata.
+//! * [`profile::BranchProfile`] — per-static-branch execution statistics
+//!   (execution counts, taken rates) and the frequency filter used to
+//!   reproduce Table 1's "percentage of dynamic branches analyzed".
+//! * [`io`] — compact binary and line-oriented text serialisation.
+//!
+//! # Example
+//!
+//! ```
+//! use bwsa_trace::{Trace, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("tiny");
+//! b.record(0x400, true, 5);
+//! b.record(0x440, false, 10);
+//! b.record(0x400, true, 15);
+//! let trace: Trace = b.finish();
+//!
+//! assert_eq!(trace.len(), 3);
+//! assert_eq!(trace.static_branch_count(), 2);
+//! ```
+//!
+//! [`bwsa-workload`]: https://docs.rs/bwsa-workload
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod id;
+pub mod io;
+pub mod profile;
+mod record;
+pub mod stats;
+pub mod stream;
+mod trace;
+
+pub use error::TraceError;
+pub use id::{BranchId, InstrCount, Pc};
+pub use record::{BranchRecord, Direction};
+pub use trace::{BranchTable, Trace, TraceBuilder, TraceMeta};

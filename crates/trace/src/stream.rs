@@ -1,0 +1,450 @@
+//! Streaming trace IO: write and read traces of unbounded length with
+//! bounded memory.
+//!
+//! The whole-buffer format in [`crate::io`] needs the record count up
+//! front. The streaming format (`BWSS1`) instead frames delta-encoded
+//! records into length-prefixed chunks and ends with a zero-length chunk
+//! plus a trailer, so a producer can emit records as they happen (e.g.
+//! an interpreter profiling a long run) and a consumer can iterate
+//! without materialising the trace.
+//!
+//! ```text
+//! magic "BWSS", version u16 LE, name (u32 LE len + UTF-8)
+//! repeat: chunk = u32 LE record_count (>0), records (varint deltas as BWST1)
+//! end:    u32 LE 0, u64 LE total_instructions
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use bwsa_trace::stream::{StreamReader, StreamWriter};
+//! use bwsa_trace::BranchRecord;
+//!
+//! # fn main() -> Result<(), bwsa_trace::TraceError> {
+//! let mut buf = Vec::new();
+//! let mut w = StreamWriter::new(&mut buf, "live")?;
+//! for i in 0..10_000u64 {
+//!     w.push(BranchRecord::from_raw(0x400 + (i % 7) * 4, i % 3 == 0, i + 1))?;
+//! }
+//! w.finish(123_456)?;
+//!
+//! let mut r = StreamReader::new(&buf[..])?;
+//! assert_eq!(r.name(), "live");
+//! let n = r.by_ref().count();
+//! assert_eq!(n, 10_000);
+//! assert_eq!(r.total_instructions(), Some(123_456));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{BranchRecord, TraceError};
+use bytes::{BufMut, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"BWSS";
+const VERSION: u16 = 1;
+const CHUNK_RECORDS: usize = 4096;
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Incremental writer of the `BWSS1` streaming format.
+///
+/// Call [`StreamWriter::finish`] to emit the end marker and trailer;
+/// dropping the writer without finishing produces a truncated stream the
+/// reader will reject.
+#[derive(Debug)]
+pub struct StreamWriter<W: Write> {
+    sink: W,
+    buf: BytesMut,
+    pending: usize,
+    prev_pc: i64,
+    prev_time: u64,
+    last_time: u64,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Writes the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn new(mut sink: W, name: &str) -> Result<Self, TraceError> {
+        let mut header = BytesMut::with_capacity(16 + name.len());
+        header.put_slice(MAGIC);
+        header.put_u16_le(VERSION);
+        header.put_u32_le(name.len() as u32);
+        header.put_slice(name.as_bytes());
+        sink.write_all(&header)?;
+        Ok(StreamWriter {
+            sink,
+            buf: BytesMut::with_capacity(CHUNK_RECORDS * 4),
+            pending: 0,
+            prev_pc: 0,
+            prev_time: 0,
+            last_time: 0,
+        })
+    }
+
+    /// Appends a record, flushing a chunk when the internal buffer fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfOrder`] if the record's timestamp
+    /// precedes the previous one's, or [`TraceError::Io`] on write
+    /// failure.
+    pub fn push(&mut self, record: BranchRecord) -> Result<(), TraceError> {
+        let time = record.time.get();
+        if time < self.last_time {
+            return Err(TraceError::OutOfOrder {
+                previous: self.last_time,
+                found: time,
+            });
+        }
+        let pc = record.pc.addr() as i64;
+        let delta = zigzag_encode(pc - self.prev_pc);
+        put_varint(&mut self.buf, (delta << 1) | record.direction.as_bit());
+        put_varint(&mut self.buf, time - self.prev_time);
+        self.prev_pc = pc;
+        self.prev_time = time;
+        self.last_time = time;
+        self.pending += 1;
+        if self.pending >= CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        let mut frame = [0u8; 4];
+        frame.copy_from_slice(&(self.pending as u32).to_le_bytes());
+        self.sink.write_all(&frame)?;
+        self.sink.write_all(&self.buf)?;
+        self.buf.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Flushes the final chunk and writes the end marker and trailer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn finish(mut self, total_instructions: u64) -> Result<(), TraceError> {
+        self.flush_chunk()?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.write_all(&total_instructions.to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(())
+    }
+}
+
+/// Iterating reader of the `BWSS1` streaming format.
+///
+/// Yields `Result<BranchRecord, TraceError>`; after the iterator returns
+/// `None`, [`StreamReader::total_instructions`] reports the trailer if
+/// the stream ended cleanly.
+#[derive(Debug)]
+pub struct StreamReader<R: Read> {
+    source: R,
+    name: String,
+    chunk: Vec<u8>,
+    offset: usize,
+    remaining_in_chunk: u32,
+    prev_pc: i64,
+    prev_time: u64,
+    total_instructions: Option<u64>,
+    failed: bool,
+}
+
+impl<R: Read> StreamReader<R> {
+    /// Reads and validates the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] when the header is malformed.
+    pub fn new(mut source: R) -> Result<Self, TraceError> {
+        let mut header = [0u8; 6];
+        source.read_exact(&mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(TraceError::format_at("bad magic (expected \"BWSS\")", 0));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(TraceError::format(format!(
+                "unsupported stream version {version} (expected {VERSION})"
+            )));
+        }
+        let mut len = [0u8; 4];
+        source.read_exact(&mut len)?;
+        let name_len = u32::from_le_bytes(len) as usize;
+        let mut name = vec![0u8; name_len];
+        source.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| TraceError::format(format!("name is not utf-8: {e}")))?;
+        Ok(StreamReader {
+            source,
+            name,
+            chunk: Vec::new(),
+            offset: 0,
+            remaining_in_chunk: 0,
+            prev_pc: 0,
+            prev_time: 0,
+            total_instructions: None,
+            failed: false,
+        })
+    }
+
+    /// The stream's trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trailer value, available once the stream has been fully
+    /// iterated and ended cleanly.
+    pub fn total_instructions(&self) -> Option<u64> {
+        self.total_instructions
+    }
+
+    fn get_varint(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if self.offset >= self.chunk.len() {
+                return Err(TraceError::format("varint crosses chunk boundary"));
+            }
+            let byte = self.chunk[self.offset];
+            self.offset += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(TraceError::format("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn load_chunk(&mut self) -> Result<bool, TraceError> {
+        let mut frame = [0u8; 4];
+        self.source.read_exact(&mut frame)?;
+        let count = u32::from_le_bytes(frame);
+        if count == 0 {
+            let mut trailer = [0u8; 8];
+            self.source.read_exact(&mut trailer)?;
+            self.total_instructions = Some(u64::from_le_bytes(trailer));
+            return Ok(false);
+        }
+        // A chunk's byte length is not framed; read records lazily by
+        // buffering generously: read up to count * 20 bytes (max record
+        // size) into memory is wasteful, so instead read byte-by-byte via
+        // a BufReader-style approach. Simpler: chunks are written
+        // contiguously, so pull bytes on demand into `chunk`.
+        // We read exactly the bytes the varints consume: to do that
+        // without lookahead, read one byte at a time from the source into
+        // the chunk buffer. To keep syscalls sane the caller should hand
+        // us a BufReader.
+        self.remaining_in_chunk = count;
+        self.chunk.clear();
+        self.offset = 0;
+        Ok(true)
+    }
+
+    fn read_byte_into_chunk(&mut self) -> Result<(), TraceError> {
+        let mut b = [0u8; 1];
+        self.source.read_exact(&mut b)?;
+        self.chunk.push(b[0]);
+        Ok(())
+    }
+
+    fn get_varint_streaming(&mut self) -> Result<u64, TraceError> {
+        // Ensure the chunk buffer holds a complete varint starting at
+        // `offset`, pulling bytes from the source as needed.
+        let start = self.offset;
+        loop {
+            if self.offset >= self.chunk.len() {
+                self.read_byte_into_chunk()?;
+            }
+            let byte = self.chunk[self.offset];
+            self.offset += 1;
+            if byte & 0x80 == 0 {
+                break;
+            }
+        }
+        self.offset = start;
+        self.get_varint()
+    }
+
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        if self.remaining_in_chunk == 0
+            && (self.total_instructions.is_some() || !self.load_chunk()?)
+        {
+            return Ok(None);
+        }
+        let tagged = self.get_varint_streaming()?;
+        let taken = tagged & 1 == 1;
+        let pc = self
+            .prev_pc
+            .checked_add(zigzag_decode(tagged >> 1))
+            .ok_or_else(|| TraceError::format("pc delta overflow"))?;
+        if pc < 0 {
+            return Err(TraceError::format("negative pc"));
+        }
+        let dt = self.get_varint_streaming()?;
+        let time = self
+            .prev_time
+            .checked_add(dt)
+            .ok_or_else(|| TraceError::format("time overflow"))?;
+        self.prev_pc = pc;
+        self.prev_time = time;
+        self.remaining_in_chunk -= 1;
+        Ok(Some(BranchRecord::from_raw(pc as u64, taken, time)))
+    }
+}
+
+impl<R: Read> Iterator for StreamReader<R> {
+    type Item = Result<BranchRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: u64) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| BranchRecord::from_raw(0x1000 + (i % 11) * 4, i % 3 == 0, (i + 1) * 2))
+            .collect()
+    }
+
+    fn roundtrip(recs: &[BranchRecord]) -> (Vec<BranchRecord>, Option<u64>, String) {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, "stream-test").unwrap();
+        for r in recs {
+            w.push(*r).unwrap();
+        }
+        w.finish(999).unwrap();
+        let mut reader = StreamReader::new(&buf[..]).unwrap();
+        let out: Vec<BranchRecord> = reader.by_ref().map(|r| r.unwrap()).collect();
+        let total = reader.total_instructions();
+        let name = reader.name().to_owned();
+        (out, total, name)
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let (out, total, name) = roundtrip(&[]);
+        assert!(out.is_empty());
+        assert_eq!(total, Some(999));
+        assert_eq!(name, "stream-test");
+    }
+
+    #[test]
+    fn small_stream_roundtrips() {
+        let recs = records(100);
+        let (out, total, _) = roundtrip(&recs);
+        assert_eq!(out, recs);
+        assert_eq!(total, Some(999));
+    }
+
+    #[test]
+    fn multi_chunk_stream_roundtrips() {
+        let recs = records(3 * CHUNK_RECORDS as u64 + 17);
+        let (out, total, _) = roundtrip(&recs);
+        assert_eq!(out.len(), recs.len());
+        assert_eq!(out, recs);
+        assert_eq!(total, Some(999));
+    }
+
+    #[test]
+    fn writer_rejects_time_travel() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, "t").unwrap();
+        w.push(BranchRecord::from_raw(0x4, true, 10)).unwrap();
+        let err = w.push(BranchRecord::from_raw(0x8, true, 5)).unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let recs = records(100);
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, "t").unwrap();
+        for r in &recs {
+            w.push(*r).unwrap();
+        }
+        w.finish(1).unwrap();
+        // Cut the trailer off.
+        buf.truncate(buf.len() - 4);
+        let mut reader = StreamReader::new(&buf[..]).unwrap();
+        let results: Vec<_> = reader.by_ref().collect();
+        assert!(results.last().unwrap().is_err() || reader.total_instructions().is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(StreamReader::new(&b"NOPE\x01\x00"[..]).is_err());
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let mut buf = Vec::new();
+        let w = StreamWriter::new(&mut buf, "t").unwrap();
+        w.finish(0).unwrap();
+        // Corrupt: claim a chunk of 5 records with no bytes behind it.
+        let mut bad = buf.clone();
+        let trailer_start = bad.len() - 12;
+        bad.truncate(trailer_start);
+        bad.extend_from_slice(&5u32.to_le_bytes());
+        let mut reader = StreamReader::new(&bad[..]).unwrap();
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "iterator fuses after an error");
+    }
+
+    #[test]
+    fn matches_whole_buffer_format_content() {
+        use crate::TraceBuilder;
+        let recs = records(500);
+        let mut builder = TraceBuilder::new("x");
+        for r in &recs {
+            builder.push(*r);
+        }
+        let trace = builder.finish();
+        let (out, _, _) = roundtrip(&recs);
+        assert_eq!(out, trace.records());
+    }
+}

@@ -1,0 +1,413 @@
+//! High-level construction of phase-structured programs.
+//!
+//! Real programs earn their small branch working sets from *phase
+//! behaviour*: at any moment execution lives inside some loop nest or
+//! subsystem whose branches interleave intensely with each other and only
+//! incidentally with the rest of the program. [`ProgramBuilder`] builds
+//! exactly that shape out of [`crate::cfg`] primitives:
+//!
+//! * [`ProgramBuilder::add_region`] creates a *region function* — a loop
+//!   whose body is a chain of conditional constructs, one per planned
+//!   branch. A planned branch is either a **diamond** (if/else that
+//!   reconverges, so the branch executes every iteration) or a **guard**
+//!   (if-then whose taken edge skips the following construct, giving
+//!   downstream branches realistic sub-1.0 execution frequencies).
+//! * [`ProgramBuilder::finish_with_schedule`] appends a `main` that calls
+//!   region functions in a given order — the phase schedule — and exits.
+//!
+//! Branch program counters are assigned from a growing address cursor as
+//! blocks are laid out, so address-space locality mirrors code layout and
+//! the conventional `(pc >> 2) mod N` BHT indexing scheme collides the way
+//! it does on real binaries.
+
+use crate::behavior::BranchBehavior;
+use crate::cfg::{FuncId, Program, Terminator};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A planned conditional branch inside a region body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedBranch {
+    /// Direction model for the branch.
+    pub behavior: BranchBehavior,
+    /// `true` makes this branch a guard: its taken edge skips the next
+    /// construct in the region body instead of reconverging immediately.
+    pub guard: bool,
+}
+
+/// Plan for one region function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPlan {
+    /// Function name, for diagnostics.
+    pub name: String,
+    /// Trip count of the region's driving loop.
+    pub loop_trips: u32,
+    /// Body branches, executed in order each iteration.
+    pub branches: Vec<PlannedBranch>,
+    /// Inclusive range of straight-line instructions per basic block.
+    pub block_instrs: (u32, u32),
+}
+
+/// Handle to a region added to a [`ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuiltRegion {
+    /// The region's function.
+    pub func: FuncId,
+    /// Program counters of every branch in the region (loop branch first).
+    pub branch_pcs: Vec<u64>,
+}
+
+/// Incrementally builds a phase-structured [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use bwsa_workload::behavior::BranchBehavior;
+/// use bwsa_workload::builder::{PlannedBranch, ProgramBuilder, RegionPlan};
+/// use bwsa_workload::interp::{execute, InterpConfig};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), bwsa_workload::WorkloadError> {
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut b = ProgramBuilder::new();
+/// let region = b.add_region(
+///     &RegionPlan {
+///         name: "r0".into(),
+///         loop_trips: 10,
+///         branches: vec![PlannedBranch {
+///             behavior: BranchBehavior::Bernoulli { taken_prob: 0.5 },
+///             guard: false,
+///         }],
+///         block_instrs: (2, 6),
+///     },
+///     &mut rng,
+/// );
+/// let program = b.finish_with_schedule(&[region.func, region.func], &mut rng);
+/// let trace = execute(&program, "demo", &InterpConfig::default())?;
+/// // Two visits × 10 trips × (loop branch + body branch), minus nothing:
+/// // the final not-taken loop exit also records.
+/// assert_eq!(trace.len(), 2 * (10 + 9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    addr_cursor: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the address cursor at `0x1000`.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            program: Program::new(),
+            addr_cursor: 0x1000,
+        }
+    }
+
+    /// Read access to the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn draw_instrs(&self, range: (u32, u32), rng: &mut SmallRng) -> u32 {
+        let (lo, hi) = range;
+        assert!(lo <= hi, "block_instrs range inverted");
+        rng.gen_range(lo..=hi)
+    }
+
+    /// Lays out a block of `instrs` straight-line instructions plus its
+    /// one-instruction terminator, returning the terminator's address.
+    fn advance_addr(&mut self, instrs: u32) -> u64 {
+        let term_addr = self.addr_cursor + u64::from(instrs) * 4;
+        self.addr_cursor = term_addr + 4;
+        term_addr
+    }
+
+    /// Adds a region function per `plan`. Block sizes are drawn from
+    /// `rng`; everything else is deterministic in the plan.
+    ///
+    /// The region has the shape:
+    ///
+    /// ```text
+    /// head: if loop_branch { body } else { return }
+    /// body: construct(0); construct(1); ...; goto head
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's `block_instrs` range is inverted.
+    pub fn add_region(&mut self, plan: &RegionPlan, rng: &mut SmallRng) -> BuiltRegion {
+        let p = &mut self.program;
+        let ret = p.add_block(0, Terminator::Return);
+
+        // Loop head, rewired once the body entry is known.
+        let head_instrs = self.draw_instrs(plan.block_instrs, rng);
+        let head_pc = self.advance_addr(head_instrs);
+        let loop_decl = self.program.add_branch(
+            head_pc,
+            BranchBehavior::LoopExit {
+                trips: plan.loop_trips,
+            },
+        );
+        let head = self.program.add_block(head_instrs, Terminator::Return);
+
+        let back_instrs = self.draw_instrs(plan.block_instrs, rng);
+        self.advance_addr(back_instrs);
+        let jump_back = self.program.add_block(back_instrs, Terminator::Jump(head));
+
+        let mut branch_pcs = vec![head_pc];
+        // Build body constructs in reverse so each knows its continuation.
+        // entry_after      = entry of construct i+1 (or the back-jump)
+        // entry_after_next = entry of construct i+2 (guard skip target)
+        let mut entry_after = jump_back;
+        let mut entry_after_next = jump_back;
+        let mut rev_pcs = Vec::with_capacity(plan.branches.len());
+        for planned in plan.branches.iter().rev() {
+            let cond_instrs = self.draw_instrs(plan.block_instrs, rng);
+            let pc = self.advance_addr(cond_instrs);
+            let decl = self.program.add_branch(pc, planned.behavior.clone());
+            rev_pcs.push(pc);
+            let entry = if planned.guard {
+                self.program.add_block(
+                    cond_instrs,
+                    Terminator::Branch {
+                        decl,
+                        taken: entry_after_next, // skip the next construct
+                        not_taken: entry_after,
+                    },
+                )
+            } else {
+                let t_instrs = self.draw_instrs(plan.block_instrs, rng);
+                self.advance_addr(t_instrs);
+                let t_arm = self
+                    .program
+                    .add_block(t_instrs, Terminator::Jump(entry_after));
+                let n_instrs = self.draw_instrs(plan.block_instrs, rng);
+                self.advance_addr(n_instrs);
+                let n_arm = self
+                    .program
+                    .add_block(n_instrs, Terminator::Jump(entry_after));
+                self.program.add_block(
+                    cond_instrs,
+                    Terminator::Branch {
+                        decl,
+                        taken: t_arm,
+                        not_taken: n_arm,
+                    },
+                )
+            };
+            entry_after_next = entry_after;
+            entry_after = entry;
+        }
+        branch_pcs.extend(rev_pcs.into_iter().rev());
+
+        self.program.set_terminator(
+            head,
+            Terminator::Branch {
+                decl: loop_decl,
+                taken: entry_after,
+                not_taken: ret,
+            },
+        );
+        let func = self.program.add_function(plan.name.clone(), head);
+        BuiltRegion { func, branch_pcs }
+    }
+
+    /// Appends a `main` function calling `schedule` in order, sets it as
+    /// the program entry, and returns the finished program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduled function id is out of range (caught by the
+    /// final validation) — callers should pass ids returned by
+    /// [`ProgramBuilder::add_region`].
+    pub fn finish_with_schedule(mut self, schedule: &[FuncId], rng: &mut SmallRng) -> Program {
+        let exit = self.program.add_block(0, Terminator::Exit);
+        // Build the call chain back-to-front.
+        let mut next = exit;
+        for &func in schedule.iter().rev() {
+            let instrs = rng.gen_range(1..=8);
+            self.advance_addr(instrs);
+            next = self.program.add_block(
+                instrs,
+                Terminator::Call {
+                    callee: func,
+                    then: next,
+                },
+            );
+        }
+        let main = self.program.add_function("main", next);
+        self.program.set_main(main);
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute, InterpConfig};
+    use rand::SeedableRng;
+
+    fn plan(n: usize, trips: u32, guards: &[usize]) -> RegionPlan {
+        RegionPlan {
+            name: "r".into(),
+            loop_trips: trips,
+            branches: (0..n)
+                .map(|i| PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 0.5 },
+                    guard: guards.contains(&i),
+                })
+                .collect(),
+            block_instrs: (1, 4),
+        }
+    }
+
+    #[test]
+    fn region_declares_one_pc_per_branch_plus_loop() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut b = ProgramBuilder::new();
+        let r = b.add_region(&plan(5, 3, &[]), &mut rng);
+        assert_eq!(r.branch_pcs.len(), 6);
+        let mut pcs = r.branch_pcs.clone();
+        pcs.dedup();
+        assert_eq!(pcs.len(), 6, "pcs are unique");
+        assert_eq!(b.program().static_branch_count(), 6);
+    }
+
+    #[test]
+    fn built_program_validates_and_runs() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut b = ProgramBuilder::new();
+        let r0 = b.add_region(&plan(3, 4, &[]), &mut rng);
+        let r1 = b.add_region(&plan(2, 2, &[1]), &mut rng);
+        let program = b.finish_with_schedule(&[r0.func, r1.func, r0.func], &mut rng);
+        assert!(program.validate().is_ok());
+        let t = execute(&program, "x", &InterpConfig::default()).unwrap();
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn diamond_branches_execute_every_iteration() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = ProgramBuilder::new();
+        let r = b.add_region(&plan(2, 5, &[]), &mut rng);
+        let program = b.finish_with_schedule(&[r.func], &mut rng);
+        let t = execute(&program, "x", &InterpConfig::default()).unwrap();
+        // Loop branch 5× (4 taken + exit), body branches 4× each.
+        assert_eq!(t.len(), 5 + 2 * 4);
+    }
+
+    #[test]
+    fn guard_taken_skips_next_construct() {
+        // Guard always taken → the following diamond never executes.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut b = ProgramBuilder::new();
+        let p = RegionPlan {
+            name: "g".into(),
+            loop_trips: 4,
+            branches: vec![
+                PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 1.0 },
+                    guard: true,
+                },
+                PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 0.5 },
+                    guard: false,
+                },
+                PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 1.0 },
+                    guard: false,
+                },
+            ],
+            block_instrs: (1, 3),
+        };
+        let r = b.add_region(&p, &mut rng);
+        let program = b.finish_with_schedule(&[r.func], &mut rng);
+        let t = execute(&program, "x", &InterpConfig::default()).unwrap();
+        let count = |pc: u64| t.records().iter().filter(|r| r.pc.addr() == pc).count();
+        assert_eq!(
+            count(r.branch_pcs[1]),
+            3,
+            "guard runs each of 3 full iterations"
+        );
+        assert_eq!(count(r.branch_pcs[2]), 0, "skipped construct never runs");
+        assert_eq!(
+            count(r.branch_pcs[3]),
+            3,
+            "construct after the skip still runs"
+        );
+    }
+
+    #[test]
+    fn guard_not_taken_falls_through() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut b = ProgramBuilder::new();
+        let p = RegionPlan {
+            name: "g".into(),
+            loop_trips: 3,
+            branches: vec![
+                PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 0.0 },
+                    guard: true,
+                },
+                PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 0.5 },
+                    guard: false,
+                },
+            ],
+            block_instrs: (1, 3),
+        };
+        let r = b.add_region(&p, &mut rng);
+        let program = b.finish_with_schedule(&[r.func], &mut rng);
+        let t = execute(&program, "x", &InterpConfig::default()).unwrap();
+        let count = |pc: u64| t.records().iter().filter(|r| r.pc.addr() == pc).count();
+        assert_eq!(
+            count(r.branch_pcs[2]),
+            2,
+            "guarded construct runs when guard falls through"
+        );
+    }
+
+    #[test]
+    fn trailing_guard_skips_to_backedge() {
+        // A guard as the last construct skips "past the end": both edges
+        // must still reach the back-jump without dangling references.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut b = ProgramBuilder::new();
+        let r = b.add_region(&plan(1, 3, &[0]), &mut rng);
+        let program = b.finish_with_schedule(&[r.func], &mut rng);
+        assert!(program.validate().is_ok());
+        let t = execute(&program, "x", &InterpConfig::default()).unwrap();
+        assert_eq!(
+            t.records()
+                .iter()
+                .filter(|x| x.pc.addr() == r.branch_pcs[1])
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn structure_is_deterministic_in_seed() {
+        let build = || {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut b = ProgramBuilder::new();
+            let r = b.add_region(&plan(4, 3, &[1]), &mut rng);
+            (r.branch_pcs.clone(), b.program().clone())
+        };
+        let (pcs_a, prog_a) = build();
+        let (pcs_b, prog_b) = build();
+        assert_eq!(pcs_a, pcs_b);
+        assert_eq!(prog_a, prog_b);
+    }
+
+    #[test]
+    fn empty_schedule_yields_branchless_program() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let b = ProgramBuilder::new();
+        let program = b.finish_with_schedule(&[], &mut rng);
+        let t = execute(&program, "x", &InterpConfig::default()).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for program construction and interpretation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while validating or executing a synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A block, function, or branch reference pointed outside the program.
+    DanglingReference {
+        /// What kind of entity held the bad reference.
+        holder: String,
+        /// Description of the reference.
+        reference: String,
+    },
+    /// Two static branches were declared with the same program counter.
+    DuplicatePc {
+        /// The duplicated address.
+        pc: u64,
+    },
+    /// The call stack exceeded the configured maximum depth.
+    CallDepthExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A behavior model was constructed with invalid parameters.
+    InvalidBehavior {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// A workload specification knob was out of range.
+    InvalidSpec {
+        /// Description of the invalid knob.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::DanglingReference { holder, reference } => {
+                write!(f, "{holder} references nonexistent {reference}")
+            }
+            WorkloadError::DuplicatePc { pc } => {
+                write!(f, "duplicate branch pc {pc:#x}")
+            }
+            WorkloadError::CallDepthExceeded { limit } => {
+                write!(f, "call depth exceeded limit of {limit}")
+            }
+            WorkloadError::InvalidBehavior { reason } => {
+                write!(f, "invalid branch behavior: {reason}")
+            }
+            WorkloadError::InvalidSpec { reason } => {
+                write!(f, "invalid workload spec: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = WorkloadError::DuplicatePc { pc: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+        let e = WorkloadError::CallDepthExceeded { limit: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Deterministic program interpreter emitting branch traces.
+
+use crate::behavior::{decide, BehaviorState, DecisionContext};
+use crate::cfg::{BlockId, Program, Terminator};
+use crate::WorkloadError;
+use bwsa_trace::{Trace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Execution limits and the dynamics seed.
+///
+/// The seed drives every stochastic branch decision; two runs with the
+/// same program and config produce identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpConfig {
+    /// Stop after this many dynamic conditional branches.
+    pub max_dynamic_branches: u64,
+    /// Stop once the instruction counter reaches this value (guards
+    /// against branch-free infinite loops).
+    pub max_instructions: u64,
+    /// Abort if the call stack exceeds this depth.
+    pub max_call_depth: usize,
+    /// Seed for the dynamics RNG.
+    pub seed: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_dynamic_branches: u64::MAX,
+            max_instructions: 1 << 33, // ~8.6 G instructions: generous but finite
+            max_call_depth: 1024,
+            seed: 0,
+        }
+    }
+}
+
+impl InterpConfig {
+    /// Convenience: default limits with a branch budget and seed.
+    pub fn with_budget(max_dynamic_branches: u64, seed: u64) -> Self {
+        InterpConfig {
+            max_dynamic_branches,
+            seed,
+            ..InterpConfig::default()
+        }
+    }
+}
+
+/// Executes `program` from its main function, recording every conditional
+/// branch into a trace named `name`.
+///
+/// Instruction accounting matches the paper's §4.1 timestamps: a branch
+/// record's time is the number of instructions executed *before* that
+/// dynamic branch; every terminator (branch, jump, call, return) itself
+/// costs one instruction.
+///
+/// Execution ends when main returns/exits or a budget in `config` is
+/// reached, whichever comes first.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if the program fails [`Program::validate`] or
+/// the call stack exceeds `config.max_call_depth`.
+///
+/// # Example
+///
+/// ```
+/// use bwsa_workload::behavior::BranchBehavior;
+/// use bwsa_workload::cfg::{Program, Terminator};
+/// use bwsa_workload::interp::{execute, InterpConfig};
+///
+/// # fn main() -> Result<(), bwsa_workload::WorkloadError> {
+/// let mut p = Program::new();
+/// let b = p.add_branch(0x400, BranchBehavior::LoopExit { trips: 3 });
+/// let exit = p.add_block(0, Terminator::Exit);
+/// let head = p.add_block(4, Terminator::Branch { decl: b, taken: exit, not_taken: exit });
+/// p.set_terminator(head, Terminator::Branch { decl: b, taken: head, not_taken: exit });
+/// let main = p.add_function("main", head);
+/// p.set_main(main);
+///
+/// let trace = execute(&p, "loop3", &InterpConfig::default())?;
+/// assert_eq!(trace.len(), 3); // taken, taken, not-taken
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(
+    program: &Program,
+    name: &str,
+    config: &InterpConfig,
+) -> Result<Trace, WorkloadError> {
+    program.validate()?;
+    let main = program.main().expect("validate guarantees main");
+
+    let mut states: Vec<BehaviorState> = program
+        .branches()
+        .iter()
+        .map(|d| d.behavior.initial_state())
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut ctx = DecisionContext::default();
+    let mut builder = TraceBuilder::new(name);
+
+    let mut time: u64 = 0;
+    let mut branches: u64 = 0;
+    let mut stack: Vec<BlockId> = Vec::new();
+    let mut current = program.function(main).entry;
+
+    'run: loop {
+        let block = program.block(current);
+        time += u64::from(block.instr_count);
+        if time >= config.max_instructions {
+            break 'run;
+        }
+        match block.terminator {
+            Terminator::Jump(next) => {
+                time += 1;
+                current = next;
+            }
+            Terminator::Branch {
+                decl,
+                taken,
+                not_taken,
+            } => {
+                if branches >= config.max_dynamic_branches {
+                    break 'run;
+                }
+                let d = program.branch(decl);
+                let dir = decide(&d.behavior, &mut states[decl.0 as usize], &mut rng, &ctx);
+                ctx.last_outcome = dir;
+                builder.record(d.pc.addr(), dir.is_taken(), time);
+                branches += 1;
+                time += 1;
+                current = if dir.is_taken() { taken } else { not_taken };
+            }
+            Terminator::Call { callee, then } => {
+                if stack.len() >= config.max_call_depth {
+                    return Err(WorkloadError::CallDepthExceeded {
+                        limit: config.max_call_depth,
+                    });
+                }
+                stack.push(then);
+                time += 1;
+                current = program.function(callee).entry;
+            }
+            Terminator::Return => {
+                time += 1;
+                match stack.pop() {
+                    Some(cont) => current = cont,
+                    None => break 'run, // main returned
+                }
+            }
+            Terminator::Exit => {
+                time += 1;
+                break 'run;
+            }
+        }
+    }
+    builder.total_instructions(time);
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BranchBehavior;
+    use crate::cfg::Terminator;
+
+    /// Program: main calls f twice; f runs a 3-trip loop with one body branch.
+    fn call_loop_program() -> Program {
+        let mut p = Program::new();
+        let loop_b = p.add_branch(0x400, BranchBehavior::LoopExit { trips: 3 });
+        let body_b = p.add_branch(
+            0x440,
+            BranchBehavior::Pattern {
+                bits: vec![true, false],
+            },
+        );
+
+        let ret = p.add_block(0, Terminator::Return);
+        // body diamond: branch to two joins that both go back to head.
+        let head = p.add_block(2, Terminator::Return); // placeholder, rewired below
+        let join = p.add_block(1, Terminator::Jump(head));
+        let t_arm = p.add_block(3, Terminator::Jump(join));
+        let n_arm = p.add_block(2, Terminator::Jump(join));
+        let body = p.add_block(
+            1,
+            Terminator::Branch {
+                decl: body_b,
+                taken: t_arm,
+                not_taken: n_arm,
+            },
+        );
+        p.set_terminator(
+            head,
+            Terminator::Branch {
+                decl: loop_b,
+                taken: body,
+                not_taken: ret,
+            },
+        );
+        let f = p.add_function("f", head);
+
+        let exit = p.add_block(0, Terminator::Exit);
+        let second = p.add_block(
+            0,
+            Terminator::Call {
+                callee: f,
+                then: exit,
+            },
+        );
+        let first = p.add_block(
+            5,
+            Terminator::Call {
+                callee: f,
+                then: second,
+            },
+        );
+        let main = p.add_function("main", first);
+        p.set_main(main);
+        p
+    }
+
+    #[test]
+    fn loop_executes_expected_branch_counts() {
+        let p = call_loop_program();
+        let t = execute(&p, "t", &InterpConfig::default()).unwrap();
+        // Per call: loop branch 3x (T,T,N), body branch 2x. Two calls.
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.static_branch_count(), 2);
+        let loop_records: Vec<bool> = t
+            .records()
+            .iter()
+            .filter(|r| r.pc.addr() == 0x400)
+            .map(|r| r.is_taken())
+            .collect();
+        assert_eq!(loop_records, [true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn pattern_state_persists_across_calls() {
+        let p = call_loop_program();
+        let t = execute(&p, "t", &InterpConfig::default()).unwrap();
+        let body: Vec<bool> = t
+            .records()
+            .iter()
+            .filter(|r| r.pc.addr() == 0x440)
+            .map(|r| r.is_taken())
+            .collect();
+        assert_eq!(
+            body,
+            [true, false, true, false],
+            "pattern continues across calls"
+        );
+    }
+
+    #[test]
+    fn timestamps_strictly_increase_and_count_instructions() {
+        let p = call_loop_program();
+        let t = execute(&p, "t", &InterpConfig::default()).unwrap();
+        let mut prev = 0;
+        for r in t.records() {
+            assert!(
+                r.time.get() > prev,
+                "control instructions separate branches"
+            );
+            prev = r.time.get();
+        }
+        assert!(t.meta().total_instructions > prev);
+        // First branch: main entry block (5 instrs) + call (1) + f head (2).
+        assert_eq!(t.records()[0].time.get(), 8);
+    }
+
+    #[test]
+    fn branch_budget_stops_execution() {
+        let p = call_loop_program();
+        let t = execute(&p, "t", &InterpConfig::with_budget(4, 0)).unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn instruction_budget_stops_branchless_loops() {
+        let mut p = Program::new();
+        let spin = p.add_block(10, Terminator::Exit);
+        p.set_terminator(spin, Terminator::Jump(spin));
+        let main = p.add_function("main", spin);
+        p.set_main(main);
+        let cfg = InterpConfig {
+            max_instructions: 1000,
+            ..InterpConfig::default()
+        };
+        let t = execute(&p, "spin", &cfg).unwrap();
+        assert!(t.is_empty());
+        assert!(t.meta().total_instructions >= 1000);
+    }
+
+    #[test]
+    fn deep_recursion_is_rejected() {
+        let mut p = Program::new();
+        // f() { f(); } — infinite recursion.
+        let placeholder = p.add_block(1, Terminator::Return);
+        let f = p.add_function("f", placeholder);
+        p.set_terminator(
+            placeholder,
+            Terminator::Call {
+                callee: f,
+                then: placeholder,
+            },
+        );
+        p.set_main(f);
+        let cfg = InterpConfig {
+            max_call_depth: 8,
+            ..InterpConfig::default()
+        };
+        assert_eq!(
+            execute(&p, "rec", &cfg),
+            Err(WorkloadError::CallDepthExceeded { limit: 8 })
+        );
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_before_running() {
+        let p = Program::new(); // no main
+        assert!(execute(&p, "bad", &InterpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let p = call_loop_program();
+        let a = execute(&p, "t", &InterpConfig::with_budget(1000, 42)).unwrap();
+        let b = execute(&p, "t", &InterpConfig::with_budget(1000, 42)).unwrap();
+        assert_eq!(a, b);
+    }
+}

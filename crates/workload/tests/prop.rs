@@ -1,0 +1,128 @@
+//! Property-based tests for the workload crate.
+
+use bwsa_workload::behavior::BranchBehavior;
+use bwsa_workload::builder::{PlannedBranch, ProgramBuilder, RegionPlan};
+use bwsa_workload::interp::{execute, InterpConfig};
+use bwsa_workload::spec::{BiasMix, InputParams, WorkloadSpec};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn arb_behavior() -> impl Strategy<Value = BranchBehavior> {
+    prop_oneof![
+        (0.0f64..=1.0).prop_map(|p| BranchBehavior::Bernoulli { taken_prob: p }),
+        (1u32..50).prop_map(|t| BranchBehavior::LoopExit { trips: t }),
+        prop::collection::vec(any::<bool>(), 1..8)
+            .prop_map(|bits| BranchBehavior::Pattern { bits }),
+        (0.0f64..=1.0).prop_map(|p| BranchBehavior::Correlated { agree_prob: p }),
+    ]
+}
+
+fn arb_region() -> impl Strategy<Value = RegionPlan> {
+    (
+        1u32..20,
+        prop::collection::vec((arb_behavior(), any::<bool>()), 1..8),
+    )
+        .prop_map(|(trips, branches)| RegionPlan {
+            name: "r".into(),
+            loop_trips: trips,
+            branches: branches
+                .into_iter()
+                .map(|(behavior, guard)| PlannedBranch { behavior, guard })
+                .collect(),
+            block_instrs: (1, 6),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_programs_always_validate_and_run(
+        regions in prop::collection::vec(arb_region(), 1..4),
+        schedule_picks in prop::collection::vec(0usize..4, 0..12),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = ProgramBuilder::new();
+        let built: Vec<_> = regions.iter().map(|r| b.add_region(r, &mut rng)).collect();
+        let schedule: Vec<_> = schedule_picks
+            .iter()
+            .map(|&i| built[i % built.len()].func)
+            .collect();
+        let program = b.finish_with_schedule(&schedule, &mut rng);
+        prop_assert!(program.validate().is_ok());
+        let cfg = InterpConfig { max_dynamic_branches: 50_000, ..InterpConfig::default() };
+        let trace = execute(&program, "prop", &cfg).unwrap();
+        // Timestamps are strictly increasing (every terminator costs one
+        // instruction) and every pc is a declared branch.
+        let mut prev = 0;
+        let declared: std::collections::HashSet<u64> =
+            program.branches().iter().map(|d| d.pc.addr()).collect();
+        for rec in trace.records() {
+            prop_assert!(rec.time.get() > prev);
+            prev = rec.time.get();
+            prop_assert!(declared.contains(&rec.pc.addr()));
+        }
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(seed in any::<u64>(), budget in 1u64..5_000) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = ProgramBuilder::new();
+        let r = b.add_region(
+            &RegionPlan {
+                name: "r".into(),
+                loop_trips: 5,
+                branches: vec![PlannedBranch {
+                    behavior: BranchBehavior::Bernoulli { taken_prob: 0.5 },
+                    guard: false,
+                }],
+                block_instrs: (1, 4),
+            },
+            &mut rng,
+        );
+        let program = b.finish_with_schedule(&[r.func; 50], &mut rng);
+        let cfg = InterpConfig { max_dynamic_branches: budget, seed, ..InterpConfig::default() };
+        let a = execute(&program, "d", &cfg).unwrap();
+        let b2 = execute(&program, "d", &cfg).unwrap();
+        prop_assert_eq!(a.records(), b2.records());
+        prop_assert!(a.len() as u64 <= budget);
+    }
+
+    #[test]
+    fn spec_traces_respect_scaled_budgets(scale in 0.01f64..0.2, seed in any::<u64>()) {
+        let spec = WorkloadSpec {
+            name: "prop".into(),
+            structure_seed: 5,
+            regions: 3,
+            branches_per_region: (2, 5),
+            trips: (3, 10),
+            bias: BiasMix { taken: 0.3, not_taken: 0.2 },
+            pattern_frac: 0.3,
+            correlated_frac: 0.1,
+            guard_frac: 0.2,
+            block_instrs: (1, 5),
+            target_dynamic_branches: 30_000,
+            schedule: bwsa_workload::spec::ScheduleModel::default(),
+        };
+        let w = spec.instantiate().unwrap();
+        let t = w.trace_scaled(&InputParams::new("i", seed), scale);
+        let expect = ((30_000.0 * scale).ceil() as u64).max(1);
+        prop_assert_eq!(t.len() as u64, expect);
+    }
+
+    #[test]
+    fn behavior_decide_matches_expected_rate_for_loops(trips in 1u32..40) {
+        use bwsa_workload::behavior::{decide, DecisionContext};
+        let behavior = BranchBehavior::LoopExit { trips };
+        let mut state = behavior.initial_state();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ctx = DecisionContext::default();
+        let n = u64::from(trips) * 20;
+        let taken = (0..n)
+            .filter(|_| decide(&behavior, &mut state, &mut rng, &ctx).is_taken())
+            .count() as f64;
+        let rate = taken / n as f64;
+        prop_assert!((rate - behavior.expected_taken_rate()).abs() < 1e-9);
+    }
+}

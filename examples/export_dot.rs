@@ -1,0 +1,43 @@
+//! Export a benchmark's branch conflict graph to Graphviz DOT, with nodes
+//! colored by working set — render with `dot -Tsvg conflict.dot -o out.svg`.
+//!
+//! ```text
+//! cargo run --release --example export_dot > conflict.dot
+//! ```
+
+use bwsa::core::conflict::ConflictConfig;
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::graph::dot::{to_dot, DotOptions};
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    // A small slice of pgp keeps the graph renderable.
+    let trace = Benchmark::Pgp.generate_scaled(InputSet::A, 0.05);
+    let pipeline = AnalysisPipeline {
+        conflict: ConflictConfig::with_threshold(10).expect("valid threshold"),
+        ..AnalysisPipeline::new()
+    };
+    let analysis = pipeline.run(&trace);
+
+    // Group nodes by the working set that owns them.
+    let mut groups = vec![0u32; analysis.conflict.graph.node_count()];
+    for (set_index, set) in analysis.working_sets.sets.iter().enumerate() {
+        for &id in set {
+            groups[id.index()] = set_index as u32;
+        }
+    }
+    let dot = to_dot(
+        &analysis.conflict.graph,
+        &DotOptions {
+            groups: Some(groups),
+            skip_isolated: true,
+        },
+    );
+    println!("{dot}");
+    eprintln!(
+        "// {} nodes, {} edges, {} working sets — pipe through `dot -Tsvg` to render",
+        analysis.conflict.graph.node_count(),
+        analysis.conflict.graph.edge_count(),
+        analysis.working_sets.report.total_sets
+    );
+}

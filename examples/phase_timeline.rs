@@ -1,0 +1,56 @@
+//! Watch a program's branch working set move through phases, and see
+//! mispredictions cluster at the transitions — the paper's future-work
+//! hypothesis, live.
+//!
+//! ```text
+//! cargo run --release --example phase_timeline
+//! ```
+
+use bwsa::core::phases::PhaseTimeline;
+use bwsa::predictor::clustering::{clustering_stats, misprediction_flags};
+use bwsa::predictor::Pag;
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+const WINDOW: usize = 500;
+
+fn main() {
+    let trace = Benchmark::Perl.generate_scaled(InputSet::A, 0.2);
+    println!("{trace}\n");
+
+    let timeline = PhaseTimeline::of_trace(&trace, WINDOW);
+    let flags = misprediction_flags(&mut Pag::paper_baseline(), &trace);
+    let transitions: std::collections::HashSet<usize> =
+        timeline.transitions(0.5).into_iter().collect();
+
+    println!("window  ws-size  entered  jaccard  misses  ");
+    for (i, w) in timeline.windows.iter().enumerate().take(40) {
+        let misses = flags[w.start_index..w.start_index + WINDOW]
+            .iter()
+            .filter(|&&f| f)
+            .count();
+        let bar = "#".repeat(misses / 8);
+        let marker = if transitions.contains(&i) {
+            " <-- phase transition"
+        } else {
+            ""
+        };
+        println!(
+            "{i:>6}  {:>7}  {:>7}  {:>7.2}  {misses:>6}  {bar}{marker}",
+            w.distinct_branches, w.entered, w.jaccard_with_prev
+        );
+    }
+    if timeline.windows.len() > 40 {
+        println!("... ({} more windows)", timeline.windows.len() - 40);
+    }
+
+    let stats = clustering_stats(&flags, WINDOW);
+    println!(
+        "\nmean working set per window: {:.1} branches; {} transitions",
+        timeline.mean_working_set_size(),
+        transitions.len()
+    );
+    println!(
+        "misprediction clustering: Fano factor {:.2} (>1 = clustered), mean run {:.2}, max run {}",
+        stats.fano_factor, stats.mean_run_length, stats.max_run_length
+    );
+}

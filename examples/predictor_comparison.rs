@@ -1,0 +1,67 @@
+//! Compare the whole predictor zoo on one workload — the baselines the
+//! paper's related-work section is built on, plus the paper's schemes.
+//!
+//! ```text
+//! cargo run --release --example predictor_comparison [benchmark]
+//! ```
+
+use bwsa::predictor::{
+    simulate, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor, Gag, Gap, Gselect, Gshare,
+    Hybrid, Pag, Pap, StaticPredictor,
+};
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "m88ksim".to_owned());
+    let bench = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}; using m88ksim");
+            Benchmark::M88ksim
+        });
+    let trace = bench.generate_scaled(InputSet::A, 0.25);
+    println!("workload: {trace}\n");
+
+    let mut predictors: Vec<Box<dyn BranchPredictor>> = vec![
+        Box::new(StaticPredictor::always_taken()),
+        Box::new(StaticPredictor::always_not_taken()),
+        Box::new(StaticPredictor::from_profile(&trace)),
+        Box::new(Bimodal::new(1024)),
+        Box::new(Gag::new(12)),
+        Box::new(Gap::new(10, 64)),
+        Box::new(Gselect::new(6, 6)),
+        Box::new(Gshare::new(12)),
+        Box::new(BiMode::new(12, 1024)),
+        Box::new(Pag::paper_baseline()),
+        Box::new(Pag::interference_free()),
+        Box::new(Pap::new(BhtIndexer::pc_modulo(128), 10)),
+        Box::new(Hybrid::new(Gshare::new(12), Bimodal::new(1024), 1024)),
+        Box::new(Agree::new(12, 1024)),
+    ];
+
+    let mut results: Vec<_> = predictors
+        .iter_mut()
+        .map(|p| simulate(&mut **p, &trace))
+        .collect();
+    results.sort_by(|a, b| {
+        a.misprediction_rate()
+            .partial_cmp(&b.misprediction_rate())
+            .expect("rates are finite")
+    });
+
+    println!("{:<34} {:>12} {:>10}", "predictor", "mispredicts", "rate");
+    println!("{}", "-".repeat(58));
+    for r in &results {
+        println!(
+            "{:<34} {:>12} {:>9.2}%",
+            r.predictor,
+            r.mispredictions,
+            r.misprediction_rate() * 100.0
+        );
+    }
+    println!("\n(static predictors bound the extremes; two-level schemes cluster at the top)");
+}

@@ -1,0 +1,396 @@
+//! `bwsa` — command-line front end to the whole workspace.
+//!
+//! ```text
+//! bwsa generate <benchmark> [--input a|b] [--scale F] [-o FILE]
+//!     Generate a benchmark trace and write it in BWST1 binary format.
+//!
+//! bwsa analyze <trace> [--threshold N]
+//!     Run branch working set analysis on a trace file and print the
+//!     working-set report, classification counts, and trace statistics.
+//!
+//! bwsa allocate <trace> [--table N] [--threshold N] [--classify]
+//!     Compute a branch allocation and report its conflict mass,
+//!     occupancy, and the required-BHT-size search against the
+//!     conventional 1024-entry baseline.
+//!
+//! bwsa simulate <trace> [--predictor NAME]
+//!     Simulate a predictor over the trace (default: compare the PAg
+//!     family). NAME ∈ pag | free | bimodal | gshare | gag | hybrid |
+//!     agree | profile.
+//!
+//! bwsa dot <trace> [--threshold N]
+//!     Emit the conflict graph as Graphviz DOT, colored by working set.
+//! ```
+
+use bwsa::core::allocation::AllocationConfig;
+use bwsa::core::conflict::ConflictConfig;
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::graph::dot::{to_dot, DotOptions};
+use bwsa::predictor::{
+    simulate, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor, Gag, Gshare, Hybrid, Pag,
+    StaticPredictor,
+};
+use bwsa::trace::{io as trace_io, stats::trace_stats, Trace};
+use bwsa::workload::suite::{Benchmark, InputSet};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `bwsa help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("allocate") => cmd_allocate(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("help") | None => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+const USAGE: &str = "bwsa — branch working set analysis toolkit
+
+subcommands:
+  generate <benchmark> [--input a|b] [--scale F] [-o FILE]
+  analyze  <trace> [--threshold N]
+  allocate <trace> [--table N] [--threshold N] [--classify]
+  simulate <trace> [--predictor pag|free|bimodal|gshare|gag|hybrid|agree|bimode|profile]
+  dot      <trace> [--threshold N]
+  help";
+
+/// Pulls `--flag value` pairs and positionals out of an arg list.
+struct Parsed {
+    positionals: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Parsed, String> {
+    let mut p = Parsed {
+        positionals: Vec::new(),
+        flags: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            if bool_flags.contains(&name) {
+                p.flags.push((name.to_owned(), None));
+            } else if value_flags.contains(&name) {
+                let v = it.next().ok_or(format!("--{name} needs a value"))?;
+                p.flags.push((name.to_owned(), Some(v.clone())));
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        } else {
+            p.positionals.push(a.clone());
+        }
+    }
+    Ok(p)
+}
+
+impl Parsed {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    trace_io::read_binary(BufReader::new(file)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn threshold_of(p: &Parsed) -> Result<ConflictConfig, String> {
+    match p.value("threshold") {
+        None => Ok(ConflictConfig::default()),
+        Some(v) => {
+            let t: u64 = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
+            ConflictConfig::with_threshold(t).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["input", "scale", "o"], &[])?;
+    let name = p
+        .positionals
+        .first()
+        .ok_or("generate needs a benchmark name")?;
+    let bench = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name() == name)
+        .ok_or(format!("unknown benchmark {name:?}"))?;
+    let input = match p.value("input").unwrap_or("a") {
+        "a" | "A" => InputSet::A,
+        "b" | "B" => InputSet::B,
+        other => return Err(format!("bad input set {other:?} (use a or b)")),
+    };
+    let scale: f64 = p
+        .value("scale")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|_| "bad scale")?;
+    if scale <= 0.0 {
+        return Err("scale must be positive".into());
+    }
+    let out_path = p
+        .value("o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}_{}.bwst", bench.name(), input.suffix()));
+    let trace = bench.generate_scaled(input, scale);
+    let file = File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    trace_io::write_binary(&trace, &mut w).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!("{trace}");
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["threshold"], &[])?;
+    let path = p.positionals.first().ok_or("analyze needs a trace file")?;
+    let trace = load_trace(path)?;
+    let pipeline = AnalysisPipeline {
+        conflict: threshold_of(&p)?,
+        ..AnalysisPipeline::new()
+    };
+    let analysis = pipeline.run(&trace);
+
+    println!("{trace}");
+    let s = trace_stats(&trace);
+    println!(
+        "density {:.3} branches/instr, dynamic taken rate {:.1}%",
+        s.branch_density,
+        s.dynamic_taken_rate * 100.0
+    );
+    let r = &analysis.working_sets.report;
+    println!(
+        "\nconflict graph: {} edges kept of {} raw ({} threshold)",
+        analysis.conflict.graph.edge_count(),
+        analysis.conflict.raw_edge_count,
+        pipeline.conflict.threshold
+    );
+    println!(
+        "working sets: {} sets | avg static {:.1} | avg dynamic {:.1} | max {}",
+        r.total_sets, r.avg_static_size, r.avg_dynamic_size, r.max_size
+    );
+    let (t, n, m) = analysis.classification.counts();
+    println!("classification: {t} biased-taken, {n} biased-not-taken, {m} mixed");
+    Ok(())
+}
+
+fn cmd_allocate(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["table", "threshold"], &["classify"])?;
+    let path = p.positionals.first().ok_or("allocate needs a trace file")?;
+    let table: usize = p
+        .value("table")
+        .unwrap_or("1024")
+        .parse()
+        .map_err(|_| "bad table size")?;
+    let trace = load_trace(path)?;
+    let pipeline = AnalysisPipeline {
+        conflict: threshold_of(&p)?,
+        ..AnalysisPipeline::new()
+    };
+    let analysis = pipeline.run(&trace);
+    let cfg = AllocationConfig::default();
+    let allocation = if p.has("classify") {
+        analysis.allocate_classified(table, &cfg)
+    } else {
+        analysis.allocate(table, &cfg)
+    };
+    let occ = allocation.occupancy();
+    println!(
+        "allocation into {table} entries ({}): conflict mass {}, {} conflicting pairs",
+        if p.has("classify") {
+            "classified"
+        } else {
+            "plain"
+        },
+        allocation.conflict_mass,
+        allocation.conflicting_pairs
+    );
+    println!(
+        "occupancy: {} entries used, max {} branches/entry, mean {:.2}",
+        occ.used_entries, occ.max_per_entry, occ.mean_per_used_entry
+    );
+    let required = if p.has("classify") {
+        analysis.required_bht_size_classified(&trace, 1024, &cfg)
+    } else {
+        analysis.required_bht_size(&trace, 1024, &cfg)
+    };
+    println!(
+        "required size to beat conventional 1024-entry BHT: {} (target mass {}, achieved {})",
+        required.size, required.target_mass, required.achieved_mass
+    );
+    let mut pag = Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index));
+    let alloc_rate = simulate(&mut pag, &trace).misprediction_rate();
+    let conv = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
+    let free = simulate(&mut Pag::interference_free(), &trace).misprediction_rate();
+    println!(
+        "\nmisprediction: allocated {:.2}% | conventional-1024 {:.2}% | interference-free {:.2}%",
+        alloc_rate * 100.0,
+        conv * 100.0,
+        free * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["predictor"], &[])?;
+    let path = p.positionals.first().ok_or("simulate needs a trace file")?;
+    let trace = load_trace(path)?;
+    let predictors: Vec<Box<dyn BranchPredictor>> = match p.value("predictor") {
+        None => vec![
+            Box::new(Pag::paper_baseline()),
+            Box::new(Pag::interference_free()),
+            Box::new(Bimodal::new(1024)),
+            Box::new(Gshare::new(12)),
+        ],
+        Some(name) => vec![predictor_by_name(name, &trace)?],
+    };
+    for mut pred in predictors {
+        println!("{}", simulate(&mut *pred, &trace));
+    }
+    Ok(())
+}
+
+fn predictor_by_name(name: &str, trace: &Trace) -> Result<Box<dyn BranchPredictor>, String> {
+    Ok(match name {
+        "pag" => Box::new(Pag::paper_baseline()),
+        "free" => Box::new(Pag::interference_free()),
+        "bimodal" => Box::new(Bimodal::new(1024)),
+        "gshare" => Box::new(Gshare::new(12)),
+        "gag" => Box::new(Gag::new(12)),
+        "hybrid" => Box::new(Hybrid::new(Gshare::new(12), Bimodal::new(1024), 1024)),
+        "agree" => Box::new(Agree::new(12, 1024)),
+        "bimode" => Box::new(BiMode::new(12, 1024)),
+        "profile" => Box::new(StaticPredictor::from_profile(trace)),
+        other => return Err(format!("unknown predictor {other:?}")),
+    })
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["threshold"], &[])?;
+    let path = p.positionals.first().ok_or("dot needs a trace file")?;
+    let trace = load_trace(path)?;
+    let pipeline = AnalysisPipeline {
+        conflict: threshold_of(&p)?,
+        ..AnalysisPipeline::new()
+    };
+    let analysis = pipeline.run(&trace);
+    let mut groups = vec![0u32; analysis.conflict.graph.node_count()];
+    for (i, set) in analysis.working_sets.sets.iter().enumerate() {
+        for &id in set {
+            groups[id.index()] = i as u32;
+        }
+    }
+    print!(
+        "{}",
+        to_dot(
+            &analysis.conflict.graph,
+            &DotOptions {
+                groups: Some(groups),
+                skip_isolated: true
+            }
+        )
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_splits_flags_and_positionals() {
+        let p = parse(
+            &strs(&["file.bwst", "--table", "128", "--classify"]),
+            &["table"],
+            &["classify"],
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["file.bwst"]);
+        assert_eq!(p.value("table"), Some("128"));
+        assert!(p.has("classify"));
+        assert!(!p.has("table2"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(parse(&strs(&["--nope"]), &[], &[]).is_err());
+        assert!(parse(&strs(&["--table"]), &["table"], &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(run(&strs(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn predictor_names_resolve() {
+        let trace = Trace::new("t");
+        for name in [
+            "pag", "free", "bimodal", "gshare", "gag", "hybrid", "agree", "bimode", "profile",
+        ] {
+            assert!(predictor_by_name(name, &trace).is_ok(), "{name}");
+        }
+        assert!(predictor_by_name("nope", &trace).is_err());
+    }
+
+    #[test]
+    fn generate_analyze_allocate_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("bwsa_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.bwst");
+        let out_s = out.to_str().unwrap().to_owned();
+        run(&strs(&["generate", "pgp", "--scale", "0.01", "-o", &out_s])).unwrap();
+        run(&strs(&["analyze", &out_s, "--threshold", "3"])).unwrap();
+        run(&strs(&[
+            "allocate",
+            &out_s,
+            "--table",
+            "64",
+            "--threshold",
+            "3",
+            "--classify",
+        ]))
+        .unwrap();
+        run(&strs(&["simulate", &out_s, "--predictor", "pag"])).unwrap();
+        std::fs::remove_file(out).unwrap();
+    }
+}

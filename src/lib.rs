@@ -1,0 +1,60 @@
+//! **BWSA** — Branch Working Set Analysis.
+//!
+//! A from-scratch reproduction of Kim & Tyson, *Analyzing the Working Set
+//! Characteristics of Branch Execution* (MICRO 1998): profile-based branch
+//! working set analysis and compiler-directed branch allocation of
+//! branch-history-table (BHT) entries, evaluated on a trace-driven
+//! two-level branch predictor simulator.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — dynamic branch traces, IO, per-branch profiles.
+//! * [`workload`] — synthetic program generator/interpreter standing in
+//!   for SimpleScalar + SPECint95, including the thirteen paper-benchmark
+//!   profiles.
+//! * [`graph`] — conflict graphs, clique extraction, merge-on-overflow
+//!   graph coloring.
+//! * [`predictor`] — the `sim-bpred` equivalent: bimodal, GAg, gshare,
+//!   PAg, PAp, hybrid, agree, and allocation-indexed PAg variants.
+//! * [`core`] — the paper's contribution: interleaving analysis, working
+//!   sets, branch classification, and branch allocation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bwsa::core::AnalysisPipeline;
+//! use bwsa::workload::suite::{Benchmark, InputSet};
+//!
+//! // Generate a small trace of the `compress`-like workload and analyse it.
+//! let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+//! let analysis = AnalysisPipeline::new().run(&trace);
+//! println!("{} working sets", analysis.working_sets.report.total_sets);
+//! ```
+
+pub use bwsa_core as core;
+pub use bwsa_graph as graph;
+pub use bwsa_predictor as predictor;
+pub use bwsa_trace as trace;
+pub use bwsa_workload as workload;
+
+/// One-import convenience: the types most programs touch.
+///
+/// ```
+/// use bwsa::prelude::*;
+///
+/// let trace = Benchmark::Pgp.generate_scaled(InputSet::A, 0.01);
+/// let analysis = AnalysisPipeline::new().run(&trace);
+/// let mut pag = Pag::paper_baseline();
+/// let result = simulate(&mut pag, &trace);
+/// assert!(result.misprediction_rate() <= 1.0);
+/// # let _ = analysis;
+/// ```
+pub mod prelude {
+    pub use bwsa_core::allocation::{allocate, AllocationConfig};
+    pub use bwsa_core::conflict::{ConflictAnalysis, ConflictConfig};
+    pub use bwsa_core::pipeline::{Analysis, AnalysisPipeline};
+    pub use bwsa_core::{classify, BiasClass, WorkingSetDefinition};
+    pub use bwsa_predictor::{simulate, BhtIndexer, BranchPredictor, Pag, SimResult};
+    pub use bwsa_trace::{BranchId, BranchRecord, Direction, Pc, Trace, TraceBuilder};
+    pub use bwsa_workload::suite::{Benchmark, InputSet};
+}

@@ -1,0 +1,72 @@
+//! Integration: §5.2 cumulative profiles across the workload, core, and
+//! predictor crates.
+
+use bwsa::core::allocation::{allocate, AllocationConfig};
+use bwsa::core::conflict::ConflictConfig;
+use bwsa::core::merge::CumulativeProfile;
+use bwsa::predictor::AllocatedIndex;
+use bwsa::trace::BranchTable;
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+const SCALE: f64 = 0.05;
+
+fn remap(alloc: &AllocatedIndex, from: &BranchTable, to: &BranchTable) -> AllocatedIndex {
+    let entries = to
+        .iter()
+        .map(|(_, pc)| from.id_of(pc).and_then(|id| alloc.entry(id)))
+        .collect();
+    AllocatedIndex::new(alloc.table_size(), entries).expect("valid entries")
+}
+
+#[test]
+fn cumulative_profile_covers_more_branches_than_either_input() {
+    let a = Benchmark::Ss.generate_scaled(InputSet::A, SCALE);
+    let b = Benchmark::Ss.generate_scaled(InputSet::B, SCALE);
+    let mut cp = CumulativeProfile::new();
+    cp.add_trace(&a);
+    cp.add_trace(&b);
+    assert!(cp.table().len() >= a.static_branch_count());
+    assert!(cp.table().len() >= b.static_branch_count());
+    assert!(
+        cp.table().len() <= a.static_branch_count() + b.static_branch_count(),
+        "shared branches must not be double-counted"
+    );
+    // Input B (concentrated) sees branches A missed and vice versa.
+    assert!(cp.table().len() > a.static_branch_count().max(b.static_branch_count()));
+}
+
+#[test]
+fn union_allocation_covers_both_inputs_branches() {
+    let a = Benchmark::Perl.generate_scaled(InputSet::A, SCALE);
+    let b = Benchmark::Perl.generate_scaled(InputSet::B, SCALE);
+    let mut cp = CumulativeProfile::new();
+    cp.add_trace(&a);
+    cp.add_trace(&b);
+    let analysis = cp.conflict_analysis(ConflictConfig::with_threshold(5).unwrap());
+    let alloc = allocate(&analysis.graph, 64, &AllocationConfig::default());
+    // Remapped into either input's id space, every branch has an entry.
+    for trace in [&a, &b] {
+        let remapped = remap(&alloc.index, cp.table(), trace.table());
+        assert_eq!(remapped.assigned_count(), trace.static_branch_count());
+    }
+}
+
+#[test]
+fn single_input_allocation_leaves_unseen_branches_unassigned() {
+    let a = Benchmark::Ss.generate_scaled(InputSet::A, SCALE);
+    let b = Benchmark::Ss.generate_scaled(InputSet::B, SCALE);
+    let mut cp = CumulativeProfile::new();
+    cp.add_trace(&a);
+    let analysis = cp.conflict_analysis(ConflictConfig::with_threshold(5).unwrap());
+    let alloc = allocate(&analysis.graph, 64, &AllocationConfig::default());
+    let remapped = remap(&alloc.index, cp.table(), b.table());
+    // Input B exercises regions A never visited: those branches have no
+    // assignment (they fall back to pc indexing), matching the paper's
+    // caveat about unprofiled code.
+    assert!(
+        remapped.assigned_count() < b.static_branch_count(),
+        "expected some unassigned branches: {} of {}",
+        remapped.assigned_count(),
+        b.static_branch_count()
+    );
+}

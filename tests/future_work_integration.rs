@@ -1,0 +1,69 @@
+//! Integration: the paper's future-work hypothesis — misprediction
+//! clusters coincide with working-set changes — measured end to end on a
+//! phase-structured workload.
+
+use bwsa::core::phases::PhaseTimeline;
+use bwsa::predictor::clustering::{clustering_stats, misprediction_flags};
+use bwsa::predictor::Pag;
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+const WINDOW: usize = 500;
+
+#[test]
+fn mispredictions_cluster_more_at_phase_transitions() {
+    let trace = Benchmark::Perl.generate_scaled(InputSet::A, 0.1);
+    let timeline = PhaseTimeline::of_trace(&trace, WINDOW);
+    let transitions: std::collections::HashSet<usize> =
+        timeline.transitions(0.5).into_iter().collect();
+    assert!(
+        !transitions.is_empty(),
+        "a phase-structured workload must show transitions"
+    );
+
+    let flags = misprediction_flags(&mut Pag::paper_baseline(), &trace);
+    let mut trans = (0u64, 0u64);
+    let mut stable = (0u64, 0u64);
+    for (i, chunk) in flags.chunks_exact(WINDOW).enumerate() {
+        let misses = chunk.iter().filter(|&&f| f).count() as u64;
+        let acc = if transitions.contains(&i) {
+            &mut trans
+        } else {
+            &mut stable
+        };
+        acc.0 += misses;
+        acc.1 += WINDOW as u64;
+    }
+    let trans_rate = trans.0 as f64 / trans.1.max(1) as f64;
+    let stable_rate = stable.0 as f64 / stable.1.max(1) as f64;
+    assert!(
+        trans_rate > stable_rate,
+        "transition windows ({trans_rate:.4}) should mispredict more than stable ones ({stable_rate:.4})"
+    );
+}
+
+#[test]
+fn misprediction_process_is_overdispersed() {
+    let trace = Benchmark::M88ksim.generate_scaled(InputSet::A, 0.1);
+    let flags = misprediction_flags(&mut Pag::paper_baseline(), &trace);
+    let stats = clustering_stats(&flags, WINDOW);
+    assert!(
+        stats.fano_factor > 1.0,
+        "misses should cluster (fano {}), not arrive memorylessly",
+        stats.fano_factor
+    );
+}
+
+#[test]
+fn timeline_working_sets_match_table2_scale() {
+    // The windowed instantaneous working set should be on the order of
+    // the region size the suite builds, far below the static population.
+    let trace = Benchmark::Li.generate_scaled(InputSet::A, 0.1);
+    let timeline = PhaseTimeline::of_trace(&trace, 2000);
+    let mean = timeline.mean_working_set_size();
+    assert!(mean > 10.0, "mean instantaneous WS {mean}");
+    assert!(
+        mean < trace.static_branch_count() as f64 * 0.8,
+        "mean instantaneous WS {mean} vs {} static",
+        trace.static_branch_count()
+    );
+}

@@ -1,0 +1,148 @@
+//! End-to-end integration: workload generation → working set analysis →
+//! branch allocation → predictor simulation, across crate boundaries.
+
+use bwsa::core::allocation::AllocationConfig;
+use bwsa::core::conflict::ConflictConfig;
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::predictor::{simulate, BhtIndexer, Pag};
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+const SCALE: f64 = 0.08;
+
+fn pipeline() -> AnalysisPipeline {
+    AnalysisPipeline {
+        conflict: ConflictConfig::with_threshold(8).unwrap(),
+        ..AnalysisPipeline::new()
+    }
+}
+
+#[test]
+fn working_sets_are_small_relative_to_static_population() {
+    for bench in [Benchmark::Compress, Benchmark::Pgp, Benchmark::Perl] {
+        let trace = bench.generate_scaled(InputSet::A, SCALE);
+        let analysis = pipeline().run(&trace);
+        let report = &analysis.working_sets.report;
+        assert!(report.total_sets >= 1, "{bench}: no working sets");
+        assert!(
+            report.avg_static_size < trace.static_branch_count() as f64 * 0.6,
+            "{bench}: avg set {} vs {} static branches",
+            report.avg_static_size,
+            trace.static_branch_count()
+        );
+    }
+}
+
+#[test]
+fn allocation_conflict_mass_beats_conventional_at_modest_sizes() {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, SCALE);
+    let analysis = pipeline().run(&trace);
+    let r = analysis.required_bht_size(&trace, 1024, &AllocationConfig::default());
+    assert!(
+        r.size < 1024,
+        "allocation should need far fewer than 1024 entries, got {}",
+        r.size
+    );
+    assert!(r.achieved_mass <= r.target_mass);
+}
+
+#[test]
+fn classification_never_hurts_required_size() {
+    for bench in [Benchmark::Compress, Benchmark::Pgp] {
+        let trace = bench.generate_scaled(InputSet::A, SCALE);
+        let analysis = pipeline().run(&trace);
+        let cfg = AllocationConfig::default();
+        let plain = analysis.required_bht_size(&trace, 1024, &cfg);
+        let classified = analysis.required_bht_size_classified(&trace, 1024, &cfg);
+        assert!(
+            classified.size <= plain.size.max(3),
+            "{bench}: classified {} vs plain {}",
+            classified.size,
+            plain.size
+        );
+    }
+}
+
+#[test]
+fn allocated_pag_tracks_interference_free() {
+    // The paper's Figure 3/4 headline, at test scale: allocation with the
+    // full 1024 entries lands within a small margin of the
+    // interference-free PAg, and does not lose to the conventional PAg.
+    let trace = Benchmark::M88ksim.generate_scaled(InputSet::A, SCALE);
+    let analysis = pipeline().run(&trace);
+    let allocation = analysis.allocate(1024, &AllocationConfig::default());
+    let conventional = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
+    let allocated = simulate(
+        &mut Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index)),
+        &trace,
+    )
+    .misprediction_rate();
+    let free = simulate(&mut Pag::interference_free(), &trace).misprediction_rate();
+    assert!(
+        allocated <= conventional + 0.005,
+        "allocated {allocated} should not lose to conventional {conventional}"
+    );
+    assert!(
+        (allocated - free).abs() < 0.02,
+        "allocated {allocated} should track interference-free {free}"
+    );
+}
+
+#[test]
+fn biased_branches_share_reserved_entries_without_penalty() {
+    let trace = Benchmark::Pgp.generate_scaled(InputSet::A, SCALE);
+    let analysis = pipeline().run(&trace);
+    let cfg = AllocationConfig::default();
+    let plain = analysis.allocate(256, &cfg);
+    let classified = analysis.allocate_classified(256, &cfg);
+    let rate = |index: bwsa::predictor::AllocatedIndex| {
+        simulate(
+            &mut Pag::paper_with_indexer(BhtIndexer::Allocated(index)),
+            &trace,
+        )
+        .misprediction_rate()
+    };
+    let plain_rate = rate(plain.index);
+    let classified_rate = rate(classified.index);
+    assert!(
+        (classified_rate - plain_rate).abs() < 0.02,
+        "cramming biased branches into 2 entries should be nearly free: \
+         classified {classified_rate} vs plain {plain_rate}"
+    );
+}
+
+#[test]
+fn allocation_reduces_first_level_interference_events() {
+    // The mechanism behind the figures: allocation cuts the number of
+    // times a branch finds someone else's history in its BHT entry.
+    let trace = Benchmark::Li.generate_scaled(InputSet::A, SCALE);
+    let analysis = pipeline().run(&trace);
+    let allocation = analysis.allocate(1024, &AllocationConfig::default());
+
+    let mut conventional = Pag::paper_baseline();
+    simulate(&mut conventional, &trace);
+    let mut allocated = Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index));
+    simulate(&mut allocated, &trace);
+    let mut free = Pag::interference_free();
+    simulate(&mut free, &trace);
+
+    assert_eq!(free.interference_events(), 0);
+    assert!(
+        allocated.interference_events() < conventional.interference_events() / 2,
+        "allocation {} vs conventional {}",
+        allocated.interference_events(),
+        conventional.interference_events()
+    );
+}
+
+#[test]
+fn analysis_is_deterministic_end_to_end() {
+    let a = {
+        let trace = Benchmark::Perl.generate_scaled(InputSet::A, SCALE);
+        pipeline().run(&trace).working_sets.report
+    };
+    let b = {
+        let trace = Benchmark::Perl.generate_scaled(InputSet::A, SCALE);
+        pipeline().run(&trace).working_sets.report
+    };
+    assert_eq!(a, b);
+}

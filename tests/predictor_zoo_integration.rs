@@ -1,0 +1,91 @@
+//! Integration: the predictor zoo on a realistic workload — ordering
+//! invariants that must hold regardless of tuning.
+
+use bwsa::predictor::{
+    simulate, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor, Gag, Gap, Gselect, Gshare,
+    Hybrid, Pag, Pap, StaticPredictor,
+};
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+fn trace() -> bwsa::trace::Trace {
+    Benchmark::M88ksim.generate_scaled(InputSet::A, 0.05)
+}
+
+#[test]
+fn every_predictor_produces_sane_rates() {
+    let trace = trace();
+    let mut zoo: Vec<Box<dyn BranchPredictor>> = vec![
+        Box::new(StaticPredictor::always_taken()),
+        Box::new(StaticPredictor::always_not_taken()),
+        Box::new(StaticPredictor::from_profile(&trace)),
+        Box::new(Bimodal::new(1024)),
+        Box::new(Gag::new(12)),
+        Box::new(Gap::new(10, 64)),
+        Box::new(Gselect::new(6, 6)),
+        Box::new(Gshare::new(12)),
+        Box::new(BiMode::new(12, 1024)),
+        Box::new(Pag::paper_baseline()),
+        Box::new(Pag::interference_free()),
+        Box::new(Pap::new(BhtIndexer::pc_modulo(128), 10)),
+        Box::new(Hybrid::new(Gshare::new(12), Bimodal::new(1024), 1024)),
+        Box::new(Agree::new(12, 1024)),
+    ];
+    for p in &mut zoo {
+        let r = simulate(&mut **p, &trace);
+        assert_eq!(r.total, trace.len() as u64, "{}", r.predictor);
+        let rate = r.misprediction_rate();
+        assert!((0.0..=1.0).contains(&rate), "{}: {rate}", r.predictor);
+        assert!(!r.predictor.is_empty());
+    }
+}
+
+#[test]
+fn dynamic_predictors_beat_naive_statics() {
+    let trace = trace();
+    let taken = simulate(&mut StaticPredictor::always_taken(), &trace).misprediction_rate();
+    let not_taken = simulate(&mut StaticPredictor::always_not_taken(), &trace).misprediction_rate();
+    let naive_floor = taken.min(not_taken);
+    for (name, rate) in [
+        (
+            "bimodal",
+            simulate(&mut Bimodal::new(1024), &trace).misprediction_rate(),
+        ),
+        (
+            "pag",
+            simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate(),
+        ),
+        (
+            "hybrid",
+            simulate(
+                &mut Hybrid::new(Gshare::new(12), Bimodal::new(1024), 1024),
+                &trace,
+            )
+            .misprediction_rate(),
+        ),
+    ] {
+        assert!(
+            rate < naive_floor,
+            "{name} ({rate}) should beat naive statics ({naive_floor})"
+        );
+    }
+}
+
+#[test]
+fn interference_free_pag_is_at_least_as_good_as_conventional() {
+    let trace = trace();
+    let conventional = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
+    let free = simulate(&mut Pag::interference_free(), &trace).misprediction_rate();
+    assert!(
+        free <= conventional + 0.002,
+        "free {free} vs conventional {conventional}"
+    );
+}
+
+#[test]
+fn profile_static_beats_both_fixed_directions_on_training_input() {
+    let trace = trace();
+    let profiled = simulate(&mut StaticPredictor::from_profile(&trace), &trace).mispredictions;
+    let taken = simulate(&mut StaticPredictor::always_taken(), &trace).mispredictions;
+    let not_taken = simulate(&mut StaticPredictor::always_not_taken(), &trace).mispredictions;
+    assert!(profiled <= taken.min(not_taken));
+}

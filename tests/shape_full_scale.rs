@@ -1,0 +1,66 @@
+//! Full-scale shape assertions mirroring EXPERIMENTS.md.
+//!
+//! These run the real (unscaled) workloads, taking minutes per benchmark,
+//! so they are `#[ignore]`d by default. Run them explicitly:
+//!
+//! ```text
+//! cargo test --release --test shape_full_scale -- --ignored
+//! ```
+
+use bwsa::core::allocation::AllocationConfig;
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::predictor::{simulate, BhtIndexer, Pag};
+use bwsa::trace::profile::FrequencyFilter;
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+fn full_analysis(bench: Benchmark) -> (bwsa::trace::Trace, bwsa::core::pipeline::Analysis) {
+    let raw = bench.generate(InputSet::A);
+    let (trace, _) = FrequencyFilter::MinExecutions(20).filter_trace(&raw);
+    let analysis = AnalysisPipeline::new().run(&trace);
+    (trace, analysis)
+}
+
+#[test]
+#[ignore = "full-scale run (minutes); see EXPERIMENTS.md"]
+fn li_full_scale_reproduces_all_paper_shapes() {
+    let (trace, analysis) = full_analysis(Benchmark::Li);
+    let cfg = AllocationConfig::default();
+
+    // Table 2 shape: execution-weighted working set far below static pop.
+    let report = &analysis.working_sets.report;
+    assert!(report.avg_dynamic_size > 100.0 && report.avg_dynamic_size < 250.0);
+    assert!(report.avg_dynamic_size < trace.static_branch_count() as f64 / 4.0);
+
+    // Tables 3–4 shape: far fewer than 1024 entries; classification shrinks.
+    let plain = analysis.required_bht_size(&trace, 1024, &cfg);
+    let classified = analysis.required_bht_size_classified(&trace, 1024, &cfg);
+    assert!(plain.size < 400, "plain {}", plain.size);
+    assert!(classified.size < plain.size, "{} vs {}", classified.size, plain.size);
+
+    // Figure 4 shape: alloc-1024 ≥ ~10% relative gain, ≈ interference-free.
+    let allocation = analysis.allocate_classified(1024, &cfg);
+    let conventional = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
+    let allocated = simulate(
+        &mut Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index)),
+        &trace,
+    )
+    .misprediction_rate();
+    let free = simulate(&mut Pag::interference_free(), &trace).misprediction_rate();
+    let gain = (conventional - allocated) / conventional;
+    assert!(gain > 0.10, "relative gain {gain}");
+    assert!(allocated <= free * 1.05, "allocated {allocated} vs free {free}");
+}
+
+#[test]
+#[ignore = "full-scale run (minutes); see EXPERIMENTS.md"]
+fn compress_full_scale_matches_paper_table2_sizes() {
+    let (_, analysis) = full_analysis(Benchmark::Compress);
+    let report = &analysis.working_sets.report;
+    // Paper: avg static 41, avg dynamic 25. Ours lands nearby.
+    assert!(
+        (20.0..=60.0).contains(&report.avg_dynamic_size),
+        "avg dynamic {}",
+        report.avg_dynamic_size
+    );
+    assert!(report.max_size < 100, "max {}", report.max_size);
+}

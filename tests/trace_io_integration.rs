@@ -1,0 +1,43 @@
+//! Integration: trace serialisation round-trips preserve every analysis
+//! artifact, so traces can be generated once and analysed elsewhere.
+
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::trace::io as trace_io;
+use bwsa::workload::suite::{Benchmark, InputSet};
+
+#[test]
+fn binary_roundtrip_preserves_analysis_results() {
+    let trace = Benchmark::Ijpeg.generate_scaled(InputSet::A, 0.05);
+    let bytes = trace_io::encode_binary(&trace);
+    let back = trace_io::decode_binary(&bytes).expect("roundtrip decodes");
+    assert_eq!(back, trace);
+
+    let pipeline = AnalysisPipeline::new();
+    let original = pipeline.run(&trace);
+    let reloaded = pipeline.run(&back);
+    assert_eq!(original.working_sets, reloaded.working_sets);
+    assert_eq!(original.profile, reloaded.profile);
+}
+
+#[test]
+fn binary_format_is_compact() {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+    let bytes = trace_io::encode_binary(&trace);
+    // 17 bytes/record naive; delta varints should stay under 6.
+    assert!(
+        bytes.len() < trace.len() * 6,
+        "{} bytes for {} records",
+        bytes.len(),
+        trace.len()
+    );
+}
+
+#[test]
+fn text_roundtrip_through_io_traits() {
+    let trace = Benchmark::Pgp.generate_scaled(InputSet::A, 0.01);
+    let mut buf = Vec::new();
+    trace_io::write_text(&trace, &mut buf).expect("write");
+    let back = trace_io::read_text(&buf[..]).expect("read");
+    assert_eq!(back.records(), trace.records());
+    assert_eq!(back.meta().name, trace.meta().name);
+}
