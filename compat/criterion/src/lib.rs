@@ -1,0 +1,275 @@
+//! Offline stub of `criterion`.
+//!
+//! A minimal wall-clock bench harness with criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation, and the `criterion_group!` / `criterion_main!`
+//! macros. No statistics, plots, or reports — each benchmark is timed
+//! over a short fixed budget and one `name ... time per iter` line is
+//! printed. Designed so `cargo test`/`cargo bench` complete quickly in a
+//! hermetic environment while keeping bench sources compiling unchanged.
+
+use std::fmt::Display;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark.
+///
+/// Cargo passes `--bench` when invoked as `cargo bench`; without it (e.g.
+/// the smoke-run `cargo test` gives bench targets) each routine runs once,
+/// mirroring real criterion's test mode.
+fn measure_budget() -> Duration {
+    static BUDGET: OnceLock<Duration> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if std::env::args().any(|a| a == "--bench") {
+            Duration::from_millis(200)
+        } else {
+            Duration::ZERO
+        }
+    })
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (recorded, reported alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measures closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = measure_budget();
+        let start = Instant::now();
+        let mut iters = 1u64;
+        black_box(routine());
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let budget = measure_budget();
+        let first = Instant::now();
+        black_box(routine(setup()));
+        let mut measured = first.elapsed();
+        let mut iters = 1u64;
+        while measured < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.record(measured, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        let iters = iters.max(1);
+        self.iters = iters;
+        self.nanos_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (criterion API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.nanos_per_iter {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if ns > 0.0 => {
+                    format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                    format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<40} {:>14.0} ns/iter{rate}", ns);
+        }
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("trivial", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("li").label, "li");
+    }
+}

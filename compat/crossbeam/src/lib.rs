@@ -1,0 +1,85 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Only [`thread::scope`] is provided — the one API this workspace uses —
+//! implemented on `std::thread::scope` (stable since Rust 1.63, which
+//! post-dates crossbeam's scoped threads). The signature mirrors
+//! crossbeam's: the closure receives a [`thread::Scope`] whose `spawn`
+//! passes the scope back into the spawned closure, and the outer call
+//! returns `Err` if any spawned thread panicked.
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads that may borrow from the enclosing
+    /// scope.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if `f` or any spawned thread
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = [0u64; 4];
+        super::thread::scope(|scope| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| *slot = v * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let r = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stub of `serde`.
+//!
+//! This workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in it actually serialises through serde (there is
+//! no `serde_json`/`bincode` backend in the dependency tree — durable
+//! artifacts use the hand-rolled checksummed formats in `bwsa-trace`).
+//! The derives on workspace types are kept so the public API stays
+//! source-compatible with the real serde; this stub makes them resolve:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, so derive output is unnecessary and trait bounds hold.
+//! * The derive macros (re-exported from the stub `serde_derive`) expand to
+//!   nothing but accept `#[serde(...)]` helper attributes.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Stand-ins for the `serde::de` module.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[serde(default)]
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Sum {
+        _A,
+        _B(u8),
+    }
+
+    fn wants_serialize<T: Serialize>(_: &T) {}
+
+    #[test]
+    fn derives_resolve_and_bounds_hold() {
+        wants_serialize(&Plain { _x: 1 });
+        wants_serialize(&Sum::_B(2));
+        wants_serialize(&vec![1u8, 2]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real derive generates `Serialize`/`Deserialize` impls; the stub's
+//! sibling `serde` crate blanket-implements both traits for every type, so
+//! these derives only need to *resolve* and accept `#[serde(...)]` helper
+//! attributes. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

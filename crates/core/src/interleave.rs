@@ -147,36 +147,113 @@ pub fn interleave_counts_streaming<I>(
 where
     I: IntoIterator<Item = Result<bwsa_trace::BranchRecord, bwsa_trace::TraceError>>,
 {
-    let mut table = bwsa_trace::BranchTable::new();
-    let mut builder = GraphBuilder::new(0);
-    let mut last_stamp: Vec<Option<u64>> = Vec::new();
-    let mut recency: BTreeSet<(u64, u32)> = BTreeSet::new();
-    let mut hits: Vec<u32> = Vec::new();
-
+    let mut engine = StreamingInterleave::new();
     for record in records {
-        let rec = record?;
-        let node = table.intern(rec.pc).as_u32();
-        if node as usize >= last_stamp.len() {
-            last_stamp.resize(node as usize + 1, None);
-            builder.ensure_nodes(node + 1);
+        engine.push(&record?);
+    }
+    Ok(engine.finish())
+}
+
+/// Incremental interleave-detection engine — the state behind
+/// [`interleave_counts_streaming`], exposed as a struct so it can be
+/// driven record-by-record, suspended into a checkpoint, and resumed
+/// (see [`crate::StreamingAnalysis`]).
+///
+/// Feeding every record of a trace through [`StreamingInterleave::push`]
+/// and calling [`StreamingInterleave::finish`] produces exactly the
+/// builder/table pair of [`interleave_counts_streaming`].
+#[derive(Debug, Clone)]
+pub struct StreamingInterleave {
+    pub(crate) table: bwsa_trace::BranchTable,
+    pub(crate) builder: GraphBuilder,
+    /// `last_stamp[b]` = timestamp of b's previous dynamic instance.
+    pub(crate) last_stamp: Vec<Option<u64>>,
+    /// Recency index: (latest stamp, branch), one entry per executed
+    /// branch. Derivable from `last_stamp`, so checkpoints omit it —
+    /// see [`StreamingInterleave::from_parts`].
+    recency: BTreeSet<(u64, u32)>,
+    /// Reusable scratch for the branches hit by each range scan.
+    hits: Vec<u32>,
+}
+
+impl StreamingInterleave {
+    /// Creates an empty engine with no branches seen.
+    pub fn new() -> Self {
+        StreamingInterleave {
+            table: bwsa_trace::BranchTable::new(),
+            builder: GraphBuilder::new(0),
+            last_stamp: Vec::new(),
+            recency: BTreeSet::new(),
+            hits: Vec::new(),
+        }
+    }
+
+    /// Reassembles an engine from checkpointed state: the pc interner,
+    /// the accumulated edge builder, and the per-branch latest stamps.
+    /// The recency index is rebuilt from `last_stamp`, since its entries
+    /// are exactly `(last_stamp[b], b)` for every executed branch.
+    pub(crate) fn from_parts(
+        table: bwsa_trace::BranchTable,
+        builder: GraphBuilder,
+        last_stamp: Vec<Option<u64>>,
+    ) -> Self {
+        let recency = last_stamp
+            .iter()
+            .enumerate()
+            .filter_map(|(b, stamp)| stamp.map(|t| (t, b as u32)))
+            .collect();
+        StreamingInterleave {
+            table,
+            builder,
+            last_stamp,
+            recency,
+            hits: Vec::new(),
+        }
+    }
+
+    /// Number of distinct static branches seen so far.
+    pub fn branch_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Consumes one dynamic branch record, interning its pc and crediting
+    /// an interleave to every branch executed since this branch's previous
+    /// instance. Returns the record's static branch id.
+    pub fn push(&mut self, rec: &bwsa_trace::BranchRecord) -> bwsa_trace::BranchId {
+        let id = self.table.intern(rec.pc);
+        let node = id.as_u32();
+        if node as usize >= self.last_stamp.len() {
+            self.last_stamp.resize(node as usize + 1, None);
+            self.builder.ensure_nodes(node + 1);
         }
         let t = rec.time.get();
-        if let Some(prev) = last_stamp[node as usize] {
-            hits.clear();
-            for &(_, b) in recency.range((prev + 1, 0)..) {
+        if let Some(prev) = self.last_stamp[node as usize] {
+            self.hits.clear();
+            for &(_, b) in self.recency.range((prev + 1, 0)..) {
                 if b != node {
-                    hits.push(b);
+                    self.hits.push(b);
                 }
             }
-            for &b in &hits {
-                builder.add_edge(node, b, 1);
+            for &b in &self.hits {
+                self.builder.add_edge(node, b, 1);
             }
-            recency.remove(&(prev, node));
+            self.recency.remove(&(prev, node));
         }
-        recency.insert((t, node));
-        last_stamp[node as usize] = Some(t);
+        self.recency.insert((t, node));
+        self.last_stamp[node as usize] = Some(t);
+        id
     }
-    Ok((builder, table))
+
+    /// Yields the accumulated interleave counts and the pc ↔ id interner.
+    pub fn finish(self) -> (GraphBuilder, bwsa_trace::BranchTable) {
+        (self.builder, self.table)
+    }
+}
+
+impl Default for StreamingInterleave {
+    fn default() -> Self {
+        StreamingInterleave::new()
+    }
 }
 
 #[cfg(test)]
@@ -338,5 +415,40 @@ mod tests {
         let b = interleave_counts(&bwsa_trace::Trace::new("empty"));
         assert_eq!(b.node_count(), 0);
         assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn suspended_and_resumed_engine_matches_straight_run() {
+        let mut t = TraceBuilder::new("resume");
+        let pcs = [0xa, 0xb, 0xa, 0xc, 0xb, 0xa, 0xd, 0xc, 0xa, 0xb, 0xc, 0xd];
+        for (i, pc) in pcs.into_iter().enumerate() {
+            t.record(pc, i % 2 == 0, (i as u64 + 1) * 3);
+        }
+        let trace = t.finish();
+        let records = trace.records();
+        for split in 0..records.len() {
+            // Run the first `split` records, tear the engine down to the
+            // parts a checkpoint stores, rebuild, and finish the rest.
+            let mut first = StreamingInterleave::new();
+            for r in &records[..split] {
+                first.push(r);
+            }
+            let StreamingInterleave {
+                table,
+                builder,
+                last_stamp,
+                ..
+            } = first;
+            let mut resumed = StreamingInterleave::from_parts(table, builder, last_stamp);
+            for r in &records[split..] {
+                resumed.push(r);
+            }
+            let (resumed_builder, _) = resumed.finish();
+            assert_eq!(
+                weights(&resumed_builder),
+                weights(&interleave_counts(&trace)),
+                "split at {split}"
+            );
+        }
     }
 }

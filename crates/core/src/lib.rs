@@ -46,6 +46,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod allocation;
+pub mod checkpoint;
 pub mod classify;
 pub mod conflict;
 mod error;
@@ -57,9 +58,10 @@ pub mod report;
 pub mod working_set;
 
 pub use allocation::{allocate, required_bht_size, Allocation, AllocationConfig};
+pub use checkpoint::StreamingAnalysis;
 pub use classify::{classify, BiasClass, Classification};
 pub use conflict::{ConflictAnalysis, ConflictConfig};
 pub use error::CoreError;
-pub use interleave::{interleave_counts, interleave_counts_naive};
+pub use interleave::{interleave_counts, interleave_counts_naive, StreamingInterleave};
 pub use pipeline::{Analysis, AnalysisPipeline};
 pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};

@@ -87,6 +87,14 @@ impl GraphBuilder {
         Ok(())
     }
 
+    /// Iterates the accumulated edges as `(a, b, weight)` with `a < b`, in
+    /// arbitrary order. Checkpointing code sorts the result to get a
+    /// deterministic serialisation; casual consumers should usually
+    /// [`GraphBuilder::build`] instead.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
     /// Merges every edge of another builder into this one, summing weights.
     ///
     /// This is the graph-level primitive behind the paper's §5.2 cumulative
@@ -157,6 +165,15 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_weight(0, 1), Some(15));
         assert_eq!(g.edge_weight(2, 3), Some(1));
+    }
+
+    #[test]
+    fn edges_iterates_canonical_pairs() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0, 4).add_edge(0, 1, 1).add_edge(1, 0, 2);
+        let mut edges: Vec<_> = b.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 3), (0, 2, 4)]);
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub mod coloring;
 pub mod components;
 pub mod dot;
 mod error;
-pub mod io;
 mod graph;
+pub mod io;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;

@@ -1,0 +1,249 @@
+//! Predictor state checkpointing: serialise a predictor's mutable tables
+//! so a simulation can be killed and resumed bit-identically.
+//!
+//! [`Checkpointable`] is implemented by the predictors the paper's
+//! evaluation actually runs long simulations on — [`crate::Pag`] (all
+//! indexer variants), [`crate::Bimodal`], and [`crate::Gshare`]. The state
+//! bytes start with the predictor's [`crate::BranchPredictor::name`],
+//! which encodes its configuration (table sizes, history widths), so
+//! loading state into a differently configured predictor fails with
+//! [`PredictorError::Checkpoint`] instead of silently mispredicting.
+//!
+//! Encoding uses the workspace's shared [`bwsa_trace::codec`] primitives
+//! (LEB128 varints); framing and corruption detection live one level up in
+//! [`crate::SimCheckpoint`], which wraps these bytes with a magic, version,
+//! and CRC32.
+//!
+//! # Example
+//!
+//! ```
+//! use bwsa_predictor::{Bimodal, BranchPredictor, Checkpointable};
+//! use bwsa_trace::{BranchId, Direction, Pc};
+//!
+//! let mut trained = Bimodal::new(64);
+//! trained.update(Pc::new(0x400), BranchId::new(0), Direction::Taken);
+//! trained.update(Pc::new(0x400), BranchId::new(0), Direction::Taken);
+//!
+//! let mut fresh = Bimodal::new(64);
+//! fresh.load_state(&trained.save_state()).unwrap();
+//! assert!(fresh.predict(Pc::new(0x400), BranchId::new(0)).is_taken());
+//!
+//! let mut other_size = Bimodal::new(128);
+//! assert!(other_size.load_state(&trained.save_state()).is_err());
+//! ```
+
+use crate::{BranchPredictor, PredictorError};
+use bwsa_trace::codec::{self, Cursor};
+use bwsa_trace::TraceError;
+
+/// A predictor whose mutable state can be saved and restored, enabling
+/// kill-and-resume simulation via [`crate::simulate_resumable`].
+///
+/// Contract: for any predictor `p`, a fresh identically configured `q`
+/// with `q.load_state(&p.save_state())` applied behaves exactly like `p`
+/// on every future `predict`/`update` sequence.
+pub trait Checkpointable: BranchPredictor {
+    /// Serialises the predictor's mutable state (prefixed with its
+    /// configuration-bearing name).
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state produced by [`Checkpointable::save_state`] on an
+    /// identically configured predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::Checkpoint`] when the bytes are malformed
+    /// or were saved by a differently configured predictor.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), PredictorError>;
+}
+
+/// Maps a low-level decode error into a checkpoint error.
+pub(crate) fn malformed(e: TraceError) -> PredictorError {
+    PredictorError::checkpoint(format!("malformed state: {e}"))
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    codec::put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub(crate) fn get_str(cur: &mut Cursor<'_>) -> Result<String, PredictorError> {
+    let len = cur.get_varint().map_err(malformed)? as usize;
+    let raw = cur.take(len).map_err(malformed)?;
+    String::from_utf8(raw.to_vec())
+        .map_err(|e| PredictorError::checkpoint(format!("state name is not utf-8: {e}")))
+}
+
+/// Reads the leading name and requires it to match `expect` (the loading
+/// predictor's own name, which encodes its configuration).
+pub(crate) fn check_name(cur: &mut Cursor<'_>, expect: &str) -> Result<(), PredictorError> {
+    let found = get_str(cur)?;
+    if found != expect {
+        return Err(PredictorError::checkpoint(format!(
+            "state was saved by {found:?} but is being loaded into {expect:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Appends a length-prefixed byte slice.
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    codec::put_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice.
+pub(crate) fn get_bytes(cur: &mut Cursor<'_>) -> Result<Vec<u8>, PredictorError> {
+    let len = cur.get_varint().map_err(malformed)? as usize;
+    Ok(cur.take(len).map_err(malformed)?.to_vec())
+}
+
+/// Appends a length-prefixed list of varints.
+pub(crate) fn put_u64_list(buf: &mut Vec<u8>, values: &[u64]) {
+    codec::put_varint(buf, values.len() as u64);
+    for &v in values {
+        codec::put_varint(buf, v);
+    }
+}
+
+/// Reads a length-prefixed list of varints.
+pub(crate) fn get_u64_list(cur: &mut Cursor<'_>) -> Result<Vec<u64>, PredictorError> {
+    let len = cur.get_varint().map_err(malformed)? as usize;
+    // Guard against a corrupt length claiming more entries than bytes
+    // remain (each entry is at least one byte).
+    if len > cur.remaining() {
+        return Err(PredictorError::checkpoint(format!(
+            "state list claims {len} entries but only {} bytes remain",
+            cur.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(cur.get_varint().map_err(malformed)?);
+    }
+    Ok(out)
+}
+
+/// Requires the cursor to be fully consumed.
+pub(crate) fn ensure_empty(cur: &Cursor<'_>) -> Result<(), PredictorError> {
+    if !cur.is_empty() {
+        return Err(PredictorError::checkpoint(format!(
+            "{} trailing bytes after predictor state",
+            cur.remaining()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, BhtIndexer, Bimodal, Gshare, Pag};
+    use bwsa_trace::{Trace, TraceBuilder};
+
+    fn mixed_trace(n: u64) -> Trace {
+        let mut b = TraceBuilder::new("mixed");
+        let mut lcg: u64 = 0xDEAD_BEEF;
+        for i in 0..n {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = 0x1000 + (lcg >> 40) % 37 * 4;
+            b.record(pc, (i / 3) % 5 != 4, i + 1);
+        }
+        b.finish()
+    }
+
+    /// Trains a predictor on a warmup trace, round-trips its state into a
+    /// fresh instance, and requires the two to agree exactly afterwards.
+    fn assert_state_transfers<P: Checkpointable + Clone + PartialEq + std::fmt::Debug>(
+        mut trained: P,
+        mut fresh: P,
+    ) {
+        let warmup = mixed_trace(900);
+        let rest = mixed_trace(2000);
+        let _ = simulate(&mut trained, &warmup);
+        fresh
+            .load_state(&trained.save_state())
+            .expect("state must load into an identical configuration");
+        assert_eq!(fresh, trained, "restored state must be identical");
+        let a = simulate(&mut trained, &rest);
+        let b = simulate(&mut fresh, &rest);
+        assert_eq!(a, b, "future behaviour must match");
+    }
+
+    #[test]
+    fn bimodal_state_transfers() {
+        assert_state_transfers(Bimodal::new(256), Bimodal::new(256));
+    }
+
+    #[test]
+    fn gshare_state_transfers() {
+        assert_state_transfers(Gshare::new(10), Gshare::new(10));
+    }
+
+    #[test]
+    fn pag_state_transfers() {
+        assert_state_transfers(
+            Pag::new(BhtIndexer::pc_modulo(64), 8),
+            Pag::new(BhtIndexer::pc_modulo(64), 8),
+        );
+    }
+
+    #[test]
+    fn growable_pag_state_transfers() {
+        assert_state_transfers(
+            Pag::new(BhtIndexer::PerBranch, 6),
+            Pag::new(BhtIndexer::PerBranch, 6),
+        );
+    }
+
+    #[test]
+    fn pag_state_preserves_interference_count() {
+        let trace = mixed_trace(500);
+        let mut p = Pag::new(BhtIndexer::pc_modulo(1), 4);
+        let _ = simulate(&mut p, &trace);
+        assert!(p.interference_events() > 0);
+        let mut q = Pag::new(BhtIndexer::pc_modulo(1), 4);
+        q.load_state(&p.save_state()).unwrap();
+        assert_eq!(q.interference_events(), p.interference_events());
+    }
+
+    #[test]
+    fn mismatched_configuration_is_rejected() {
+        let bimodal = Bimodal::new(64).save_state();
+        assert!(Bimodal::new(32).load_state(&bimodal).is_err());
+        assert!(Gshare::new(6).load_state(&bimodal).is_err());
+        let pag = Pag::new(BhtIndexer::pc_modulo(8), 4).save_state();
+        assert!(Pag::new(BhtIndexer::pc_modulo(16), 4)
+            .load_state(&pag)
+            .is_err());
+        assert!(Pag::new(BhtIndexer::PerBranch, 4).load_state(&pag).is_err());
+    }
+
+    #[test]
+    fn truncated_or_trailing_state_is_rejected() {
+        let mut p = Bimodal::new(16);
+        let state = p.save_state();
+        for cut in 0..state.len() {
+            assert!(p.load_state(&state[..cut]).is_err(), "prefix of {cut}");
+        }
+        let mut padded = state.clone();
+        padded.push(0);
+        assert!(p.load_state(&padded).is_err(), "trailing bytes");
+        p.load_state(&state).expect("pristine state still loads");
+    }
+
+    #[test]
+    fn huge_list_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "PAg[pc-modulo/8]h4");
+        codec::put_varint(&mut buf, u64::MAX); // absurd BHT entry count
+        let err = Pag::new(BhtIndexer::pc_modulo(8), 4)
+            .load_state(&buf)
+            .unwrap_err();
+        assert!(err.to_string().contains("entries"), "{err}");
+    }
+}

@@ -26,6 +26,20 @@ pub enum PredictorError {
         /// The table size.
         size: usize,
     },
+    /// A predictor checkpoint could not be saved, parsed, or applied —
+    /// corrupt bytes, or state from a differently configured predictor.
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl PredictorError {
+    pub(crate) fn checkpoint(reason: impl Into<String>) -> Self {
+        PredictorError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for PredictorError {
@@ -39,6 +53,9 @@ impl fmt::Display for PredictorError {
             }
             PredictorError::EntryOutOfRange { entry, size } => {
                 write!(f, "allocated entry {entry} outside table of size {size}")
+            }
+            PredictorError::Checkpoint { reason } => {
+                write!(f, "predictor checkpoint error: {reason}")
             }
         }
     }
@@ -64,5 +81,8 @@ mod tests {
         assert!(PredictorError::EntryOutOfRange { entry: 5, size: 4 }
             .to_string()
             .contains('5'));
+        assert!(PredictorError::checkpoint("size mismatch")
+            .to_string()
+            .contains("size mismatch"));
     }
 }

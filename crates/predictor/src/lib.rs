@@ -39,6 +39,7 @@
 mod agree;
 mod bimodal;
 mod bimode;
+mod checkpoint;
 pub mod clustering;
 mod counter;
 mod error;
@@ -60,6 +61,7 @@ mod tables;
 pub use agree::Agree;
 pub use bimodal::Bimodal;
 pub use bimode::BiMode;
+pub use checkpoint::Checkpointable;
 pub use counter::SaturatingCounter;
 pub use error::PredictorError;
 pub use gag::Gag;
@@ -73,6 +75,9 @@ pub use indexer::{AllocatedIndex, BhtIndexer};
 pub use pag::Pag;
 pub use pap::Pap;
 pub use predictor::BranchPredictor;
-pub use sim::{simulate, simulate_detailed, DetailedSimResult, PipelineModel, SimResult};
+pub use sim::{
+    simulate, simulate_detailed, simulate_resumable, DetailedSimResult, PipelineModel,
+    SimCheckpoint, SimResult, CHECKPOINT_KIND_SIM, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use staticpred::StaticPredictor;
 pub use tables::{BranchHistoryTable, PatternHistoryTable};

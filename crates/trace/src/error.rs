@@ -24,6 +24,14 @@ pub enum TraceError {
         /// Offending (earlier) timestamp.
         found: u64,
     },
+    /// A checksummed chunk failed validation (bad sync marker, CRC
+    /// mismatch, or inconsistent framing) in a `BWSS2` stream.
+    Corrupt {
+        /// Zero-based index of the chunk at which corruption was detected.
+        chunk: u64,
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl TraceError {
@@ -64,6 +72,9 @@ impl fmt::Display for TraceError {
                 f,
                 "trace records out of order: timestamp {found} after {previous}"
             ),
+            TraceError::Corrupt { chunk, reason } => {
+                write!(f, "corrupt stream chunk {chunk}: {reason}")
+            }
         }
     }
 }
@@ -100,6 +111,16 @@ mod tests {
         let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
         let e = TraceError::from(inner);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn corrupt_display_names_the_chunk() {
+        let e = TraceError::Corrupt {
+            chunk: 7,
+            reason: "checksum mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("chunk 7") && s.contains("checksum"), "{s}");
     }
 
     #[test]

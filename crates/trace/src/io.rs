@@ -40,73 +40,34 @@
 //! # }
 //! ```
 
+use crate::codec::{self, Cursor};
 use crate::{Trace, TraceBuilder, TraceError};
-use bytes::{Buf, BufMut, BytesMut};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"BWST";
 const VERSION: u16 = 1;
 
-fn zigzag_encode(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn zigzag_decode(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
-        }
-        buf.put_u8(byte | 0x80);
-    }
-}
-
-fn get_varint(buf: &mut impl Buf) -> Result<u64, TraceError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() {
-            return Err(TraceError::format("truncated varint"));
-        }
-        let byte = buf.get_u8();
-        if shift >= 64 || (shift == 63 && byte > 1) {
-            return Err(TraceError::format("varint overflows u64"));
-        }
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
-
 /// Encodes a trace into the `BWST1` binary format.
 pub fn encode_binary(trace: &Trace) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(32 + trace.len() * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    let mut buf = Vec::with_capacity(32 + trace.len() * 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
     let name = trace.meta().name.as_bytes();
-    buf.put_u32_le(name.len() as u32);
-    buf.put_slice(name);
-    buf.put_u64_le(trace.meta().total_instructions);
-    buf.put_u64_le(trace.len() as u64);
+    codec::put_u32_le(&mut buf, name.len() as u32);
+    buf.extend_from_slice(name);
+    codec::put_u64_le(&mut buf, trace.meta().total_instructions);
+    codec::put_u64_le(&mut buf, trace.len() as u64);
     let mut prev_pc = 0i64;
     let mut prev_time = 0u64;
     for rec in trace.records() {
         let pc = rec.pc.addr() as i64;
-        let delta = zigzag_encode(pc - prev_pc);
-        put_varint(&mut buf, (delta << 1) | rec.direction.as_bit());
-        put_varint(&mut buf, rec.time.get() - prev_time);
+        let delta = codec::zigzag_encode(pc - prev_pc);
+        codec::put_varint(&mut buf, (delta << 1) | rec.direction.as_bit());
+        codec::put_varint(&mut buf, rec.time.get() - prev_time);
         prev_pc = pc;
         prev_time = rec.time.get();
     }
-    buf.to_vec()
+    buf
 }
 
 /// Writes a trace in binary format to any [`Write`] (a `&mut` reference
@@ -139,57 +100,54 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceError> {
 ///
 /// Returns [`TraceError::Format`] when the bytes are malformed.
 pub fn decode_binary(raw: &[u8]) -> Result<Trace, TraceError> {
-    let mut buf = raw;
-    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+    let mut buf = Cursor::new(raw);
+    if raw.len() < 4 || &raw[..4] != MAGIC {
         return Err(TraceError::format_at("bad magic (expected \"BWST\")", 0));
     }
-    buf.advance(4);
-    if buf.remaining() < 2 {
-        return Err(TraceError::format("truncated header"));
-    }
-    let version = buf.get_u16_le();
+    buf.take(4)?;
+    let version = buf
+        .get_u16_le()
+        .map_err(|_| TraceError::format("truncated header"))?;
     if version != VERSION {
         return Err(TraceError::format(format!(
             "unsupported version {version} (expected {VERSION})"
         )));
     }
-    if buf.remaining() < 4 {
-        return Err(TraceError::format("truncated name length"));
-    }
-    let name_len = buf.get_u32_le() as usize;
-    if buf.remaining() < name_len {
-        return Err(TraceError::format("truncated name"));
-    }
-    let name = std::str::from_utf8(&buf[..name_len])
+    let name_len = buf
+        .get_u32_le()
+        .map_err(|_| TraceError::format("truncated name length"))? as usize;
+    let name_bytes = buf
+        .take(name_len)
+        .map_err(|_| TraceError::format("truncated name"))?;
+    let name = std::str::from_utf8(name_bytes)
         .map_err(|e| TraceError::format(format!("name is not utf-8: {e}")))?
         .to_owned();
-    buf.advance(name_len);
     if buf.remaining() < 16 {
         return Err(TraceError::format("truncated counts"));
     }
-    let total_instructions = buf.get_u64_le();
-    let count = buf.get_u64_le();
+    let total_instructions = buf.get_u64_le()?;
+    let count = buf.get_u64_le()?;
 
     let mut builder = TraceBuilder::new(name);
     let mut prev_pc = 0i64;
     let mut prev_time = 0u64;
     for _ in 0..count {
-        let tagged = get_varint(&mut buf)?;
+        let tagged = buf.get_varint()?;
         let taken = tagged & 1 == 1;
         let pc = prev_pc
-            .checked_add(zigzag_decode(tagged >> 1))
+            .checked_add(codec::zigzag_decode(tagged >> 1))
             .ok_or_else(|| TraceError::format("pc delta overflow"))?;
         if pc < 0 {
             return Err(TraceError::format("negative pc"));
         }
         let time = prev_time
-            .checked_add(get_varint(&mut buf)?)
+            .checked_add(buf.get_varint()?)
             .ok_or_else(|| TraceError::format("time overflow"))?;
         builder.record(pc as u64, taken, time);
         prev_pc = pc;
         prev_time = time;
     }
-    if buf.has_remaining() {
+    if !buf.is_empty() {
         return Err(TraceError::format(format!(
             "{} trailing bytes after last record",
             buf.remaining()
@@ -387,41 +345,6 @@ mod tests {
             read_text(src.as_bytes()).unwrap_err(),
             TraceError::OutOfOrder { .. }
         ));
-    }
-
-    #[test]
-    fn zigzag_is_a_bijection_on_samples() {
-        for v in [
-            0i64,
-            1,
-            -1,
-            63,
-            -64,
-            i64::MAX,
-            i64::MIN,
-            123456789,
-            -987654321,
-        ] {
-            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
-        }
-    }
-
-    #[test]
-    fn varint_roundtrip_on_samples() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
-            put_varint(&mut buf, v);
-            let mut slice = &buf[..];
-            assert_eq!(get_varint(&mut slice).unwrap(), v);
-            assert!(!slice.has_remaining());
-        }
-    }
-
-    #[test]
-    fn varint_rejects_overflow() {
-        let eleven_continuations = [0xffu8; 11];
-        let mut slice = &eleven_continuations[..];
-        assert!(get_varint(&mut slice).is_err());
     }
 
     #[test]

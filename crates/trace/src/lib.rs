@@ -18,6 +18,10 @@
 //!   (execution counts, taken rates) and the frequency filter used to
 //!   reproduce Table 1's "percentage of dynamic branches analyzed".
 //! * [`io`] — compact binary and line-oriented text serialisation.
+//! * [`stream`] — checksummed chunked streaming format (`BWSS2`) with
+//!   corruption salvage, plus the legacy `BWSS1` read path.
+//! * [`codec`] — the shared varint/zigzag/CRC32 primitives under both.
+//! * [`fault`] — deterministic fault injection for durability testing.
 //!
 //! # Example
 //!
@@ -39,7 +43,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod codec;
 mod error;
+pub mod fault;
 mod id;
 pub mod io;
 pub mod profile;

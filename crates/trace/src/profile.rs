@@ -78,6 +78,20 @@ impl BranchProfile {
         }
     }
 
+    /// Reassembles a profile from externally accumulated per-branch stats
+    /// (indexed by [`BranchId`]) and the total dynamic branch count.
+    ///
+    /// This is the constructor used by streaming/checkpointed analyses,
+    /// which accumulate [`BranchStats`] incrementally instead of holding
+    /// the trace in memory. Feeding it the per-record accumulation that
+    /// [`BranchProfile::from_trace`] performs yields an identical profile.
+    pub fn from_parts(stats: Vec<BranchStats>, total_dynamic: u64) -> Self {
+        BranchProfile {
+            stats,
+            total_dynamic,
+        }
+    }
+
     /// Statistics for one branch.
     ///
     /// # Panics

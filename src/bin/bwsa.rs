@@ -1,54 +1,89 @@
 //! `bwsa` — command-line front end to the whole workspace.
 //!
 //! ```text
-//! bwsa generate <benchmark> [--input a|b] [--scale F] [-o FILE]
-//!     Generate a benchmark trace and write it in BWST1 binary format.
+//! bwsa generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
+//!     Generate a benchmark trace and write it in BWST1 binary format or
+//!     as a checksummed BWSS2 stream.
 //!
-//! bwsa analyze <trace> [--threshold N]
+//! bwsa analyze <trace> [--threshold N] [--salvage]
+//!              [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
 //!     Run branch working set analysis on a trace file and print the
 //!     working-set report, classification counts, and trace statistics.
+//!     BWSS streams are analysed without materialising the trace;
+//!     --salvage recovers what it can from a corrupted stream, and
+//!     --checkpoint/--resume make long runs restartable.
 //!
-//! bwsa allocate <trace> [--table N] [--threshold N] [--classify]
+//! bwsa allocate <trace> [--table N] [--threshold N] [--classify] [--salvage]
 //!     Compute a branch allocation and report its conflict mass,
 //!     occupancy, and the required-BHT-size search against the
 //!     conventional 1024-entry baseline.
 //!
-//! bwsa simulate <trace> [--predictor NAME]
+//! bwsa simulate <trace> [--predictor NAME] [--salvage]
+//!               [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
 //!     Simulate a predictor over the trace (default: compare the PAg
 //!     family). NAME ∈ pag | free | bimodal | gshare | gag | hybrid |
-//!     agree | profile.
+//!     agree | bimode | profile; checkpointing supports the first four.
 //!
-//! bwsa dot <trace> [--threshold N]
+//! bwsa dot <trace> [--threshold N] [--salvage]
 //!     Emit the conflict graph as Graphviz DOT, colored by working set.
 //! ```
+//!
+//! Exit codes: 0 on success (including a partial salvage, which warns on
+//! stderr), 1 on I/O and data errors, 2 on usage errors.
 
 use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::StreamingAnalysis;
 use bwsa::graph::dot::{to_dot, DotOptions};
 use bwsa::predictor::{
-    simulate, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor, Gag, Gshare, Hybrid, Pag,
-    StaticPredictor,
+    simulate, simulate_resumable, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor,
+    Checkpointable, Gag, Gshare, Hybrid, Pag, PredictorError, SimCheckpoint, StaticPredictor,
+};
+use bwsa::trace::stream::{
+    RecoveryPolicy, SalvageReport, StreamReader, StreamWriter, DEFAULT_CHUNK_RECORDS,
 };
 use bwsa::trace::{io as trace_io, stats::trace_stats, Trace};
 use bwsa::workload::suite::{Benchmark, InputSet};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+
+/// A CLI failure, classified for the exit code: misuse of the command
+/// line exits 2, failures of the data or the environment exit 1.
+#[derive(Debug, PartialEq, Eq)]
+enum CliError {
+    /// The invocation itself was wrong (unknown flag, missing argument).
+    Usage(String),
+    /// The invocation was fine but the work failed (I/O, corrupt data).
+    Runtime(String),
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime_err(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!("run `bwsa help` for usage");
             ExitCode::from(2)
         }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
@@ -60,19 +95,29 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", USAGE);
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}")),
+        Some(other) => Err(usage_err(format!("unknown subcommand {other:?}"))),
     }
 }
 
 const USAGE: &str = "bwsa — branch working set analysis toolkit
 
 subcommands:
-  generate <benchmark> [--input a|b] [--scale F] [-o FILE]
-  analyze  <trace> [--threshold N]
-  allocate <trace> [--table N] [--threshold N] [--classify]
+  generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
+  analyze  <trace> [--threshold N] [--salvage]
+           [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+  allocate <trace> [--table N] [--threshold N] [--classify] [--salvage]
   simulate <trace> [--predictor pag|free|bimodal|gshare|gag|hybrid|agree|bimode|profile]
-  dot      <trace> [--threshold N]
-  help";
+           [--salvage] [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+  dot      <trace> [--threshold N] [--salvage]
+  help
+
+trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
+the format is detected from the file's magic. --salvage recovers what it
+can from a corrupted BWSS stream (partial results exit 0 with a warning on
+stderr). --checkpoint writes a resumable BWCK checkpoint every N stream
+chunks (default 64, one chunk = 4096 records); --resume continues from one.
+
+exit codes: 0 success, 1 I/O or data error, 2 usage error";
 
 /// Pulls `--flag value` pairs and positionals out of an arg list.
 struct Parsed {
@@ -80,7 +125,7 @@ struct Parsed {
     flags: Vec<(String, Option<String>)>,
 }
 
-fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Parsed, String> {
+fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Parsed, CliError> {
     let mut p = Parsed {
         positionals: Vec::new(),
         flags: Vec::new(),
@@ -91,10 +136,12 @@ fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<P
             if bool_flags.contains(&name) {
                 p.flags.push((name.to_owned(), None));
             } else if value_flags.contains(&name) {
-                let v = it.next().ok_or(format!("--{name} needs a value"))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err(format!("--{name} needs a value")))?;
                 p.flags.push((name.to_owned(), Some(v.clone())));
             } else {
-                return Err(format!("unknown flag --{name}"));
+                return Err(usage_err(format!("unknown flag --{name}")));
             }
         } else {
             p.positionals.push(a.clone());
@@ -117,76 +164,312 @@ impl Parsed {
     }
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    trace_io::read_binary(BufReader::new(file)).map_err(|e| format!("cannot read {path}: {e}"))
+/// On-disk trace encodings, detected by magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    /// `BWST`: whole-trace binary (bwsa_trace::io).
+    Bwst,
+    /// `BWSS`: chunked, checksummed stream (bwsa_trace::stream).
+    Bwss,
 }
 
-fn threshold_of(p: &Parsed) -> Result<ConflictConfig, String> {
-    match p.value("threshold") {
-        None => Ok(ConflictConfig::default()),
-        Some(v) => {
-            let t: u64 = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
-            ConflictConfig::with_threshold(t).map_err(|e| e.to_string())
+fn detect_format(path: &str) -> Result<TraceFormat, CliError> {
+    let mut f = File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)
+        .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+    match &magic {
+        b"BWST" => Ok(TraceFormat::Bwst),
+        b"BWSS" => Ok(TraceFormat::Bwss),
+        _ => Err(runtime_err(format!(
+            "{path}: unrecognised trace format (expected BWST or BWSS magic)"
+        ))),
+    }
+}
+
+fn recovery_policy(p: &Parsed) -> RecoveryPolicy {
+    if p.has("salvage") {
+        RecoveryPolicy::Salvage
+    } else {
+        RecoveryPolicy::Strict
+    }
+}
+
+/// Prints the stderr warning for a partial salvage. A clean read stays
+/// silent.
+fn warn_salvage(path: &str, report: &SalvageReport) {
+    if report.chunks_dropped == 0 && report.first_error.is_none() {
+        return;
+    }
+    eprintln!(
+        "warning: {path} was damaged: {} chunks ok, {} dropped, {} records recovered",
+        report.chunks_ok, report.chunks_dropped, report.records_recovered
+    );
+    if let Some(e) = &report.first_error {
+        eprintln!("warning: first error: {e}");
+    }
+}
+
+/// Loads a trace of either format into memory. For BWSS input the salvage
+/// report is returned so callers can warn about recovered damage.
+fn load_trace(path: &str, policy: RecoveryPolicy) -> Result<(Trace, SalvageReport), CliError> {
+    match detect_format(path)? {
+        TraceFormat::Bwst => {
+            let file =
+                File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+            let trace = trace_io::read_binary(BufReader::new(file))
+                .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+            Ok((trace, SalvageReport::default()))
+        }
+        TraceFormat::Bwss => {
+            let file =
+                File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+            let mut reader = StreamReader::with_recovery(BufReader::new(file), policy)
+                .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+            let mut trace = Trace::new(reader.name().to_owned());
+            for item in reader.by_ref() {
+                let rec = item.map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+                trace
+                    .push(rec)
+                    .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+            }
+            if let Some(total) = reader.total_instructions() {
+                trace.meta_mut().total_instructions = total;
+            }
+            Ok((trace, reader.salvage_report().clone()))
         }
     }
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["input", "scale", "o"], &[])?;
+fn threshold_of(p: &Parsed) -> Result<ConflictConfig, CliError> {
+    match p.value("threshold") {
+        None => Ok(ConflictConfig::default()),
+        Some(v) => {
+            let t: u64 = v
+                .parse()
+                .map_err(|_| usage_err(format!("bad threshold {v:?}")))?;
+            ConflictConfig::with_threshold(t).map_err(|e| usage_err(e.to_string()))
+        }
+    }
+}
+
+/// Checkpoint cadence in records, derived from `--checkpoint-every` (in
+/// stream chunks; default 64). `None` when `--checkpoint` was not given.
+fn checkpoint_cadence(p: &Parsed) -> Result<Option<(String, u64)>, CliError> {
+    let every: u64 = match p.value("checkpoint-every") {
+        None => 64,
+        Some(v) => {
+            let n = v
+                .parse()
+                .map_err(|_| usage_err(format!("bad --checkpoint-every {v:?}")))?;
+            if n == 0 {
+                return Err(usage_err("--checkpoint-every must be positive"));
+            }
+            n
+        }
+    };
+    match p.value("checkpoint") {
+        Some(path) => Ok(Some((
+            path.to_owned(),
+            every * DEFAULT_CHUNK_RECORDS as u64,
+        ))),
+        None if p.value("checkpoint-every").is_some() => {
+            Err(usage_err("--checkpoint-every needs --checkpoint FILE"))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Writes checkpoint bytes via a temporary file and rename, so a crash
+/// mid-write never leaves a torn checkpoint at the final path.
+fn write_checkpoint(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &["input", "scale", "o", "format"], &[])?;
     let name = p
         .positionals
         .first()
-        .ok_or("generate needs a benchmark name")?;
+        .ok_or_else(|| usage_err("generate needs a benchmark name"))?;
     let bench = Benchmark::ALL
         .iter()
         .copied()
         .find(|b| b.name() == name)
-        .ok_or(format!("unknown benchmark {name:?}"))?;
+        .ok_or_else(|| usage_err(format!("unknown benchmark {name:?}")))?;
     let input = match p.value("input").unwrap_or("a") {
         "a" | "A" => InputSet::A,
         "b" | "B" => InputSet::B,
-        other => return Err(format!("bad input set {other:?} (use a or b)")),
+        other => return Err(usage_err(format!("bad input set {other:?} (use a or b)"))),
     };
     let scale: f64 = p
         .value("scale")
         .unwrap_or("1.0")
         .parse()
-        .map_err(|_| "bad scale")?;
+        .map_err(|_| usage_err("bad scale"))?;
     if scale <= 0.0 {
-        return Err("scale must be positive".into());
+        return Err(usage_err("scale must be positive"));
     }
+    let format = match p.value("format").unwrap_or("bwst") {
+        "bwst" => TraceFormat::Bwst,
+        "bwss" => TraceFormat::Bwss,
+        other => {
+            return Err(usage_err(format!(
+                "bad format {other:?} (use bwst or bwss)"
+            )))
+        }
+    };
+    let ext = match format {
+        TraceFormat::Bwst => "bwst",
+        TraceFormat::Bwss => "bwss",
+    };
     let out_path = p
         .value("o")
         .map(str::to_owned)
-        .unwrap_or_else(|| format!("{}_{}.bwst", bench.name(), input.suffix()));
+        .unwrap_or_else(|| format!("{}_{}.{ext}", bench.name(), input.suffix()));
     let trace = bench.generate_scaled(input, scale);
-    let file = File::create(&out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let file = File::create(&out_path)
+        .map_err(|e| runtime_err(format!("cannot create {out_path}: {e}")))?;
     let mut w = BufWriter::new(file);
-    trace_io::write_binary(&trace, &mut w).map_err(|e| e.to_string())?;
-    w.flush().map_err(|e| e.to_string())?;
+    match format {
+        TraceFormat::Bwst => {
+            trace_io::write_binary(&trace, &mut w).map_err(|e| runtime_err(e.to_string()))?;
+        }
+        TraceFormat::Bwss => {
+            let mut sw = StreamWriter::new(&mut w, &trace.meta().name)
+                .map_err(|e| runtime_err(e.to_string()))?;
+            for r in trace.records() {
+                sw.push(*r).map_err(|e| runtime_err(e.to_string()))?;
+            }
+            sw.finish(trace.meta().total_instructions)
+                .map_err(|e| runtime_err(e.to_string()))?;
+        }
+    }
+    w.flush().map_err(|e| runtime_err(e.to_string()))?;
     println!("{trace}");
     println!("wrote {out_path}");
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["threshold"], &[])?;
-    let path = p.positionals.first().ok_or("analyze needs a trace file")?;
-    let trace = load_trace(path)?;
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let p = parse(
+        args,
+        &["threshold", "checkpoint", "checkpoint-every", "resume"],
+        &["salvage"],
+    )?;
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("analyze needs a trace file"))?;
     let pipeline = AnalysisPipeline {
         conflict: threshold_of(&p)?,
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
+    checkpoint_cadence(&p)?;
+    match detect_format(path)? {
+        TraceFormat::Bwst => {
+            if p.value("checkpoint").is_some() || p.value("resume").is_some() {
+                return Err(usage_err(
+                    "--checkpoint/--resume need a BWSS stream trace (see `bwsa generate --format bwss`)",
+                ));
+            }
+            let (trace, _) = load_trace(path, RecoveryPolicy::Strict)?;
+            let analysis = pipeline.run(&trace);
+            println!("{trace}");
+            let s = trace_stats(&trace);
+            println!(
+                "density {:.3} branches/instr, dynamic taken rate {:.1}%",
+                s.branch_density,
+                s.dynamic_taken_rate * 100.0
+            );
+            print_analysis(&analysis, &pipeline);
+        }
+        TraceFormat::Bwss => analyze_stream(path, &p, &pipeline)?,
+    }
+    Ok(())
+}
 
-    println!("{trace}");
-    let s = trace_stats(&trace);
+/// Streaming analysis of a BWSS trace: constant memory in the trace
+/// length, with optional salvage and checkpoint/resume.
+fn analyze_stream(path: &str, p: &Parsed, pipeline: &AnalysisPipeline) -> Result<(), CliError> {
+    let file = File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+    let mut reader = StreamReader::with_recovery(BufReader::new(file), recovery_policy(p))
+        .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+    let mut analysis = match p.value("resume") {
+        Some(ck_path) => {
+            let bytes = std::fs::read(ck_path)
+                .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
+            let a = StreamingAnalysis::load(&bytes)
+                .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?;
+            if a.trace_name() != reader.name() {
+                return Err(runtime_err(format!(
+                    "{ck_path} is a checkpoint of trace {:?}, not {:?}",
+                    a.trace_name(),
+                    reader.name()
+                )));
+            }
+            a
+        }
+        None => StreamingAnalysis::new(reader.name()),
+    };
+    let cadence = checkpoint_cadence(p)?;
+    let to_skip = analysis.records_consumed();
+    let mut skipped = 0u64;
+    let mut next_checkpoint_at = cadence
+        .as_ref()
+        .map(|(_, every)| analysis.records_consumed() + every);
+    for item in reader.by_ref() {
+        let rec = item.map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+        if skipped < to_skip {
+            skipped += 1;
+            continue;
+        }
+        analysis.push(&rec);
+        if let (Some((ck_path, every)), Some(at)) = (&cadence, next_checkpoint_at) {
+            if analysis.records_consumed() >= at {
+                write_checkpoint(ck_path, &analysis.save()).map_err(runtime_err)?;
+                next_checkpoint_at = Some(analysis.records_consumed() + every);
+            }
+        }
+    }
+    if skipped < to_skip {
+        return Err(runtime_err(format!(
+            "checkpoint consumed {to_skip} records but {path} only has {skipped}"
+        )));
+    }
+    warn_salvage(path, reader.salvage_report());
+
+    let n = analysis.records_consumed();
+    let static_count = analysis.static_branch_count();
+    let instructions = reader.total_instructions();
+    println!(
+        "trace '{}': {} dynamic branches over {} static sites, {} instructions",
+        reader.name(),
+        n,
+        static_count,
+        instructions.map_or_else(|| "unknown".to_owned(), |t| t.to_string())
+    );
+    let result = analysis.finish(pipeline);
+    let taken: u64 = result.profile.iter().map(|(_, s)| s.taken).sum();
+    let density = match instructions {
+        Some(t) if t > 0 => n as f64 / t as f64,
+        _ => 0.0,
+    };
+    let taken_rate = if n > 0 { taken as f64 / n as f64 } else { 0.0 };
     println!(
         "density {:.3} branches/instr, dynamic taken rate {:.1}%",
-        s.branch_density,
-        s.dynamic_taken_rate * 100.0
+        density,
+        taken_rate * 100.0
     );
+    print_analysis(&result, pipeline);
+    Ok(())
+}
+
+/// The common tail of `analyze` output, shared by the in-memory and
+/// streaming paths.
+fn print_analysis(analysis: &bwsa::core::Analysis, pipeline: &AnalysisPipeline) {
     let r = &analysis.working_sets.report;
     println!(
         "\nconflict graph: {} edges kept of {} raw ({} threshold)",
@@ -200,18 +483,21 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
     let (t, n, m) = analysis.classification.counts();
     println!("classification: {t} biased-taken, {n} biased-not-taken, {m} mixed");
-    Ok(())
 }
 
-fn cmd_allocate(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["table", "threshold"], &["classify"])?;
-    let path = p.positionals.first().ok_or("allocate needs a trace file")?;
+fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &["table", "threshold"], &["classify", "salvage"])?;
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("allocate needs a trace file"))?;
     let table: usize = p
         .value("table")
         .unwrap_or("1024")
         .parse()
-        .map_err(|_| "bad table size")?;
-    let trace = load_trace(path)?;
+        .map_err(|_| usage_err("bad table size"))?;
+    let (trace, report) = load_trace(path, recovery_policy(&p))?;
+    warn_salvage(path, &report);
     let pipeline = AnalysisPipeline {
         conflict: threshold_of(&p)?,
         ..AnalysisPipeline::new()
@@ -260,26 +546,71 @@ fn cmd_allocate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["predictor"], &[])?;
-    let path = p.positionals.first().ok_or("simulate needs a trace file")?;
-    let trace = load_trace(path)?;
-    let predictors: Vec<Box<dyn BranchPredictor>> = match p.value("predictor") {
-        None => vec![
-            Box::new(Pag::paper_baseline()),
-            Box::new(Pag::interference_free()),
-            Box::new(Bimodal::new(1024)),
-            Box::new(Gshare::new(12)),
-        ],
-        Some(name) => vec![predictor_by_name(name, &trace)?],
-    };
-    for mut pred in predictors {
-        println!("{}", simulate(&mut *pred, &trace));
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
+    let p = parse(
+        args,
+        &["predictor", "checkpoint", "checkpoint-every", "resume"],
+        &["salvage"],
+    )?;
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("simulate needs a trace file"))?;
+    let cadence = checkpoint_cadence(&p)?;
+    let wants_checkpointing = cadence.is_some() || p.value("resume").is_some();
+    let (trace, report) = load_trace(path, recovery_policy(&p))?;
+    warn_salvage(path, &report);
+
+    if !wants_checkpointing {
+        let predictors: Vec<Box<dyn BranchPredictor>> = match p.value("predictor") {
+            None => vec![
+                Box::new(Pag::paper_baseline()),
+                Box::new(Pag::interference_free()),
+                Box::new(Bimodal::new(1024)),
+                Box::new(Gshare::new(12)),
+            ],
+            Some(name) => vec![predictor_by_name(name, &trace)?],
+        };
+        for mut pred in predictors {
+            println!("{}", simulate(&mut *pred, &trace));
+        }
+        return Ok(());
     }
+
+    let name = p.value("predictor").ok_or_else(|| {
+        usage_err("--checkpoint/--resume need --predictor (pag|free|bimodal|gshare)")
+    })?;
+    let mut pred = checkpointable_by_name(name)?;
+    let resume = match p.value("resume") {
+        Some(ck_path) => {
+            let bytes = std::fs::read(ck_path)
+                .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
+            Some(
+                SimCheckpoint::from_bytes(&bytes)
+                    .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    let every = cadence.as_ref().map(|(_, every)| *every);
+    let result =
+        simulate_resumable(
+            pred.as_mut(),
+            &trace,
+            resume.as_ref(),
+            every,
+            |ck| match &cadence {
+                Some((ck_path, _)) => write_checkpoint(ck_path, &ck.to_bytes())
+                    .map_err(|reason| PredictorError::Checkpoint { reason }),
+                None => Ok(()),
+            },
+        )
+        .map_err(|e| runtime_err(e.to_string()))?;
+    println!("{result}");
     Ok(())
 }
 
-fn predictor_by_name(name: &str, trace: &Trace) -> Result<Box<dyn BranchPredictor>, String> {
+fn predictor_by_name(name: &str, trace: &Trace) -> Result<Box<dyn BranchPredictor>, CliError> {
     Ok(match name {
         "pag" => Box::new(Pag::paper_baseline()),
         "free" => Box::new(Pag::interference_free()),
@@ -290,14 +621,33 @@ fn predictor_by_name(name: &str, trace: &Trace) -> Result<Box<dyn BranchPredicto
         "agree" => Box::new(Agree::new(12, 1024)),
         "bimode" => Box::new(BiMode::new(12, 1024)),
         "profile" => Box::new(StaticPredictor::from_profile(trace)),
-        other => return Err(format!("unknown predictor {other:?}")),
+        other => return Err(usage_err(format!("unknown predictor {other:?}"))),
     })
 }
 
-fn cmd_dot(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &["threshold"], &[])?;
-    let path = p.positionals.first().ok_or("dot needs a trace file")?;
-    let trace = load_trace(path)?;
+/// The checkpoint-capable subset of [`predictor_by_name`].
+fn checkpointable_by_name(name: &str) -> Result<Box<dyn Checkpointable>, CliError> {
+    Ok(match name {
+        "pag" => Box::new(Pag::paper_baseline()),
+        "free" => Box::new(Pag::interference_free()),
+        "bimodal" => Box::new(Bimodal::new(1024)),
+        "gshare" => Box::new(Gshare::new(12)),
+        other => {
+            return Err(usage_err(format!(
+                "predictor {other:?} does not support checkpointing (use pag|free|bimodal|gshare)"
+            )))
+        }
+    })
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &["threshold"], &["salvage"])?;
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("dot needs a trace file"))?;
+    let (trace, report) = load_trace(path, recovery_policy(&p))?;
+    warn_salvage(path, &report);
     let pipeline = AnalysisPipeline {
         conflict: threshold_of(&p)?,
         ..AnalysisPipeline::new()
@@ -346,13 +696,53 @@ mod tests {
 
     #[test]
     fn parse_rejects_unknown_flags() {
-        assert!(parse(&strs(&["--nope"]), &[], &[]).is_err());
-        assert!(parse(&strs(&["--table"]), &["table"], &[]).is_err());
+        assert!(matches!(
+            parse(&strs(&["--nope"]), &[], &[]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&strs(&["--table"]), &["table"], &[]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
-    fn unknown_subcommand_errors() {
-        assert!(run(&strs(&["frobnicate"])).is_err());
+    fn unknown_subcommand_is_a_usage_error() {
+        assert!(matches!(
+            run(&strs(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_a_runtime_error() {
+        assert!(matches!(
+            run(&strs(&["analyze", "/no/such/file.bwst"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn bad_flag_values_are_usage_errors() {
+        assert!(matches!(
+            run(&strs(&["analyze", "x.bwst", "--threshold", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["generate", "pgp", "--format", "xml"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            checkpoint_cadence(
+                &parse(
+                    &strs(&["--checkpoint-every", "8"]),
+                    &["checkpoint-every"],
+                    &[]
+                )
+                .unwrap()
+            ),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -370,6 +760,23 @@ mod tests {
             assert!(predictor_by_name(name, &trace).is_ok(), "{name}");
         }
         assert!(predictor_by_name("nope", &trace).is_err());
+        for name in ["pag", "free", "bimodal", "gshare"] {
+            assert!(checkpointable_by_name(name).is_ok(), "{name}");
+        }
+        assert!(matches!(
+            checkpointable_by_name("hybrid"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_cadence_defaults_to_64_chunks() {
+        let p = parse(&strs(&["--checkpoint", "c.bwck"]), &["checkpoint"], &[]).unwrap();
+        let (path, every) = checkpoint_cadence(&p).unwrap().unwrap();
+        assert_eq!(path, "c.bwck");
+        assert_eq!(every, 64 * DEFAULT_CHUNK_RECORDS as u64);
+        let none = parse(&strs(&[]), &[], &[]).unwrap();
+        assert!(checkpoint_cadence(&none).unwrap().is_none());
     }
 
     #[test]
@@ -391,6 +798,45 @@ mod tests {
         ]))
         .unwrap();
         run(&strs(&["simulate", &out_s, "--predictor", "pag"])).unwrap();
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn streamed_trace_roundtrips_through_every_subcommand() {
+        let dir = std::env::temp_dir().join("bwsa_cli_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.bwss");
+        let out_s = out.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.01", "--format", "bwss", "-o", &out_s,
+        ]))
+        .unwrap();
+        assert_eq!(detect_format(&out_s).unwrap(), TraceFormat::Bwss);
+        run(&strs(&["analyze", &out_s, "--threshold", "3"])).unwrap();
+        run(&strs(&["simulate", &out_s, "--predictor", "gshare"])).unwrap();
+        run(&strs(&[
+            "allocate",
+            &out_s,
+            "--table",
+            "64",
+            "--threshold",
+            "3",
+        ]))
+        .unwrap();
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn bwst_trace_rejects_checkpoint_flags() {
+        let dir = std::env::temp_dir().join("bwsa_cli_ckflag_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.bwst");
+        let out_s = out.to_str().unwrap().to_owned();
+        run(&strs(&["generate", "pgp", "--scale", "0.01", "-o", &out_s])).unwrap();
+        assert!(matches!(
+            run(&strs(&["analyze", &out_s, "--checkpoint", "c.bwck"])),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_file(out).unwrap();
     }
 }

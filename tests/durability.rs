@@ -1,0 +1,353 @@
+//! Integration: durable ingestion end to end — corrupted streams salvage
+//! to the same analysis minus the damaged chunk, interrupted runs resume
+//! bit-identically, and the `bwsa` binary honours its exit-code contract.
+
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::StreamingAnalysis;
+use bwsa::predictor::{simulate, simulate_resumable, Gshare, SimCheckpoint};
+use bwsa::trace::stream::{frame_spans, RecoveryPolicy, StreamReader, StreamWriter};
+use bwsa::trace::{BranchRecord, Trace};
+use bwsa::workload::suite::{Benchmark, InputSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn stream_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = StreamWriter::new(&mut buf, &trace.meta().name).unwrap();
+    for r in trace.records() {
+        w.push(*r).unwrap();
+    }
+    w.finish(trace.meta().total_instructions).unwrap();
+    buf
+}
+
+fn salvage_records(bytes: &[u8]) -> Vec<BranchRecord> {
+    StreamReader::with_recovery(bytes, RecoveryPolicy::Salvage)
+        .unwrap()
+        .filter_map(|r| r.ok())
+        .collect()
+}
+
+/// Corrupting one chunk and salvaging yields exactly the analysis of the
+/// trace with that chunk's records removed — damage stays local.
+#[test]
+fn salvaged_analysis_equals_clean_analysis_minus_the_dropped_chunk() {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+    let buf = stream_bytes(&trace);
+
+    // Flip a bit in the payload of the second data chunk.
+    let spans = frame_spans(&buf).unwrap();
+    let victim = spans[1];
+    let mut bad = buf.clone();
+    bad[victim.offset + victim.len / 2] ^= 0x08;
+
+    let recovered = salvage_records(&bad);
+    assert_eq!(
+        recovered.len(),
+        trace.len() - victim.records as usize,
+        "exactly the victim chunk is gone"
+    );
+
+    // Reference: the same records with the victim chunk excised.
+    let start: usize = spans[..1].iter().map(|s| s.records as usize).sum();
+    let mut expect = trace.records().to_vec();
+    expect.drain(start..start + victim.records as usize);
+    assert_eq!(recovered, expect);
+
+    let pipeline = AnalysisPipeline::new();
+    let mut salvaged = StreamingAnalysis::new(&trace.meta().name);
+    for r in &recovered {
+        salvaged.push(r);
+    }
+    let mut reference = StreamingAnalysis::new(&trace.meta().name);
+    for r in &expect {
+        reference.push(r);
+    }
+    let a = salvaged.finish(&pipeline);
+    let b = reference.finish(&pipeline);
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.working_sets, b.working_sets);
+    assert_eq!(a.classification, b.classification);
+}
+
+/// A simulation checkpointed, serialised to disk bytes, and resumed in a
+/// fresh process-like predictor matches the uninterrupted run exactly.
+#[test]
+fn interrupted_simulation_resumes_bit_identically() {
+    let trace = Benchmark::Pgp.generate_scaled(InputSet::A, 0.02);
+    let full = simulate(&mut Gshare::new(12), &trace);
+
+    let mut checkpoints: Vec<Vec<u8>> = Vec::new();
+    let interrupted = simulate_resumable(&mut Gshare::new(12), &trace, None, Some(1000), |ck| {
+        checkpoints.push(ck.to_bytes());
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(interrupted, full);
+    assert!(!checkpoints.is_empty());
+
+    for bytes in &checkpoints {
+        let ck = SimCheckpoint::from_bytes(bytes).unwrap();
+        let mut fresh = Gshare::new(12);
+        let resumed = simulate_resumable(&mut fresh, &trace, Some(&ck), None, |_| Ok(())).unwrap();
+        assert_eq!(
+            resumed, full,
+            "resume from record {} diverged",
+            ck.records_consumed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The real binary: exit codes, salvage warnings, checkpoint files.
+// ---------------------------------------------------------------------
+
+fn bwsa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bwsa"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bwsa_durability_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn usage_errors_exit_2_and_runtime_errors_exit_1() {
+    let out = bwsa().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    let out = bwsa()
+        .args(["analyze", "/no/such/file.bwst"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    let out = bwsa()
+        .args(["analyze", "x.bwss", "--checkpoint-every", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "cadence without --checkpoint is misuse"
+    );
+}
+
+#[test]
+fn corrupted_stream_fails_strict_but_salvages_to_the_reduced_report() {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+    let buf = stream_bytes(&trace);
+    let spans = frame_spans(&buf).unwrap();
+    let victim = spans[2];
+    let mut bad = buf.clone();
+    bad[victim.offset + victim.len / 2] ^= 0x10;
+
+    let bad_path = temp_path("corrupt.bwss");
+    std::fs::write(&bad_path, &bad).unwrap();
+
+    // Strict read of a damaged stream is a data error: exit 1.
+    let out = bwsa().arg("analyze").arg(&bad_path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Salvage succeeds (exit 0) and warns on stderr.
+    let out = bwsa()
+        .args(["analyze"])
+        .arg(&bad_path)
+        .arg("--salvage")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning:"), "no salvage warning: {stderr}");
+    assert!(stderr.contains("1 dropped"), "unexpected warning: {stderr}");
+
+    // Its stdout equals analyzing a clean stream of the surviving records.
+    let start: usize = spans[..2].iter().map(|s| s.records as usize).sum();
+    let mut rest = Trace::new(trace.meta().name.clone());
+    for (i, r) in trace.records().iter().enumerate() {
+        if !(start..start + victim.records as usize).contains(&i) {
+            rest.push(*r).unwrap();
+        }
+    }
+    rest.meta_mut().total_instructions = trace.meta().total_instructions;
+    let rest_path = temp_path("rest.bwss");
+    std::fs::write(&rest_path, stream_bytes(&rest)).unwrap();
+    let clean = bwsa().arg("analyze").arg(&rest_path).output().unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+    assert!(clean.stderr.is_empty());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&clean.stdout),
+        "salvaged analysis differs from the clean reduced analysis"
+    );
+
+    std::fs::remove_file(bad_path).ok();
+    std::fs::remove_file(rest_path).ok();
+}
+
+#[test]
+fn simulation_killed_after_a_checkpoint_resumes_to_the_same_result() {
+    // Compress at 0.05 ≈ 20k records: checkpoints at each 4096-record
+    // chunk boundary with --checkpoint-every 1.
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+    let trace_path = temp_path("resume.bwss");
+    std::fs::write(&trace_path, stream_bytes(&trace)).unwrap();
+    let ck_path = temp_path("resume.bwck");
+    std::fs::remove_file(&ck_path).ok();
+
+    // Uninterrupted baseline.
+    let baseline = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args(["--predictor", "gshare"])
+        .output()
+        .unwrap();
+    assert_eq!(baseline.status.code(), Some(0));
+
+    // A run that writes checkpoints; the file left behind is the last
+    // interior checkpoint — exactly what a killed run would have.
+    let out = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args([
+            "--predictor",
+            "gshare",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint",
+        ])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, baseline.stdout);
+    assert!(ck_path.exists(), "no checkpoint was written");
+
+    // "Restart" from the surviving checkpoint.
+    let resumed = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args(["--predictor", "gshare", "--resume"])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, baseline.stdout,
+        "resumed run differs from uninterrupted run"
+    );
+
+    // Resuming with the wrong predictor is a data error, not a crash.
+    let wrong = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args(["--predictor", "bimodal", "--resume"])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(wrong.status.code(), Some(1));
+
+    std::fs::remove_file(trace_path).ok();
+    std::fs::remove_file(ck_path).ok();
+}
+
+#[test]
+fn analysis_checkpoint_resumes_to_the_same_report() {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+    let trace_path = temp_path("aresume.bwss");
+    std::fs::write(&trace_path, stream_bytes(&trace)).unwrap();
+    let ck_path = temp_path("aresume.bwck");
+    std::fs::remove_file(&ck_path).ok();
+
+    let baseline = bwsa().arg("analyze").arg(&trace_path).output().unwrap();
+    assert_eq!(baseline.status.code(), Some(0));
+
+    let out = bwsa()
+        .args(["analyze"])
+        .arg(&trace_path)
+        .args(["--checkpoint-every", "1", "--checkpoint"])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(out.stdout, baseline.stdout);
+    assert!(ck_path.exists(), "no analysis checkpoint was written");
+
+    let resumed = bwsa()
+        .args(["analyze"])
+        .arg(&trace_path)
+        .args(["--resume"])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, baseline.stdout,
+        "resumed analysis differs from uninterrupted analysis"
+    );
+
+    std::fs::remove_file(trace_path).ok();
+    std::fs::remove_file(ck_path).ok();
+}
+
+/// A checkpoint on disk survives bit rot checks: flipping any byte makes
+/// both loaders reject it with exit 1 rather than resuming silently wrong.
+#[test]
+fn tampered_checkpoint_files_are_rejected_by_the_binary() {
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
+    let trace_path = temp_path("tamper.bwss");
+    std::fs::write(&trace_path, stream_bytes(&trace)).unwrap();
+    let ck_path = temp_path("tamper.bwck");
+    std::fs::remove_file(&ck_path).ok();
+
+    let out = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args([
+            "--predictor",
+            "gshare",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint",
+        ])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    let mut bytes = std::fs::read(&ck_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&ck_path, &bytes).unwrap();
+
+    let resumed = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args(["--predictor", "gshare", "--resume"])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(resumed.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&resumed.stderr).contains("error:"));
+
+    std::fs::remove_file(trace_path).ok();
+    std::fs::remove_file(ck_path).ok();
+}

@@ -35,7 +35,12 @@ fn li_full_scale_reproduces_all_paper_shapes() {
     let plain = analysis.required_bht_size(&trace, 1024, &cfg);
     let classified = analysis.required_bht_size_classified(&trace, 1024, &cfg);
     assert!(plain.size < 400, "plain {}", plain.size);
-    assert!(classified.size < plain.size, "{} vs {}", classified.size, plain.size);
+    assert!(
+        classified.size < plain.size,
+        "{} vs {}",
+        classified.size,
+        plain.size
+    );
 
     // Figure 4 shape: alloc-1024 ≥ ~10% relative gain, ≈ interference-free.
     let allocation = analysis.allocate_classified(1024, &cfg);
@@ -48,7 +53,10 @@ fn li_full_scale_reproduces_all_paper_shapes() {
     let free = simulate(&mut Pag::interference_free(), &trace).misprediction_rate();
     let gain = (conventional - allocated) / conventional;
     assert!(gain > 0.10, "relative gain {gain}");
-    assert!(allocated <= free * 1.05, "allocated {allocated} vs free {free}");
+    assert!(
+        allocated <= free * 1.05,
+        "allocated {allocated} vs free {free}"
+    );
 }
 
 #[test]
