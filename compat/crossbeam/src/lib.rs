@@ -1,11 +1,13 @@
 //! Offline stub of `crossbeam`.
 //!
-//! Only [`thread::scope`] is provided — the one API this workspace uses —
+//! Provides the two APIs this workspace uses: [`thread::scope`],
 //! implemented on `std::thread::scope` (stable since Rust 1.63, which
-//! post-dates crossbeam's scoped threads). The signature mirrors
-//! crossbeam's: the closure receives a [`thread::Scope`] whose `spawn`
-//! passes the scope back into the spawned closure, and the outer call
-//! returns `Err` if any spawned thread panicked.
+//! post-dates crossbeam's scoped threads), and [`queue::SegQueue`],
+//! implemented on a mutexed `VecDeque` rather than a lock-free segment
+//! list. The signatures mirror crossbeam's: the scope closure receives a
+//! [`thread::Scope`] whose `spawn` passes the scope back into the spawned
+//! closure, and the outer call returns `Err` if any spawned thread
+//! panicked.
 
 /// Scoped threads.
 pub mod thread {
@@ -48,6 +50,60 @@ pub mod thread {
     }
 }
 
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded multi-producer multi-consumer FIFO queue.
+    ///
+    /// API-compatible with crossbeam's `SegQueue`; this stand-in trades
+    /// the lock-free segment list for a mutex, which is plenty for the
+    /// work-distribution queues the workspace uses (one pop per shard or
+    /// sweep cell, each followed by orders of magnitude more work).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes an element to the back of the queue.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("queue poisoned").push_back(value);
+        }
+
+        /// Pops the element at the front of the queue, or `None` if empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue poisoned").pop_front()
+        }
+
+        /// Number of elements currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("queue poisoned").len()
+        }
+
+        /// Returns `true` if the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> FromIterator<T> for SegQueue<T> {
+        fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+            SegQueue {
+                inner: Mutex::new(iter.into_iter().collect()),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -69,6 +125,36 @@ mod tests {
             scope.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn seg_queue_is_fifo() {
+        let q = super::queue::SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn seg_queue_drains_across_threads() {
+        let q: super::queue::SegQueue<usize> = (0..100).collect();
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(q.is_empty());
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 4950);
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod tests {
     }
 
     #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
     enum Sum {
         _A,
         _B(u8),

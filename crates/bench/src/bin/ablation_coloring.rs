@@ -12,7 +12,7 @@
 
 use bwsa_bench::experiments::analyze;
 use bwsa_bench::text::render_table;
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::allocation::{allocate, required_bht_size, AllocationConfig};
 use bwsa_graph::coloring::{ColoringOptions, MergeOrder};
 use bwsa_workload::suite::{Benchmark, InputSet};
@@ -25,7 +25,7 @@ fn main() {
         ("min-degree", MergeOrder::MinDegree),
         ("max-weighted (bad)", MergeOrder::MaxWeightedDegree),
     ];
-    let runs = run_parallel(&benches, |b| {
+    let runs = run_parallel_jobs(&benches, cli.jobs, |b| {
         (b, analyze(b, InputSet::A, cli.scale, cli.threshold()))
     });
     let mut rows = Vec::new();

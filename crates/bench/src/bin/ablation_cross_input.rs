@@ -15,7 +15,7 @@
 
 use bwsa_bench::experiments::{analyze, cross_input_rate};
 use bwsa_bench::text::{pct, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::allocation::{allocate, AllocationConfig};
 use bwsa_core::merge::CumulativeProfile;
 use bwsa_predictor::{simulate, Pag};
@@ -25,7 +25,7 @@ fn main() {
     let cli = Cli::parse();
     let benches = cli.benchmarks_or(&[Benchmark::Perl, Benchmark::Ss, Benchmark::Compress]);
     const TABLE: usize = 128;
-    let rows = run_parallel(&benches, |b| {
+    let rows = run_parallel_jobs(&benches, cli.jobs, |b| {
         let cfg = AllocationConfig::default();
         let run_a = analyze(b, InputSet::A, cli.scale, cli.threshold());
         let run_b = analyze(b, InputSet::B, cli.scale, cli.threshold());

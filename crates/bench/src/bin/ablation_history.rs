@@ -11,7 +11,7 @@
 
 use bwsa_bench::experiments::analyze;
 use bwsa_bench::text::{pct, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::allocation::AllocationConfig;
 use bwsa_predictor::{simulate, BhtIndexer, Pag};
 use bwsa_workload::suite::{Benchmark, InputSet};
@@ -20,7 +20,7 @@ fn main() {
     let cli = Cli::parse();
     let benches = cli.benchmarks_or(&[Benchmark::Compress, Benchmark::Li, Benchmark::M88ksim]);
     let widths = [4u32, 8, 12, 16];
-    let runs = run_parallel(&benches, |b| {
+    let runs = run_parallel_jobs(&benches, cli.jobs, |b| {
         (b, analyze(b, InputSet::A, cli.scale, cli.threshold()))
     });
     let mut rows = Vec::new();

@@ -13,7 +13,7 @@
 
 use bwsa_bench::experiments::analyze;
 use bwsa_bench::text::{pct, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::allocation::AllocationConfig;
 use bwsa_predictor::{simulate, BhtIndexer, CachedIndexPag, Pag};
 use bwsa_workload::suite::{Benchmark, InputSet};
@@ -24,7 +24,7 @@ fn main() {
     let cli = Cli::parse();
     let benches = cli.benchmarks_or(&[Benchmark::Compress, Benchmark::Li, Benchmark::M88ksim]);
     let cache_sizes = [64usize, 256, 1024, 4096];
-    let runs = run_parallel(&benches, |b| {
+    let runs = run_parallel_jobs(&benches, cli.jobs, |b| {
         (b, analyze(b, InputSet::A, cli.scale, cli.threshold()))
     });
     let mut rows = Vec::new();

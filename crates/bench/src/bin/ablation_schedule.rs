@@ -12,7 +12,7 @@
 //! ```
 
 use bwsa_bench::text::{f1, pct, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::allocation::AllocationConfig;
 use bwsa_core::conflict::ConflictConfig;
 use bwsa_core::pipeline::AnalysisPipeline;
@@ -33,7 +33,7 @@ fn main() {
         .iter()
         .flat_map(|&b| (0..models.len()).map(move |m| (b, m)))
         .collect();
-    let rows = run_parallel(&work, |(b, m)| {
+    let rows = run_parallel_jobs(&work, cli.jobs, |(b, m)| {
         let (label, model) = models[m];
         let mut spec = b.spec();
         spec.schedule = model;

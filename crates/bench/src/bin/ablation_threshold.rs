@@ -12,7 +12,7 @@
 
 use bwsa_bench::experiments::{analyze, required_row, table2_row};
 use bwsa_bench::text::{f1, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_workload::suite::{Benchmark, InputSet};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
         .iter()
         .flat_map(|&b| factors.iter().map(move |&f| (b, (base * f).max(2))))
         .collect();
-    let rows = run_parallel(&work, |(b, threshold)| {
+    let rows = run_parallel_jobs(&work, cli.jobs, |(b, threshold)| {
         let run = analyze(b, InputSet::A, cli.scale, threshold);
         let t2 = table2_row(&run);
         let req = required_row(&run, false);

@@ -11,7 +11,7 @@
 
 use bwsa_bench::experiments::analyze_with_definition;
 use bwsa_bench::text::{f1, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::WorkingSetDefinition;
 use bwsa_workload::suite::{Benchmark, InputSet};
 
@@ -34,7 +34,7 @@ fn main() {
         .iter()
         .flat_map(|&b| (0..defs.len()).map(move |d| (b, d)))
         .collect();
-    let rows = run_parallel(&work, |(b, d)| {
+    let rows = run_parallel_jobs(&work, cli.jobs, |(b, d)| {
         let (label, def) = defs[d];
         let run = analyze_with_definition(b, InputSet::A, cli.scale, cli.threshold(), def);
         let r = &run.analysis.working_sets.report;

@@ -3,14 +3,15 @@
 //! whole evaluation for EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p bwsa-bench --bin experiments_all [--scale F] [--quick]
+//! cargo run --release -p bwsa-bench --bin experiments_all \
+//!     [--scale F] [--quick] [--bench NAME]... [--jobs N]
 //! ```
 
 use bwsa_bench::experiments::{
     analyze, figure_row, required_row, table1_row, table2_row, table34_runs, BenchRun,
 };
 use bwsa_bench::text::{f1, pct, render_table};
-use bwsa_bench::{paper, run_parallel, Cli};
+use bwsa_bench::{paper, run_parallel_jobs, Cli};
 use bwsa_core::report::{FigureRow, RequiredSizeRow};
 use bwsa_workload::suite::{Benchmark, InputSet};
 
@@ -34,7 +35,7 @@ fn main() {
         cli.scale,
         cli.threshold()
     );
-    let results = run_parallel(&runs, |(b, s)| {
+    let results = run_parallel_jobs(&runs, cli.jobs, |(b, s)| {
         let started = std::time::Instant::now();
         let run = analyze(b, s, cli.scale, cli.threshold());
         let required_plain = required_row(&run, false);

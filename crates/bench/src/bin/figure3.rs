@@ -9,7 +9,7 @@
 
 use bwsa_bench::experiments::{analyze, figure_row, table34_runs};
 use bwsa_bench::text::{pct, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 
 fn main() {
     let cli = Cli::parse();
@@ -17,7 +17,7 @@ fn main() {
     if !cli.benchmarks.is_empty() {
         runs.retain(|(b, _)| cli.benchmarks.contains(b));
     }
-    let rows = run_parallel(&runs, |(b, s)| {
+    let rows = run_parallel_jobs(&runs, cli.jobs, |(b, s)| {
         let run = analyze(b, s, cli.scale, cli.threshold());
         figure_row(&run, false)
     });

@@ -12,7 +12,7 @@
 //! ```
 
 use bwsa_bench::text::{pct, render_table};
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_core::phases::PhaseTimeline;
 use bwsa_predictor::clustering::{clustering_stats, misprediction_flags};
 use bwsa_predictor::Pag;
@@ -29,7 +29,7 @@ fn main() {
         Benchmark::M88ksim,
         Benchmark::Li,
     ]);
-    let rows = run_parallel(&benches, |b| {
+    let rows = run_parallel_jobs(&benches, cli.jobs, |b| {
         let trace = b.generate_scaled(InputSet::A, cli.scale);
         let timeline = PhaseTimeline::of_trace(&trace, WINDOW);
         let transitions: std::collections::HashSet<usize> = timeline

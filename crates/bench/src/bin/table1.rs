@@ -7,13 +7,13 @@
 
 use bwsa_bench::experiments::{analyze, table1_row};
 use bwsa_bench::text::render_table;
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_workload::suite::{Benchmark, InputSet};
 
 fn main() {
     let cli = Cli::parse();
     let benches = cli.benchmarks_or(&Benchmark::ALL);
-    let rows = run_parallel(&benches, |b| {
+    let rows = run_parallel_jobs(&benches, cli.jobs, |b| {
         let run = analyze(b, InputSet::A, cli.scale, cli.threshold());
         table1_row(&run)
     });

@@ -10,13 +10,13 @@
 
 use bwsa_bench::experiments::{analyze, table2_row};
 use bwsa_bench::text::{f1, render_table};
-use bwsa_bench::{paper, run_parallel, Cli};
+use bwsa_bench::{paper, run_parallel_jobs, Cli};
 use bwsa_workload::suite::{Benchmark, InputSet};
 
 fn main() {
     let cli = Cli::parse();
     let benches = cli.benchmarks_or(&Benchmark::TABLE2);
-    let rows = run_parallel(&benches, |b| {
+    let rows = run_parallel_jobs(&benches, cli.jobs, |b| {
         let run = analyze(b, InputSet::A, cli.scale, cli.threshold());
         table2_row(&run)
     });

@@ -8,7 +8,7 @@
 
 use bwsa_bench::experiments::{analyze, required_row, table34_runs};
 use bwsa_bench::text::render_table;
-use bwsa_bench::{paper, run_parallel, Cli};
+use bwsa_bench::{paper, run_parallel_jobs, Cli};
 
 fn main() {
     let cli = Cli::parse();
@@ -16,7 +16,7 @@ fn main() {
     if !cli.benchmarks.is_empty() {
         runs.retain(|(b, _)| cli.benchmarks.contains(b));
     }
-    let rows = run_parallel(&runs, |(b, s)| {
+    let rows = run_parallel_jobs(&runs, cli.jobs, |(b, s)| {
         let run = analyze(b, s, cli.scale, cli.threshold());
         (required_row(&run, true), required_row(&run, false))
     });

@@ -8,14 +8,14 @@
 //! ```
 
 use bwsa_bench::text::render_table;
-use bwsa_bench::{run_parallel, Cli};
+use bwsa_bench::{run_parallel_jobs, Cli};
 use bwsa_trace::stats::trace_stats;
 use bwsa_workload::suite::{Benchmark, InputSet};
 
 fn main() {
     let cli = Cli::parse();
     let benches = cli.benchmarks_or(&Benchmark::ALL);
-    let rows = run_parallel(&benches, |b| {
+    let rows = run_parallel_jobs(&benches, cli.jobs, |b| {
         let trace = b.generate_scaled(InputSet::A, cli.scale);
         let s = trace_stats(&trace);
         let dist = s.reexecution_distance;

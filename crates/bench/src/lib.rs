@@ -9,6 +9,9 @@
 //!   length).
 //! * `--quick` — shorthand for `--scale 0.05`.
 //! * `--bench <name>` — restrict to one benchmark (repeatable).
+//! * `--jobs <n>` — worker threads for the benchmark fan-out (default:
+//!   all hardware threads). Results are reported in input order for any
+//!   value.
 //!
 //! The harness runs benchmarks in parallel with scoped threads and prints
 //! fixed-width text tables whose columns mirror the paper's.
@@ -29,6 +32,8 @@ pub struct Cli {
     pub scale: f64,
     /// Benchmarks to run (empty = the binary's default set).
     pub benchmarks: Vec<Benchmark>,
+    /// Worker threads for the run fan-out (`None` = hardware threads).
+    pub jobs: Option<usize>,
 }
 
 impl Default for Cli {
@@ -36,6 +41,7 @@ impl Default for Cli {
         Cli {
             scale: 1.0,
             benchmarks: Vec::new(),
+            jobs: None,
         }
     }
 }
@@ -47,7 +53,7 @@ impl Cli {
             Ok(cli) => cli,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <binary> [--scale F] [--quick] [--bench NAME]...");
+                eprintln!("usage: <binary> [--scale F] [--quick] [--bench NAME]... [--jobs N]");
                 std::process::exit(2);
             }
         }
@@ -74,6 +80,14 @@ impl Cli {
                         .find(|b| b.name() == v)
                         .ok_or(format!("unknown benchmark {v:?}"))?;
                     cli.benchmarks.push(*b);
+                }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be positive".into());
+                    }
+                    cli.jobs = Some(n);
                 }
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -106,13 +120,26 @@ where
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    run_parallel_jobs(items, None, f)
+}
+
+/// [`run_parallel`] with an explicit worker count; `None` uses every
+/// hardware thread. Results are in input order for any worker count.
+pub fn run_parallel_jobs<I, T, F>(items: &[I], jobs: Option<usize>, f: F) -> Vec<T>
+where
+    I: Copy + Send + Sync,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
     let mut results: Vec<Option<T>> = items.iter().map(|_| None).collect();
-    let max = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let max = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
     let chunk_size = (items.len() + max - 1) / max.max(1);
     let mut work: Vec<(&mut Option<T>, I)> =
         results.iter_mut().zip(items.iter().copied()).collect();
@@ -188,5 +215,24 @@ mod tests {
         let out = run_parallel(&Benchmark::ALL, |b| b.name().to_owned());
         let expect: Vec<String> = Benchmark::ALL.iter().map(|b| b.name().to_owned()).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&["--jobs", "3"]).unwrap().jobs, Some(3));
+        assert_eq!(parse(&[]).unwrap().jobs, None);
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn explicit_job_counts_preserve_order_too() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * 3).collect();
+        for jobs in [1, 2, 5, 64] {
+            let out = run_parallel_jobs(&items, Some(jobs), |v| v * 3);
+            assert_eq!(out, expect, "jobs {jobs}");
+        }
     }
 }

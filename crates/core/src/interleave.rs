@@ -47,16 +47,45 @@ use std::collections::BTreeSet;
 pub fn interleave_counts(trace: &Trace) -> GraphBuilder {
     let n = trace.static_branch_count();
     let mut builder = GraphBuilder::new(n as u32);
-    // last_stamp[b] = timestamp of b's previous dynamic instance.
     let mut last_stamp: Vec<Option<u64>> = vec![None; n];
+    let records = trace
+        .indexed_records()
+        .map(|(id, rec)| (id.as_u32(), rec.time.get()));
+    interleave_into(&mut builder, &mut last_stamp, records);
+    builder
+}
+
+/// The Figure 1 detection procedure over pre-interned `(branch, stamp)`
+/// pairs, resuming from (and mutating) an explicit latest-stamp state.
+///
+/// This is the shared core of [`interleave_counts`] (which starts from an
+/// empty state) and the parallel shard engine in [`crate::merge`] (which
+/// seeds each shard with the latest stamps accumulated by every earlier
+/// shard, making the sharded run bit-identical to the serial one). The
+/// recency index is rebuilt from `last_stamp`, whose entries are exactly
+/// `(last_stamp[b], b)` for every executed branch — the same argument that
+/// makes [`StreamingInterleave::from_parts`] an exact resume.
+///
+/// `builder` must already declare at least as many nodes as any branch id
+/// in `records`; `last_stamp` is grown on demand.
+pub(crate) fn interleave_into(
+    builder: &mut GraphBuilder,
+    last_stamp: &mut Vec<Option<u64>>,
+    records: impl Iterator<Item = (u32, u64)>,
+) {
     // Recency index: (latest stamp, branch), one entry per executed branch.
-    let mut recency: BTreeSet<(u64, u32)> = BTreeSet::new();
+    let mut recency: BTreeSet<(u64, u32)> = last_stamp
+        .iter()
+        .enumerate()
+        .filter_map(|(b, stamp)| stamp.map(|t| (t, b as u32)))
+        .collect();
     // Reusable scratch for the branches hit by each range scan.
     let mut hits: Vec<u32> = Vec::new();
 
-    for (id, rec) in trace.indexed_records() {
-        let node = id.as_u32();
-        let t = rec.time.get();
+    for (node, t) in records {
+        if node as usize >= last_stamp.len() {
+            last_stamp.resize(node as usize + 1, None);
+        }
         if let Some(prev) = last_stamp[node as usize] {
             // Every branch whose latest stamp is strictly greater than
             // this branch's previous stamp interleaved with it.
@@ -74,7 +103,6 @@ pub fn interleave_counts(trace: &Trace) -> GraphBuilder {
         recency.insert((t, node));
         last_stamp[node as usize] = Some(t);
     }
-    builder
 }
 
 /// Quadratic reference implementation of [`interleave_counts`].

@@ -22,7 +22,10 @@
 //!   branches to BHT entries, the required-table-size search of Tables
 //!   3–4, and construction of the [`bwsa_predictor::AllocatedIndex`]
 //!   consumed by the PAg simulator for Figures 3–4.
-//! * [`merge`] — cumulative multi-input profiles (§5.2).
+//! * [`merge`] — cumulative multi-input profiles (§5.2) and the
+//!   associative shard-combine types behind parallel analysis.
+//! * [`parallel`] — sharded multi-threaded execution of the pipeline,
+//!   bit-identical to the serial pass.
 //! * [`phases`] — working sets over time (transition detection).
 //! * [`pipeline`] — one-call orchestration of all of the above.
 //!
@@ -52,6 +55,7 @@ pub mod conflict;
 mod error;
 pub mod interleave;
 pub mod merge;
+pub mod parallel;
 pub mod phases;
 pub mod pipeline;
 pub mod report;
@@ -63,5 +67,6 @@ pub use classify::{classify, BiasClass, Classification};
 pub use conflict::{ConflictAnalysis, ConflictConfig};
 pub use error::CoreError;
 pub use interleave::{interleave_counts, interleave_counts_naive, StreamingInterleave};
+pub use parallel::{analyze_parallel, parallel_map, ParallelConfig};
 pub use pipeline::{Analysis, AnalysisPipeline};
 pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};

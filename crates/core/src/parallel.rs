@@ -1,0 +1,272 @@
+//! Parallel sharded execution of the analysis pipeline.
+//!
+//! The interleave engine (§4.1 step 1) is inherently stateful: each
+//! re-execution of a branch is compared against the *latest* stamp of
+//! every other branch, so the result of record *k* depends on all records
+//! before it. This module still extracts shard-level parallelism by
+//! splitting the computation into two data-parallel passes joined by a
+//! cheap serial combine:
+//!
+//! 1. **Summarise** (parallel): each time-contiguous shard computes a
+//!    [`ShardBoundary`] — the latest stamp it leaves per branch.
+//! 2. **Prefix-combine** (serial, O(shards × branches)): joining the
+//!    boundaries left to right yields, for every shard, the exact engine
+//!    state at its first record.
+//! 3. **Detect** (parallel): each shard runs the seeded engine over its
+//!    own records, producing a [`ShardDelta`]; deltas merge by integer
+//!    sums into the whole-trace edge counts and branch statistics.
+//!
+//! Both joins are associative and every carry-in is exact, so the output
+//! is **bit-identical** to [`AnalysisPipeline::run`] for any shard count
+//! and any worker count — a property the test suite checks against
+//! arbitrary traces (`crates/core/tests/parallel_prop.rs`).
+//!
+//! Workers are plain scoped threads fed from a shared
+//! [`crossbeam::queue::SegQueue`] of shard indices; results carry their
+//! index and are sorted after the scope joins, so scheduling order never
+//! leaks into the output.
+
+use crate::conflict::ConflictAnalysis;
+use crate::merge::{ShardBoundary, ShardDelta};
+use crate::pipeline::{Analysis, AnalysisPipeline};
+use crate::{classify::classify_with, working_set::working_sets};
+use bwsa_trace::profile::BranchProfile;
+use bwsa_trace::{Trace, TraceShard};
+use crossbeam::queue::SegQueue;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// How a parallel analysis splits and schedules its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads to run (≥ 1).
+    pub jobs: NonZeroUsize,
+    /// Shards to split the trace into; `None` means one per worker.
+    /// The result is bit-identical for every value.
+    pub shards: Option<NonZeroUsize>,
+}
+
+impl ParallelConfig {
+    /// A configuration running `jobs` workers, one shard per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ParallelConfig {
+            jobs: NonZeroUsize::new(jobs).expect("jobs must be positive"),
+            shards: None,
+        }
+    }
+
+    /// One worker per available hardware thread (at least one).
+    pub fn available() -> Self {
+        Self::with_jobs(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The shard count this configuration resolves to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(self.jobs).get()
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::available()
+    }
+}
+
+/// Applies `f` to every item on `jobs` worker threads, returning results
+/// in item order regardless of how the work was scheduled.
+///
+/// Items are pulled from a shared queue, so uneven per-item cost balances
+/// across workers; each worker accumulates `(index, result)` pairs locally
+/// and merges them under one lock when its queue runs dry.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = jobs.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let queue: SegQueue<(usize, T)> = items.into_iter().enumerate().collect();
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut local = Vec::new();
+                while let Some((i, item)) = queue.pop() {
+                    local.push((i, f(i, item)));
+                }
+                collected.lock().expect("results poisoned").extend(local);
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    let mut results = collected.into_inner().expect("results poisoned");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+fn shard_times<'a>(shard: &'a TraceShard<'a>) -> impl Iterator<Item = (u32, u64)> + 'a {
+    shard
+        .indexed_records()
+        .map(|(id, r)| (id.as_u32(), r.time.get()))
+}
+
+fn shard_records<'a>(shard: &'a TraceShard<'a>) -> impl Iterator<Item = (u32, u64, bool)> + 'a {
+    shard
+        .indexed_records()
+        .map(|(id, r)| (id.as_u32(), r.time.get(), r.is_taken()))
+}
+
+/// Runs the full pipeline over `trace` using sharded parallel passes.
+///
+/// The output is bit-identical to [`AnalysisPipeline::run`]; see the
+/// module docs for why.
+pub fn analyze_parallel(
+    pipeline: &AnalysisPipeline,
+    trace: &Trace,
+    config: &ParallelConfig,
+) -> Analysis {
+    let n = trace.static_branch_count();
+    let jobs = config.jobs.get();
+    let shards = trace.shards(config.shard_count());
+
+    // Pass A: per-shard latest-stamp summaries, in parallel.
+    let boundaries = parallel_map(shards.clone(), jobs, |_, shard| {
+        ShardBoundary::of_records(n, shard_times(&shard))
+    });
+
+    // Serial exclusive-prefix combine: carry[i] is the exact engine state
+    // at shard i's first record.
+    let mut carries = Vec::with_capacity(shards.len());
+    let mut acc = ShardBoundary::empty(n);
+    for boundary in &boundaries {
+        carries.push(acc.clone());
+        acc.join(boundary);
+    }
+
+    // Pass B: seeded detection per shard, in parallel.
+    let deltas = parallel_map(
+        shards.into_iter().zip(carries).collect(),
+        jobs,
+        |_, (shard, carry): (TraceShard<'_>, ShardBoundary)| {
+            ShardDelta::of_shard(n, &carry, shard_records(&shard))
+        },
+    );
+
+    // Associative fold, then the same assembly as a streaming finish.
+    let mut total = ShardDelta::empty(n);
+    for delta in &deltas {
+        total.merge(delta);
+    }
+    let ShardDelta {
+        builder,
+        stats,
+        records,
+    } = total;
+    let profile = BranchProfile::from_parts(stats, records);
+    let conflict = ConflictAnalysis::of_raw_graph(builder.build(), pipeline.conflict);
+    let working = working_sets(&conflict.graph, &profile, pipeline.definition);
+    let classification = classify_with(
+        &profile,
+        pipeline.taken_threshold,
+        pipeline.not_taken_threshold,
+    );
+    Analysis {
+        profile,
+        conflict,
+        working_sets: working,
+        classification,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwsa_trace::TraceBuilder;
+
+    fn busy_trace(n: u64) -> Trace {
+        let mut b = TraceBuilder::new("busy");
+        let mut lcg: u64 = 7;
+        for i in 0..n {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.record(0x4000 + (lcg >> 44) % 13 * 4, (lcg >> 21) & 1 == 1, i + 1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let squares = parallel_map((0u64..100).collect(), 4, |i, v| {
+            assert_eq!(i as u64, v);
+            v * v
+        });
+        assert_eq!(squares, (0u64..100).map(|v| v * v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversubscribed() {
+        let empty: Vec<u32> = parallel_map(Vec::new(), 8, |_, v| v);
+        assert!(empty.is_empty());
+        let tiny = parallel_map(vec![5], 8, |_, v: i32| v + 1);
+        assert_eq!(tiny, vec![6]);
+    }
+
+    #[test]
+    fn parallel_analysis_matches_serial_bitwise() {
+        let trace = busy_trace(700);
+        let pipeline = AnalysisPipeline::new();
+        let serial = pipeline.run(&trace);
+        for jobs in [1, 2, 3, 8] {
+            let parallel = analyze_parallel(&pipeline, &trace, &ParallelConfig::with_jobs(jobs));
+            assert_eq!(parallel, serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_leak_into_the_result() {
+        let trace = busy_trace(200);
+        let pipeline = AnalysisPipeline::new();
+        let serial = pipeline.run(&trace);
+        for shards in [1, 2, 7, 199, 200, 500] {
+            let cfg = ParallelConfig {
+                jobs: NonZeroUsize::new(3).unwrap(),
+                shards: NonZeroUsize::new(shards),
+            };
+            assert_eq!(
+                analyze_parallel(&pipeline, &trace, &cfg),
+                serial,
+                "shards {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_analyses_cleanly() {
+        let trace = TraceBuilder::new("empty").finish();
+        let pipeline = AnalysisPipeline::new();
+        assert_eq!(
+            analyze_parallel(&pipeline, &trace, &ParallelConfig::with_jobs(4)),
+            pipeline.run(&trace)
+        );
+    }
+}

@@ -85,6 +85,32 @@ impl AnalysisPipeline {
             classification,
         }
     }
+
+    /// Runs the pipeline with the trace sharded across worker threads.
+    ///
+    /// The result is bit-identical to [`AnalysisPipeline::run`] for every
+    /// worker and shard count; see [`crate::parallel`] for the two-pass
+    /// scheme that makes that hold.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bwsa_core::pipeline::AnalysisPipeline;
+    /// use bwsa_core::ParallelConfig;
+    /// use bwsa_trace::TraceBuilder;
+    ///
+    /// let mut t = TraceBuilder::new("demo");
+    /// for i in 0..1000u64 {
+    ///     t.record(0x100 + (i % 3) * 4, i % 2 == 0, i + 1);
+    /// }
+    /// let trace = t.finish();
+    /// let pipeline = AnalysisPipeline::new();
+    /// let parallel = pipeline.run_parallel(&trace, &ParallelConfig::with_jobs(2));
+    /// assert_eq!(parallel, pipeline.run(&trace));
+    /// ```
+    pub fn run_parallel(&self, trace: &Trace, config: &crate::ParallelConfig) -> Analysis {
+        crate::parallel::analyze_parallel(self, trace, config)
+    }
 }
 
 impl Analysis {

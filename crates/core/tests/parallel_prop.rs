@@ -1,0 +1,180 @@
+//! Property tests for the parallel sharded engine: for arbitrary traces,
+//! shard counts, and worker counts, the parallel pipeline must be
+//! **bit-identical** to the serial one — same `Analysis`, same conflict
+//! graph, same allocation tables — and the shard-combine operations must
+//! be associative.
+//!
+//! Timestamps here may repeat (`dt` can be 0), deliberately: equal stamps
+//! do NOT interleave under the paper's strictly-greater rule, and a shard
+//! boundary falling between two equal-stamp records is exactly where a
+//! sloppy carry would miscount.
+
+use bwsa_core::allocation::AllocationConfig;
+use bwsa_core::merge::{ShardBoundary, ShardDelta};
+use bwsa_core::pipeline::AnalysisPipeline;
+use bwsa_core::{analyze_parallel, parallel_map, ParallelConfig};
+use bwsa_trace::{Trace, TraceBuilder};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+/// Traces with up to 10 static branches and repeatable timestamps.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u8..10, any::<bool>(), 0u64..3), 1..250).prop_map(|steps| {
+        let mut b = TraceBuilder::new("prop");
+        let mut t = 1u64;
+        for (slot, taken, dt) in steps {
+            t += dt; // dt = 0 keeps the previous stamp: equal-time records
+            b.record(0x1000 + u64::from(slot) * 4, taken, t);
+        }
+        b.finish()
+    })
+}
+
+fn config(jobs: usize, shards: usize) -> ParallelConfig {
+    ParallelConfig {
+        jobs: NonZeroUsize::new(jobs).unwrap(),
+        shards: NonZeroUsize::new(shards),
+    }
+}
+
+fn triples(trace: &Trace) -> Vec<(u32, u64, bool)> {
+    trace
+        .indexed_records()
+        .map(|(id, r)| (id.as_u32(), r.time.get(), r.is_taken()))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn parallel_analysis_is_bit_identical_to_serial(
+        trace in arb_trace(),
+        jobs in 1usize..6,
+        shards in 1usize..40,
+    ) {
+        let pipeline = AnalysisPipeline::new();
+        let serial = pipeline.run(&trace);
+        let parallel = analyze_parallel(&pipeline, &trace, &config(jobs, shards));
+        prop_assert_eq!(&parallel, &serial);
+        // The conflict graphs compare above as part of Analysis, but make
+        // the edge-level identity explicit for the raw (unthresholded)
+        // builder output too.
+        prop_assert_eq!(
+            parallel.conflict.raw_edge_count,
+            serial.conflict.raw_edge_count
+        );
+    }
+
+    #[test]
+    fn degenerate_shard_counts_are_exact(trace in arb_trace(), jobs in 1usize..5) {
+        // One shard (pure serial) and more shards than records (most
+        // shards empty) are the boundary cases of the split.
+        let pipeline = AnalysisPipeline::new();
+        let serial = pipeline.run(&trace);
+        for shards in [1, trace.len(), trace.len() + 7] {
+            let cfg = config(jobs, shards.max(1));
+            prop_assert_eq!(analyze_parallel(&pipeline, &trace, &cfg), serial.clone());
+        }
+    }
+
+    #[test]
+    fn allocation_tables_agree_between_serial_and_parallel(
+        trace in arb_trace(),
+        jobs in 1usize..5,
+        table in 1usize..12,
+    ) {
+        let pipeline = AnalysisPipeline {
+            conflict: bwsa_core::ConflictConfig::with_threshold(1).unwrap(),
+            ..AnalysisPipeline::new()
+        };
+        let cfg = AllocationConfig::default();
+        let serial = pipeline.run(&trace);
+        let parallel = pipeline.run_parallel(&trace, &config(jobs, jobs * 2));
+        prop_assert_eq!(
+            parallel.allocate(table, &cfg),
+            serial.allocate(table, &cfg)
+        );
+        prop_assert_eq!(
+            parallel.allocate_classified(table.max(3), &cfg),
+            serial.allocate_classified(table.max(3), &cfg)
+        );
+    }
+
+    #[test]
+    fn boundary_join_is_associative(trace in arb_trace(), a in 1usize..100, b in 1usize..100) {
+        let all = triples(&trace);
+        let n = trace.static_branch_count();
+        // Split into three ranges [0, x), [x, y), [y, len).
+        let x = a % (all.len() + 1);
+        let y = x + b % (all.len() - x + 1);
+        let summarise = |r: &[(u32, u64, bool)]| {
+            ShardBoundary::of_records(n, r.iter().map(|&(b, t, _)| (b, t)))
+        };
+        let (p, q, r) = (summarise(&all[..x]), summarise(&all[x..y]), summarise(&all[y..]));
+        let mut left = p.clone();
+        left.join(&q);
+        left.join(&r);
+        let mut qr = q.clone();
+        qr.join(&r);
+        let mut right = p.clone();
+        right.join(&qr);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &summarise(&all));
+    }
+
+    #[test]
+    fn delta_merge_is_associative(trace in arb_trace(), a in 1usize..100, b in 1usize..100) {
+        let all = triples(&trace);
+        let n = trace.static_branch_count();
+        let x = a % (all.len() + 1);
+        let y = x + b % (all.len() - x + 1);
+        let summarise = |r: &[(u32, u64, bool)]| {
+            ShardBoundary::of_records(n, r.iter().map(|&(b, t, _)| (b, t)))
+        };
+        let mut carry_x = ShardBoundary::empty(n);
+        carry_x.join(&summarise(&all[..x]));
+        let mut carry_y = carry_x.clone();
+        carry_y.join(&summarise(&all[x..y]));
+        let p = ShardDelta::of_shard(n, &ShardBoundary::empty(n), all[..x].iter().copied());
+        let q = ShardDelta::of_shard(n, &carry_x, all[x..y].iter().copied());
+        let r = ShardDelta::of_shard(n, &carry_y, all[y..].iter().copied());
+        let mut left = p.clone();
+        left.merge(&q);
+        left.merge(&r);
+        let mut qr = q.clone();
+        qr.merge(&r);
+        let mut right = p.clone();
+        right.merge(&qr);
+        prop_assert_eq!(left.record_count(), right.record_count());
+        prop_assert_eq!(left.record_count(), all.len() as u64);
+        // Compiled graphs and serial reference agree for both groupings.
+        let serial = bwsa_core::interleave_counts(&trace).build();
+        prop_assert_eq!(left.into_graph(), serial.clone());
+        prop_assert_eq!(right.into_graph(), serial);
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving_for_any_job_count(
+        items in prop::collection::vec(0u64..1000, 0..60),
+        jobs in 1usize..9,
+    ) {
+        let expect: Vec<u64> = items.iter().map(|v| v.wrapping_mul(7) ^ 13).collect();
+        let got = parallel_map(items, jobs, |_, v| v.wrapping_mul(7) ^ 13);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn predictor_sweep_matches_serial_simulation(trace in arb_trace(), jobs in 1usize..6) {
+        use bwsa_predictor::{simulate, sweep, Bimodal, Gshare, Pag, SweepCell};
+        let serial = vec![
+            simulate(&mut Pag::paper_baseline(), &trace),
+            simulate(&mut Bimodal::new(64), &trace),
+            simulate(&mut Gshare::new(8), &trace),
+        ];
+        let cells = vec![
+            SweepCell::plain(Pag::paper_baseline(), &trace),
+            SweepCell::plain(Bimodal::new(64), &trace),
+            SweepCell::plain(Gshare::new(8), &trace),
+        ];
+        prop_assert_eq!(sweep(cells, jobs).unwrap(), serial);
+    }
+}

@@ -56,6 +56,7 @@ mod pap;
 mod predictor;
 mod sim;
 mod staticpred;
+pub mod sweep;
 mod tables;
 
 pub use agree::Agree;
@@ -80,4 +81,5 @@ pub use sim::{
     SimCheckpoint, SimResult, CHECKPOINT_KIND_SIM, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use staticpred::StaticPredictor;
+pub use sweep::{sweep, SweepCell};
 pub use tables::{BranchHistoryTable, PatternHistoryTable};

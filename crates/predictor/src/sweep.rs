@@ -1,0 +1,232 @@
+//! Parallel simulation sweeps: fan a predictor × configuration × workload
+//! grid across a bounded worker pool with deterministic result ordering.
+//!
+//! The paper's evaluation (Figures 3–4, Tables 3–4) is a grid of
+//! independent trace-driven simulations — each cell pairs one predictor
+//! configuration with one workload trace. The cells share nothing, so
+//! they parallelise trivially; what needs care is keeping the *output*
+//! independent of scheduling. [`sweep`] pulls cells from a shared queue
+//! (so slow cells don't serialise behind a fixed partition), tags every
+//! result with its input index, and sorts before returning — the returned
+//! `Vec` is always in cell order, and a failing sweep always reports the
+//! lowest-index error, no matter which worker hit it first.
+//!
+//! [`SweepCell`] is a deferred simulation: a label plus a boxed `FnOnce`
+//! producing a [`SimResult`]. The two constructors cover the workspace's
+//! simulation entry points — [`SweepCell::plain`] wraps [`simulate`] for
+//! any predictor, [`SweepCell::resumable`] wraps [`simulate_resumable`]
+//! for [`Checkpointable`] predictors so checkpointed sweeps keep working
+//! when fanned out.
+
+use crate::checkpoint::Checkpointable;
+use crate::error::PredictorError;
+use crate::predictor::BranchPredictor;
+use crate::sim::{simulate, simulate_resumable, SimCheckpoint, SimResult};
+use bwsa_trace::Trace;
+use crossbeam::queue::SegQueue;
+use std::sync::Mutex;
+
+/// One deferred cell of a simulation sweep.
+pub struct SweepCell<'a> {
+    label: String,
+    run: Box<dyn FnOnce() -> Result<SimResult, PredictorError> + Send + 'a>,
+}
+
+impl std::fmt::Debug for SweepCell<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepCell")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SweepCell<'a> {
+    /// Wraps an arbitrary deferred simulation.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl FnOnce() -> Result<SimResult, PredictorError> + Send + 'a,
+    ) -> Self {
+        SweepCell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// A cell running [`simulate`] — any predictor, no checkpointing.
+    pub fn plain<P>(predictor: P, trace: &'a Trace) -> Self
+    where
+        P: BranchPredictor + Send + 'a,
+    {
+        let label = format!("{}@{}", predictor.name(), trace.meta().name);
+        let mut predictor = predictor;
+        Self::new(label, move || Ok(simulate(&mut predictor, trace)))
+    }
+
+    /// A cell running [`simulate_resumable`] — resumes from an optional
+    /// checkpoint and emits new checkpoints through `on_checkpoint`, so a
+    /// fanned-out sweep keeps the same durability contract as a serial
+    /// checkpointed run.
+    pub fn resumable<P, F>(
+        predictor: P,
+        trace: &'a Trace,
+        resume: Option<SimCheckpoint>,
+        checkpoint_every: Option<u64>,
+        on_checkpoint: F,
+    ) -> Self
+    where
+        P: Checkpointable + Send + 'a,
+        F: FnMut(&SimCheckpoint) -> Result<(), PredictorError> + Send + 'a,
+    {
+        let label = format!("{}@{}", predictor.name(), trace.meta().name);
+        let mut predictor = predictor;
+        let mut on_checkpoint = on_checkpoint;
+        Self::new(label, move || {
+            simulate_resumable(
+                &mut predictor,
+                trace,
+                resume.as_ref(),
+                checkpoint_every,
+                &mut on_checkpoint,
+            )
+        })
+    }
+
+    /// The cell's display label, `predictor@trace` for the built-in
+    /// constructors.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn execute(self) -> Result<SimResult, PredictorError> {
+        (self.run)()
+    }
+}
+
+/// Runs every cell on `jobs` worker threads, returning results in cell
+/// order.
+///
+/// Workers pull cells from a shared queue, so an expensive cell never
+/// strands the rest behind it. Scheduling cannot leak into the output:
+/// results come back ordered by input index, and if any cells fail the
+/// error returned is always the one with the lowest index.
+///
+/// # Errors
+///
+/// Returns the lowest-index cell's error; every cell still runs.
+///
+/// # Panics
+///
+/// Propagates a panic from any cell's simulation.
+pub fn sweep(cells: Vec<SweepCell<'_>>, jobs: usize) -> Result<Vec<SimResult>, PredictorError> {
+    let workers = jobs.clamp(1, cells.len().max(1));
+    let outcomes: Vec<(usize, Result<SimResult, PredictorError>)> = if workers <= 1 {
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| (i, cell.execute()))
+            .collect()
+    } else {
+        let queue: SegQueue<(usize, SweepCell<'_>)> = cells.into_iter().enumerate().collect();
+        let collected = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let mut local = Vec::new();
+                    while let Some((i, cell)) = queue.pop() {
+                        local.push((i, cell.execute()));
+                    }
+                    collected.lock().expect("results poisoned").extend(local);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        collected.into_inner().expect("results poisoned")
+    };
+    let mut outcomes = outcomes;
+    outcomes.sort_unstable_by_key(|&(i, _)| i);
+    outcomes
+        .into_iter()
+        .map(|(_, outcome)| outcome)
+        .collect::<Result<Vec<_>, _>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bimodal, Gshare, Pag};
+    use bwsa_trace::TraceBuilder;
+
+    fn looped_trace(name: &str, branches: u64, records: u64) -> Trace {
+        let mut b = TraceBuilder::new(name);
+        for i in 0..records {
+            b.record(0x1000 + (i % branches) * 4, i % 3 != 0, i + 1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_results_are_in_cell_order_for_any_job_count() {
+        let trace = looped_trace("t", 7, 4000);
+        let serial: Vec<SimResult> = vec![
+            simulate(&mut Pag::paper_baseline(), &trace),
+            simulate(&mut Bimodal::new(64), &trace),
+            simulate(&mut Gshare::new(10), &trace),
+        ];
+        for jobs in [1, 2, 5] {
+            let cells = vec![
+                SweepCell::plain(Pag::paper_baseline(), &trace),
+                SweepCell::plain(Bimodal::new(64), &trace),
+                SweepCell::plain(Gshare::new(10), &trace),
+            ];
+            assert_eq!(sweep(cells, jobs).unwrap(), serial, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn resumable_cells_match_plain_simulation() {
+        let trace = looped_trace("t", 5, 2000);
+        let expected = simulate(&mut Bimodal::new(64), &trace);
+        let cells = vec![SweepCell::resumable(
+            Bimodal::new(64),
+            &trace,
+            None,
+            Some(500),
+            |_| Ok(()),
+        )];
+        assert_eq!(sweep(cells, 2).unwrap(), vec![expected]);
+    }
+
+    #[test]
+    fn lowest_index_error_wins_deterministically() {
+        let trace = looped_trace("t", 3, 100);
+        for jobs in [1, 4] {
+            let cells = vec![
+                SweepCell::plain(Bimodal::new(64), &trace),
+                SweepCell::new("boom-1", || {
+                    Err(PredictorError::checkpoint("cell 1 failed"))
+                }),
+                SweepCell::new("boom-2", || {
+                    Err(PredictorError::checkpoint("cell 2 failed"))
+                }),
+            ];
+            let err = sweep(cells, jobs).unwrap_err();
+            assert!(
+                err.to_string().contains("cell 1 failed"),
+                "jobs {jobs}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        assert_eq!(sweep(Vec::new(), 4).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn labels_identify_predictor_and_trace() {
+        let trace = looped_trace("compress", 3, 10);
+        let cell = SweepCell::plain(Bimodal::new(64), &trace);
+        assert!(cell.label().contains("compress"), "{}", cell.label());
+        assert!(cell.label().contains("bimodal"), "{}", cell.label());
+    }
+}

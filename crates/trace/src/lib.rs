@@ -57,4 +57,4 @@ mod trace;
 pub use error::TraceError;
 pub use id::{BranchId, InstrCount, Pc};
 pub use record::{BranchRecord, Direction};
-pub use trace::{BranchTable, Trace, TraceBuilder, TraceMeta};
+pub use trace::{BranchTable, Trace, TraceBuilder, TraceMeta, TraceShard};

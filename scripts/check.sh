@@ -15,4 +15,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> parallel/serial equivalence + golden fixtures"
+cargo test -q --test parallel_prop -p bwsa-core
+cargo test -q --test golden_regression
+cargo test -q --test cli_jobs
+
+echo "==> bench smoke (single iteration, parallel sweep)"
+cargo run --release -p bwsa-bench --bin experiments_all -- --quick --bench compress --jobs 2 > /dev/null
+
 echo "==> all checks passed"

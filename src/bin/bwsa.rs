@@ -5,24 +5,30 @@
 //!     Generate a benchmark trace and write it in BWST1 binary format or
 //!     as a checksummed BWSS2 stream.
 //!
-//! bwsa analyze <trace> [--threshold N] [--salvage]
+//! bwsa analyze <trace> [--threshold N] [--jobs N] [--salvage]
 //!              [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
 //!     Run branch working set analysis on a trace file and print the
 //!     working-set report, classification counts, and trace statistics.
-//!     BWSS streams are analysed without materialising the trace;
-//!     --salvage recovers what it can from a corrupted stream, and
-//!     --checkpoint/--resume make long runs restartable.
+//!     In-memory traces are sharded across --jobs worker threads (default:
+//!     all hardware threads) with output bit-identical to a serial run.
+//!     BWSS streams are analysed without materialising the trace unless
+//!     --jobs requests parallelism; --salvage recovers what it can from a
+//!     corrupted stream, and --checkpoint/--resume make long runs
+//!     restartable (checkpointed streaming is sequential, so it rejects
+//!     --jobs above 1).
 //!
 //! bwsa allocate <trace> [--table N] [--threshold N] [--classify] [--salvage]
 //!     Compute a branch allocation and report its conflict mass,
 //!     occupancy, and the required-BHT-size search against the
 //!     conventional 1024-entry baseline.
 //!
-//! bwsa simulate <trace> [--predictor NAME] [--salvage]
+//! bwsa simulate <trace> [--predictor NAME] [--jobs N] [--salvage]
 //!               [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
 //!     Simulate a predictor over the trace (default: compare the PAg
 //!     family). NAME ∈ pag | free | bimodal | gshare | gag | hybrid |
 //!     agree | bimode | profile; checkpointing supports the first four.
+//!     The predictor grid fans out across --jobs worker threads with
+//!     results always printed in grid order.
 //!
 //! bwsa dot <trace> [--threshold N] [--salvage]
 //!     Emit the conflict graph as Graphviz DOT, colored by working set.
@@ -34,11 +40,12 @@
 use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::StreamingAnalysis;
+use bwsa::core::{ParallelConfig, StreamingAnalysis};
 use bwsa::graph::dot::{to_dot, DotOptions};
 use bwsa::predictor::{
-    simulate, simulate_resumable, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor,
+    simulate, simulate_resumable, sweep, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor,
     Checkpointable, Gag, Gshare, Hybrid, Pag, PredictorError, SimCheckpoint, StaticPredictor,
+    SweepCell,
 };
 use bwsa::trace::stream::{
     RecoveryPolicy, SalvageReport, StreamReader, StreamWriter, DEFAULT_CHUNK_RECORDS,
@@ -103,11 +110,11 @@ const USAGE: &str = "bwsa — branch working set analysis toolkit
 
 subcommands:
   generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
-  analyze  <trace> [--threshold N] [--salvage]
+  analyze  <trace> [--threshold N] [--jobs N] [--salvage]
            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
   allocate <trace> [--table N] [--threshold N] [--classify] [--salvage]
   simulate <trace> [--predictor pag|free|bimodal|gshare|gag|hybrid|agree|bimode|profile]
-           [--salvage] [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+           [--jobs N] [--salvage] [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
   dot      <trace> [--threshold N] [--salvage]
   help
 
@@ -116,6 +123,11 @@ the format is detected from the file's magic. --salvage recovers what it
 can from a corrupted BWSS stream (partial results exit 0 with a warning on
 stderr). --checkpoint writes a resumable BWCK checkpoint every N stream
 chunks (default 64, one chunk = 4096 records); --resume continues from one.
+
+--jobs N runs analysis shards or simulation grid cells on N worker
+threads (default: all hardware threads); results are bit-identical to a
+serial run. Checkpointed streaming analysis is inherently sequential, so
+`analyze --checkpoint/--resume` rejects --jobs above 1.
 
 exit codes: 0 success, 1 I/O or data error, 2 usage error";
 
@@ -253,6 +265,32 @@ fn threshold_of(p: &Parsed) -> Result<ConflictConfig, CliError> {
     }
 }
 
+/// Worker count from `--jobs`: `None` when the flag is absent (callers
+/// pick a subcommand-appropriate default), `Some(n ≥ 1)` otherwise.
+fn jobs_of(p: &Parsed) -> Result<Option<usize>, CliError> {
+    match p.value("jobs") {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| usage_err(format!("bad --jobs {v:?}")))?;
+            if n == 0 {
+                return Err(usage_err("--jobs must be positive"));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+/// Resolves an optional `--jobs` value to a parallel-analysis
+/// configuration, defaulting to one worker per hardware thread.
+fn parallel_config(jobs: Option<usize>) -> ParallelConfig {
+    match jobs {
+        Some(n) => ParallelConfig::with_jobs(n),
+        None => ParallelConfig::available(),
+    }
+}
+
 /// Checkpoint cadence in records, derived from `--checkpoint-every` (in
 /// stream chunks; default 64). `None` when `--checkpoint` was not given.
 fn checkpoint_cadence(p: &Parsed) -> Result<Option<(String, u64)>, CliError> {
@@ -356,7 +394,13 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let p = parse(
         args,
-        &["threshold", "checkpoint", "checkpoint-every", "resume"],
+        &[
+            "threshold",
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
+            "jobs",
+        ],
         &["salvage"],
     )?;
     let path = p
@@ -368,27 +412,48 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         ..AnalysisPipeline::new()
     };
     checkpoint_cadence(&p)?;
+    let jobs = jobs_of(&p)?;
+    let wants_checkpointing = p.value("checkpoint").is_some() || p.value("resume").is_some();
+    if wants_checkpointing && jobs.is_some_and(|j| j > 1) {
+        return Err(usage_err(
+            "--checkpoint/--resume stream sequentially and cannot use --jobs above 1",
+        ));
+    }
     match detect_format(path)? {
         TraceFormat::Bwst => {
-            if p.value("checkpoint").is_some() || p.value("resume").is_some() {
+            if wants_checkpointing {
                 return Err(usage_err(
                     "--checkpoint/--resume need a BWSS stream trace (see `bwsa generate --format bwss`)",
                 ));
             }
             let (trace, _) = load_trace(path, RecoveryPolicy::Strict)?;
-            let analysis = pipeline.run(&trace);
-            println!("{trace}");
-            let s = trace_stats(&trace);
-            println!(
-                "density {:.3} branches/instr, dynamic taken rate {:.1}%",
-                s.branch_density,
-                s.dynamic_taken_rate * 100.0
-            );
-            print_analysis(&analysis, &pipeline);
+            analyze_in_memory(&trace, &pipeline, jobs);
+        }
+        // A BWSS stream stays on the constant-memory sequential path
+        // unless --jobs explicitly asks for workers, which requires
+        // materialising the trace to shard it.
+        TraceFormat::Bwss if !wants_checkpointing && jobs.is_some_and(|j| j > 1) => {
+            let (trace, report) = load_trace(path, recovery_policy(&p))?;
+            warn_salvage(path, &report);
+            analyze_in_memory(&trace, &pipeline, jobs);
         }
         TraceFormat::Bwss => analyze_stream(path, &p, &pipeline)?,
     }
     Ok(())
+}
+
+/// The in-memory `analyze` path: sharded parallel pipeline (bit-identical
+/// to serial for any worker count) plus the report printout.
+fn analyze_in_memory(trace: &Trace, pipeline: &AnalysisPipeline, jobs: Option<usize>) {
+    let analysis = pipeline.run_parallel(trace, &parallel_config(jobs));
+    println!("{trace}");
+    let s = trace_stats(trace);
+    println!(
+        "density {:.3} branches/instr, dynamic taken rate {:.1}%",
+        s.branch_density,
+        s.dynamic_taken_rate * 100.0
+    );
+    print_analysis(&analysis, pipeline);
 }
 
 /// Streaming analysis of a BWSS trace: constant memory in the trace
@@ -549,7 +614,13 @@ fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
 fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let p = parse(
         args,
-        &["predictor", "checkpoint", "checkpoint-every", "resume"],
+        &[
+            "predictor",
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
+            "jobs",
+        ],
         &["salvage"],
     )?;
     let path = p
@@ -557,12 +628,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         .first()
         .ok_or_else(|| usage_err("simulate needs a trace file"))?;
     let cadence = checkpoint_cadence(&p)?;
+    let jobs = jobs_of(&p)?.unwrap_or_else(|| ParallelConfig::available().jobs.get());
     let wants_checkpointing = cadence.is_some() || p.value("resume").is_some();
     let (trace, report) = load_trace(path, recovery_policy(&p))?;
     warn_salvage(path, &report);
 
-    if !wants_checkpointing {
-        let predictors: Vec<Box<dyn BranchPredictor>> = match p.value("predictor") {
+    let cells: Vec<SweepCell<'_>> = if !wants_checkpointing {
+        let predictors: Vec<Box<dyn BranchPredictor + Send>> = match p.value("predictor") {
             None => vec![
                 Box::new(Pag::paper_baseline()),
                 Box::new(Pag::interference_free()),
@@ -571,46 +643,57 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
             ],
             Some(name) => vec![predictor_by_name(name, &trace)?],
         };
-        for mut pred in predictors {
-            println!("{}", simulate(&mut *pred, &trace));
-        }
-        return Ok(());
-    }
-
-    let name = p.value("predictor").ok_or_else(|| {
-        usage_err("--checkpoint/--resume need --predictor (pag|free|bimodal|gshare)")
-    })?;
-    let mut pred = checkpointable_by_name(name)?;
-    let resume = match p.value("resume") {
-        Some(ck_path) => {
-            let bytes = std::fs::read(ck_path)
-                .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
-            Some(
-                SimCheckpoint::from_bytes(&bytes)
-                    .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?,
+        predictors
+            .into_iter()
+            .map(|mut pred| {
+                let trace = &trace;
+                SweepCell::new(pred.name(), move || Ok(simulate(&mut *pred, trace)))
+            })
+            .collect()
+    } else {
+        let name = p.value("predictor").ok_or_else(|| {
+            usage_err("--checkpoint/--resume need --predictor (pag|free|bimodal|gshare)")
+        })?;
+        let mut pred = checkpointable_by_name(name)?;
+        let resume = match p.value("resume") {
+            Some(ck_path) => {
+                let bytes = std::fs::read(ck_path)
+                    .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
+                Some(
+                    SimCheckpoint::from_bytes(&bytes)
+                        .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?,
+                )
+            }
+            None => None,
+        };
+        let every = cadence.as_ref().map(|(_, every)| *every);
+        let trace = &trace;
+        let cadence = cadence.clone();
+        vec![SweepCell::new(pred.name(), move || {
+            simulate_resumable(
+                pred.as_mut(),
+                trace,
+                resume.as_ref(),
+                every,
+                |ck| match &cadence {
+                    Some((ck_path, _)) => write_checkpoint(ck_path, &ck.to_bytes())
+                        .map_err(|reason| PredictorError::Checkpoint { reason }),
+                    None => Ok(()),
+                },
             )
-        }
-        None => None,
+        })]
     };
-    let every = cadence.as_ref().map(|(_, every)| *every);
-    let result =
-        simulate_resumable(
-            pred.as_mut(),
-            &trace,
-            resume.as_ref(),
-            every,
-            |ck| match &cadence {
-                Some((ck_path, _)) => write_checkpoint(ck_path, &ck.to_bytes())
-                    .map_err(|reason| PredictorError::Checkpoint { reason }),
-                None => Ok(()),
-            },
-        )
-        .map_err(|e| runtime_err(e.to_string()))?;
-    println!("{result}");
+    let results = sweep(cells, jobs).map_err(|e| runtime_err(e.to_string()))?;
+    for result in results {
+        println!("{result}");
+    }
     Ok(())
 }
 
-fn predictor_by_name(name: &str, trace: &Trace) -> Result<Box<dyn BranchPredictor>, CliError> {
+fn predictor_by_name(
+    name: &str,
+    trace: &Trace,
+) -> Result<Box<dyn BranchPredictor + Send>, CliError> {
     Ok(match name {
         "pag" => Box::new(Pag::paper_baseline()),
         "free" => Box::new(Pag::interference_free()),
@@ -626,7 +709,7 @@ fn predictor_by_name(name: &str, trace: &Trace) -> Result<Box<dyn BranchPredicto
 }
 
 /// The checkpoint-capable subset of [`predictor_by_name`].
-fn checkpointable_by_name(name: &str) -> Result<Box<dyn Checkpointable>, CliError> {
+fn checkpointable_by_name(name: &str) -> Result<Box<dyn Checkpointable + Send>, CliError> {
     Ok(match name {
         "pag" => Box::new(Pag::paper_baseline()),
         "free" => Box::new(Pag::interference_free()),
@@ -767,6 +850,105 @@ mod tests {
             checkpointable_by_name("hybrid"),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn jobs_flag_is_validated_before_touching_the_trace() {
+        // Bad values are usage errors even when the file doesn't exist.
+        for bad in ["0", "many", "-3", "1.5"] {
+            assert!(
+                matches!(
+                    run(&strs(&["analyze", "/no/such.bwst", "--jobs", bad])),
+                    Err(CliError::Usage(_))
+                ),
+                "--jobs {bad}"
+            );
+            assert!(
+                matches!(
+                    run(&strs(&["simulate", "/no/such.bwst", "--jobs", bad])),
+                    Err(CliError::Usage(_))
+                ),
+                "--jobs {bad}"
+            );
+        }
+        let p = parse(&strs(&["--jobs", "4"]), &["jobs"], &[]).unwrap();
+        assert_eq!(jobs_of(&p).unwrap(), Some(4));
+        assert_eq!(jobs_of(&parse(&[], &["jobs"], &[]).unwrap()).unwrap(), None);
+    }
+
+    #[test]
+    fn checkpointed_analysis_rejects_parallel_jobs() {
+        // Sequential by contract: explicit --jobs > 1 with --checkpoint or
+        // --resume is a usage error, caught before any I/O.
+        assert!(matches!(
+            run(&strs(&[
+                "analyze",
+                "/no/such.bwss",
+                "--checkpoint",
+                "c.bwck",
+                "--jobs",
+                "2"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strs(&[
+                "analyze",
+                "/no/such.bwss",
+                "--resume",
+                "c.bwck",
+                "--jobs",
+                "8"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        // --jobs 1 is explicitly sequential and stays allowed; the missing
+        // file is then a runtime error, proving the usage gate passed.
+        assert!(matches!(
+            run(&strs(&[
+                "analyze",
+                "/no/such.bwss",
+                "--checkpoint",
+                "c.bwck",
+                "--jobs",
+                "1"
+            ])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_analysis_output_matches_serial_for_both_formats() {
+        let dir = std::env::temp_dir().join("bwsa_cli_jobs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for format in ["bwst", "bwss"] {
+            let out = dir.join(format!("t.{format}"));
+            let out_s = out.to_str().unwrap().to_owned();
+            run(&strs(&[
+                "generate", "pgp", "--scale", "0.01", "--format", format, "-o", &out_s,
+            ]))
+            .unwrap();
+            run(&strs(&[
+                "analyze",
+                &out_s,
+                "--threshold",
+                "3",
+                "--jobs",
+                "1",
+            ]))
+            .unwrap();
+            run(&strs(&[
+                "analyze",
+                &out_s,
+                "--threshold",
+                "3",
+                "--jobs",
+                "3",
+            ]))
+            .unwrap();
+            run(&strs(&["simulate", &out_s, "--jobs", "2"])).unwrap();
+            std::fs::remove_file(out).unwrap();
+        }
     }
 
     #[test]

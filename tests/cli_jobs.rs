@@ -1,0 +1,165 @@
+//! Exit-code contract for `--jobs`, exercised against the real binary:
+//! 0 on success, 1 on runtime (I/O/data) failures, 2 on usage errors —
+//! and byte-identical stdout between serial and parallel runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bwsa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bwsa"))
+        .args(args)
+        .output()
+        .expect("bwsa binary runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (killed by signal?)")
+}
+
+/// Generates a small deterministic trace for the given format, returning
+/// its path inside a per-test temp directory.
+fn fixture_trace_scaled(dir_tag: &str, format: &str, scale: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bwsa_cli_jobs_{dir_tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("t.{format}"));
+    let out = bwsa(&[
+        "generate",
+        "pgp",
+        "--scale",
+        scale,
+        "--format",
+        format,
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "generate failed: {out:?}");
+    path
+}
+
+fn fixture_trace(dir_tag: &str, format: &str) -> PathBuf {
+    fixture_trace_scaled(dir_tag, format, "0.01")
+}
+
+#[test]
+fn jobs_misuse_exits_2_before_touching_files() {
+    for args in [
+        ["analyze", "/no/such.bwst", "--jobs", "0"],
+        ["analyze", "/no/such.bwst", "--jobs", "lots"],
+        ["simulate", "/no/such.bwst", "--jobs", "0"],
+        ["simulate", "/no/such.bwst", "--jobs", "2.5"],
+    ] {
+        let out = bwsa(&args);
+        assert_eq!(exit_code(&out), 2, "{args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn checkpointed_analyze_with_parallel_jobs_exits_2() {
+    // The usage gate fires before I/O, so no real files are needed.
+    let out = bwsa(&[
+        "analyze",
+        "/no/such.bwss",
+        "--checkpoint",
+        "c.bwck",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let out = bwsa(&[
+        "analyze",
+        "/no/such.bwss",
+        "--resume",
+        "c.bwck",
+        "--jobs",
+        "4",
+    ]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    // --jobs 1 passes the usage gate; the missing file is then exit 1.
+    let out = bwsa(&[
+        "analyze",
+        "/no/such.bwss",
+        "--checkpoint",
+        "c.bwck",
+        "--jobs",
+        "1",
+    ]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn missing_trace_file_exits_1() {
+    let out = bwsa(&["analyze", "/no/such/file.bwst", "--jobs", "2"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn parallel_analyze_stdout_is_byte_identical_to_serial() {
+    for format in ["bwst", "bwss"] {
+        let path = fixture_trace("analyze", format);
+        let path = path.to_str().unwrap();
+        let serial = bwsa(&["analyze", path, "--threshold", "3", "--jobs", "1"]);
+        let parallel = bwsa(&["analyze", path, "--threshold", "3", "--jobs", "3"]);
+        assert_eq!(exit_code(&serial), 0, "{serial:?}");
+        assert_eq!(exit_code(&parallel), 0, "{parallel:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&serial.stdout),
+            String::from_utf8_lossy(&parallel.stdout),
+            "{format}: parallel analyze output diverged"
+        );
+    }
+}
+
+#[test]
+fn parallel_simulate_stdout_is_byte_identical_to_serial() {
+    let path = fixture_trace("simulate", "bwst");
+    let path = path.to_str().unwrap();
+    let serial = bwsa(&["simulate", path, "--jobs", "1"]);
+    let parallel = bwsa(&["simulate", path, "--jobs", "4"]);
+    assert_eq!(exit_code(&serial), 0, "{serial:?}");
+    assert_eq!(exit_code(&parallel), 0, "{parallel:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "parallel simulate output diverged"
+    );
+}
+
+#[test]
+fn checkpointed_simulate_still_works_with_jobs_flag() {
+    // simulate's checkpoint path is a single sweep cell, so any --jobs
+    // value is accepted and the checkpoint file is still produced. The
+    // trace must span more than one 4096-record stream chunk for the
+    // every-1-chunk cadence to fire at all.
+    let path = fixture_trace_scaled("sim_ck", "bwst", "0.2");
+    let dir = path.parent().unwrap();
+    let ck = dir.join("sim.bwck");
+    let ck_s = ck.to_str().unwrap();
+    let out = bwsa(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--predictor",
+        "bimodal",
+        "--checkpoint",
+        ck_s,
+        "--checkpoint-every",
+        "1",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(ck.exists(), "checkpoint file was not written");
+    // And resuming from it completes with the same final line.
+    let resumed = bwsa(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--predictor",
+        "bimodal",
+        "--resume",
+        ck_s,
+    ]);
+    assert_eq!(exit_code(&resumed), 0, "{resumed:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&resumed.stdout)
+    );
+}
