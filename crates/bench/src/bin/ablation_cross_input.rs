@@ -29,7 +29,10 @@ fn main() {
         let cfg = AllocationConfig::default();
         let run_a = analyze(b, InputSet::A, cli.scale, cli.threshold());
         let run_b = analyze(b, InputSet::B, cli.scale, cli.threshold());
-        let alloc_a = run_a.analysis.allocate(TABLE, &cfg);
+        let alloc_a = run_a
+            .analysis
+            .allocation(bwsa_core::Classified(false), TABLE, &cfg)
+            .expect("valid table size");
 
         let self_rate = {
             let mut pag = Pag::paper_with_indexer(bwsa_predictor::BhtIndexer::Allocated(

@@ -25,7 +25,14 @@ fn main() {
     });
     let mut rows = Vec::new();
     for (b, run) in &runs {
-        let allocation = run.analysis.allocate(1024, &AllocationConfig::default());
+        let allocation = run
+            .analysis
+            .allocation(
+                bwsa_core::Classified(false),
+                1024,
+                &AllocationConfig::default(),
+            )
+            .expect("valid table size");
         for w in widths {
             let conv = simulate(&mut Pag::new(BhtIndexer::pc_modulo(1024), w), &run.trace);
             let alloc = simulate(

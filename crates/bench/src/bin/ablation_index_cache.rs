@@ -31,7 +31,12 @@ fn main() {
     for (b, run) in &runs {
         let allocation = run
             .analysis
-            .allocate_classified(ALLOC_TABLE, &AllocationConfig::default());
+            .allocation(
+                bwsa_core::Classified(true),
+                ALLOC_TABLE,
+                &AllocationConfig::default(),
+            )
+            .expect("valid table size");
         let conventional = simulate(&mut Pag::paper_baseline(), &run.trace).misprediction_rate();
         let pure = simulate(
             &mut Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index.clone())),

@@ -46,7 +46,7 @@ fn main() {
             conflict: ConflictConfig::with_threshold(cli.threshold()).expect("threshold >= 1"),
             ..AnalysisPipeline::new()
         };
-        let analysis = pipeline.run(&trace);
+        let analysis = pipeline.run_observed(&trace, &bwsa_obs::Obs::noop());
         let alloc = bwsa_core::allocation::allocate_classified(
             &analysis.conflict.graph,
             &analysis.classification,

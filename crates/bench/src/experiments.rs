@@ -4,7 +4,7 @@ use bwsa_core::allocation::AllocationConfig;
 use bwsa_core::conflict::ConflictConfig;
 use bwsa_core::pipeline::{Analysis, AnalysisPipeline};
 use bwsa_core::report::{FigureRow, RequiredSizeRow, Table1Row, Table2Row};
-use bwsa_core::WorkingSetDefinition;
+use bwsa_core::{Classified, WorkingSetDefinition};
 use bwsa_predictor::{simulate, BhtIndexer, Pag};
 use bwsa_trace::profile::{FilterOutcome, FrequencyFilter};
 use bwsa_trace::Trace;
@@ -50,7 +50,7 @@ pub fn analyze(benchmark: Benchmark, set: InputSet, scale: f64, threshold: u64) 
         conflict: ConflictConfig::with_threshold(threshold).expect("threshold >= 1"),
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
+    let analysis = pipeline.run_observed(&trace, &bwsa_obs::Obs::noop());
     BenchRun {
         benchmark,
         set,
@@ -110,13 +110,10 @@ pub const BASELINE_BHT: usize = 1024;
 /// row.
 pub fn required_row(run: &BenchRun, classified: bool) -> RequiredSizeRow {
     let cfg = AllocationConfig::default();
-    let r = if classified {
-        run.analysis
-            .required_bht_size_classified(&run.trace, BASELINE_BHT, &cfg)
-    } else {
-        run.analysis
-            .required_bht_size(&run.trace, BASELINE_BHT, &cfg)
-    };
+    let r = run
+        .analysis
+        .required_size(Classified(classified), &run.trace, BASELINE_BHT, &cfg)
+        .expect("positive baseline");
     RequiredSizeRow {
         benchmark: run_label(run.benchmark, run.set),
         classified,
@@ -133,11 +130,10 @@ pub const FIGURE_ALLOC_SIZES: [usize; 3] = [16, 128, 1024];
 /// Simulates one allocation-indexed PAg at `table_size`.
 pub fn alloc_rate(run: &BenchRun, table_size: usize, classified: bool) -> f64 {
     let cfg = AllocationConfig::default();
-    let allocation = if classified {
-        run.analysis.allocate_classified(table_size, &cfg)
-    } else {
-        run.analysis.allocate(table_size, &cfg)
-    };
+    let allocation = run
+        .analysis
+        .allocation(Classified(classified), table_size, &cfg)
+        .expect("valid table size");
     let mut pag = Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index));
     simulate(&mut pag, &run.trace).misprediction_rate()
 }

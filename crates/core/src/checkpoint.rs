@@ -57,7 +57,8 @@ pub const CHECKPOINT_KIND_ANALYSIS: u8 = 2;
 /// for r in &trace.records()[500..] {
 ///     resumed.push(r);
 /// }
-/// assert_eq!(resumed.finish(&pipeline), pipeline.run(&trace));
+/// let direct = pipeline.run_observed(&trace, &bwsa_obs::Obs::noop());
+/// assert_eq!(resumed.finish(&pipeline), direct);
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingAnalysis {
@@ -129,9 +130,16 @@ impl StreamingAnalysis {
     }
 
     /// Completes the pipeline on everything consumed so far, producing the
-    /// same [`Analysis`] that [`AnalysisPipeline::run`] computes from an
-    /// in-memory trace of the same records.
+    /// same [`Analysis`] that [`AnalysisPipeline::run_observed`] computes
+    /// from an in-memory trace of the same records.
     pub fn finish(self, pipeline: &AnalysisPipeline) -> Analysis {
+        self.finish_observed(pipeline, &bwsa_obs::Obs::noop())
+    }
+
+    /// [`StreamingAnalysis::finish`] with stage timings and graph
+    /// counters reported into `obs`. The result is bit-identical either
+    /// way.
+    pub fn finish_observed(self, pipeline: &AnalysisPipeline, obs: &bwsa_obs::Obs) -> Analysis {
         let StreamingAnalysis {
             interleave,
             stats,
@@ -140,19 +148,52 @@ impl StreamingAnalysis {
         } = self;
         let (builder, _table) = interleave.finish();
         let profile = BranchProfile::from_parts(stats, records_consumed);
-        let conflict = ConflictAnalysis::of_raw_graph(builder.build(), pipeline.conflict);
-        let working = working_sets(&conflict.graph, &profile, pipeline.definition);
-        let classification = classify_with(
-            &profile,
-            pipeline.taken_threshold,
-            pipeline.not_taken_threshold,
-        );
+        let raw = builder.build();
+        obs.add("core.interleave_pairs", raw.edge_count() as u64);
+        obs.add("core.interleave_weight", raw.total_weight());
+        let conflict = {
+            let _span = obs.span("conflict_prune");
+            ConflictAnalysis::of_raw_graph(raw, pipeline.conflict)
+        };
+        obs.add("core.graph_edges_raw", conflict.raw_edge_count as u64);
+        obs.add("core.graph_edges_kept", conflict.graph.edge_count() as u64);
+        let working = {
+            let _span = obs.span("working_sets");
+            working_sets(&conflict.graph, &profile, pipeline.definition)
+        };
+        let classification = {
+            let _span = obs.span("classify");
+            classify_with(
+                &profile,
+                pipeline.taken_threshold,
+                pipeline.not_taken_threshold,
+            )
+        };
+        obs.sample_peak_rss();
         Analysis {
             profile,
             conflict,
             working_sets: working,
             classification,
         }
+    }
+
+    /// [`StreamingAnalysis::save`] with the serialisation time recorded
+    /// as a `checkpoint_save` span.
+    pub fn save_observed(&self, obs: &bwsa_obs::Obs) -> Vec<u8> {
+        let _span = obs.span("checkpoint_save");
+        self.save()
+    }
+
+    /// [`StreamingAnalysis::load`] with the restore time recorded as a
+    /// `checkpoint_restore` span.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`StreamingAnalysis::load`].
+    pub fn load_observed(bytes: &[u8], obs: &bwsa_obs::Obs) -> Result<Self, CoreError> {
+        let _span = obs.span("checkpoint_restore");
+        Self::load(bytes)
     }
 
     /// Serialises the analysis state, appending a CRC32 of everything
@@ -369,7 +410,7 @@ mod tests {
     #[test]
     fn checkpointed_run_matches_in_memory_pipeline_at_any_split() {
         let trace = busy_trace(800);
-        let expected = AnalysisPipeline::new().run(&trace);
+        let expected = AnalysisPipeline::new().run_observed(&trace, &bwsa_obs::Obs::noop());
         for split in [0, 1, 399, 400, 799, 800] {
             assert_eq!(run_streaming(&trace, split), expected, "split {split}");
         }
@@ -383,7 +424,7 @@ mod tests {
         assert_eq!(a.records_consumed(), 300);
         assert_eq!(
             a.finish(&AnalysisPipeline::new()),
-            AnalysisPipeline::new().run(&trace)
+            AnalysisPipeline::new().run_observed(&trace, &bwsa_obs::Obs::noop())
         );
     }
 

@@ -27,12 +27,15 @@
 //! * [`parallel`] — sharded multi-threaded execution of the pipeline,
 //!   bit-identical to the serial pass.
 //! * [`phases`] — working sets over time (transition detection).
-//! * [`pipeline`] — one-call orchestration of all of the above.
+//! * [`pipeline`] — the pipeline engine and its products.
+//! * [`session`] — the [`Session`] entry point: trace + configuration +
+//!   observer behind one builder, with cached results, unified
+//!   [`Error`] handling, and [`bwsa_obs::RunReport`] emission.
 //!
 //! # Example
 //!
 //! ```
-//! use bwsa_core::pipeline::AnalysisPipeline;
+//! use bwsa_core::Session;
 //! use bwsa_trace::TraceBuilder;
 //!
 //! // Two branches ping-ponging: one working set of size 2.
@@ -40,7 +43,9 @@
 //! for i in 0..600u64 {
 //!     b.record(0x400 + (i % 2) * 4, i % 4 < 2, i + 1);
 //! }
-//! let analysis = AnalysisPipeline::new().run(&b.finish());
+//! let trace = b.finish();
+//! let session = Session::new(&trace);
+//! let analysis = session.run().unwrap();
 //! assert_eq!(analysis.working_sets.report.total_sets, 1);
 //! assert_eq!(analysis.working_sets.report.max_size, 2);
 //! ```
@@ -59,14 +64,16 @@ pub mod parallel;
 pub mod phases;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod working_set;
 
 pub use allocation::{allocate, required_bht_size, Allocation, AllocationConfig};
 pub use checkpoint::StreamingAnalysis;
 pub use classify::{classify, BiasClass, Classification};
 pub use conflict::{ConflictAnalysis, ConflictConfig};
-pub use error::CoreError;
+pub use error::{CoreError, Error};
 pub use interleave::{interleave_counts, interleave_counts_naive, StreamingInterleave};
-pub use parallel::{analyze_parallel, parallel_map, ParallelConfig};
+pub use parallel::{analyze_parallel, analyze_parallel_observed, parallel_map, ParallelConfig};
 pub use pipeline::{Analysis, AnalysisPipeline};
+pub use session::{Classified, Execution, Session};
 pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};

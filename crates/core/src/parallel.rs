@@ -30,6 +30,7 @@ use crate::conflict::ConflictAnalysis;
 use crate::merge::{ShardBoundary, ShardDelta};
 use crate::pipeline::{Analysis, AnalysisPipeline};
 use crate::{classify::classify_with, working_set::working_sets};
+use bwsa_obs::Obs;
 use bwsa_trace::profile::BranchProfile;
 use bwsa_trace::{Trace, TraceShard};
 use crossbeam::queue::SegQueue;
@@ -137,39 +138,63 @@ fn shard_records<'a>(shard: &'a TraceShard<'a>) -> impl Iterator<Item = (u32, u6
 
 /// Runs the full pipeline over `trace` using sharded parallel passes.
 ///
-/// The output is bit-identical to [`AnalysisPipeline::run`]; see the
-/// module docs for why.
+/// The output is bit-identical to a serial
+/// [`AnalysisPipeline::run_observed`]; see the module docs for why.
 pub fn analyze_parallel(
     pipeline: &AnalysisPipeline,
     trace: &Trace,
     config: &ParallelConfig,
+) -> Analysis {
+    analyze_parallel_observed(pipeline, trace, config, &Obs::noop())
+}
+
+/// [`analyze_parallel`] with stage timings (`shard_summarize`,
+/// `shard_combine`, `shard_detect`, then the shared downstream stages)
+/// and counters reported into `obs`.
+///
+/// The observer never participates in the computation, so the result is
+/// bit-identical whether or not it records.
+pub fn analyze_parallel_observed(
+    pipeline: &AnalysisPipeline,
+    trace: &Trace,
+    config: &ParallelConfig,
+    obs: &Obs,
 ) -> Analysis {
     let n = trace.static_branch_count();
     let jobs = config.jobs.get();
     let shards = trace.shards(config.shard_count());
 
     // Pass A: per-shard latest-stamp summaries, in parallel.
-    let boundaries = parallel_map(shards.clone(), jobs, |_, shard| {
-        ShardBoundary::of_records(n, shard_times(&shard))
-    });
+    let boundaries = {
+        let _span = obs.span("shard_summarize");
+        parallel_map(shards.clone(), jobs, |_, shard| {
+            ShardBoundary::of_records(n, shard_times(&shard))
+        })
+    };
 
     // Serial exclusive-prefix combine: carry[i] is the exact engine state
     // at shard i's first record.
+    let combine_span = obs.span("shard_combine");
     let mut carries = Vec::with_capacity(shards.len());
     let mut acc = ShardBoundary::empty(n);
     for boundary in &boundaries {
         carries.push(acc.clone());
         acc.join(boundary);
     }
+    combine_span.finish();
 
     // Pass B: seeded detection per shard, in parallel.
-    let deltas = parallel_map(
-        shards.into_iter().zip(carries).collect(),
-        jobs,
-        |_, (shard, carry): (TraceShard<'_>, ShardBoundary)| {
-            ShardDelta::of_shard(n, &carry, shard_records(&shard))
-        },
-    );
+    let deltas = {
+        let _span = obs.span("shard_detect");
+        parallel_map(
+            shards.into_iter().zip(carries).collect(),
+            jobs,
+            |_, (shard, carry): (TraceShard<'_>, ShardBoundary)| {
+                ShardDelta::of_shard(n, &carry, shard_records(&shard))
+            },
+        )
+    };
+    obs.add("core.shards_merged", deltas.len() as u64);
 
     // Associative fold, then the same assembly as a streaming finish.
     let mut total = ShardDelta::empty(n);
@@ -182,13 +207,28 @@ pub fn analyze_parallel(
         records,
     } = total;
     let profile = BranchProfile::from_parts(stats, records);
-    let conflict = ConflictAnalysis::of_raw_graph(builder.build(), pipeline.conflict);
-    let working = working_sets(&conflict.graph, &profile, pipeline.definition);
-    let classification = classify_with(
-        &profile,
-        pipeline.taken_threshold,
-        pipeline.not_taken_threshold,
-    );
+    let raw = builder.build();
+    obs.add("core.interleave_pairs", raw.edge_count() as u64);
+    obs.add("core.interleave_weight", raw.total_weight());
+    let conflict = {
+        let _span = obs.span("conflict_prune");
+        ConflictAnalysis::of_raw_graph(raw, pipeline.conflict)
+    };
+    obs.add("core.graph_edges_raw", conflict.raw_edge_count as u64);
+    obs.add("core.graph_edges_kept", conflict.graph.edge_count() as u64);
+    let working = {
+        let _span = obs.span("working_sets");
+        working_sets(&conflict.graph, &profile, pipeline.definition)
+    };
+    let classification = {
+        let _span = obs.span("classify");
+        classify_with(
+            &profile,
+            pipeline.taken_threshold,
+            pipeline.not_taken_threshold,
+        )
+    };
+    obs.sample_peak_rss();
     Analysis {
         profile,
         conflict,
@@ -235,7 +275,7 @@ mod tests {
     fn parallel_analysis_matches_serial_bitwise() {
         let trace = busy_trace(700);
         let pipeline = AnalysisPipeline::new();
-        let serial = pipeline.run(&trace);
+        let serial = pipeline.run_observed(&trace, &Obs::noop());
         for jobs in [1, 2, 3, 8] {
             let parallel = analyze_parallel(&pipeline, &trace, &ParallelConfig::with_jobs(jobs));
             assert_eq!(parallel, serial, "jobs {jobs}");
@@ -246,7 +286,7 @@ mod tests {
     fn shard_count_does_not_leak_into_the_result() {
         let trace = busy_trace(200);
         let pipeline = AnalysisPipeline::new();
-        let serial = pipeline.run(&trace);
+        let serial = pipeline.run_observed(&trace, &Obs::noop());
         for shards in [1, 2, 7, 199, 200, 500] {
             let cfg = ParallelConfig {
                 jobs: NonZeroUsize::new(3).unwrap(),
@@ -266,7 +306,7 @@ mod tests {
         let pipeline = AnalysisPipeline::new();
         assert_eq!(
             analyze_parallel(&pipeline, &trace, &ParallelConfig::with_jobs(4)),
-            pipeline.run(&trace)
+            pipeline.run_observed(&trace, &Obs::noop())
         );
     }
 }

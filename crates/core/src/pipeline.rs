@@ -1,4 +1,11 @@
 //! One-call orchestration of the full analysis.
+//!
+//! [`Session`](crate::Session) is the preferred entry point; the methods
+//! here are the engine it drives. The instrumented variants
+//! ([`AnalysisPipeline::run_observed`]) thread an [`Obs`] handle through
+//! every stage; with the default no-op handle they are free and the
+//! results are bit-identical either way (checked by
+//! `crates/core/tests/observed_equivalence.rs`).
 
 use crate::allocation::{
     allocate, allocate_classified, required_bht_size, required_bht_size_classified, Allocation,
@@ -6,7 +13,11 @@ use crate::allocation::{
 };
 use crate::classify::{classify_with, Classification};
 use crate::conflict::{ConflictAnalysis, ConflictConfig};
+use crate::error::Error;
+use crate::session::Classified;
 use crate::working_set::{working_sets, WorkingSetDefinition, WorkingSets};
+use crate::CoreError;
+use bwsa_obs::Obs;
 use bwsa_trace::{profile::BranchProfile, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -56,28 +67,96 @@ impl AnalysisPipeline {
         Self::default()
     }
 
+    /// Checks that every configured value is usable: thresholds in
+    /// `[0, 1]` with `not_taken ≤ taken`, and a nonzero conflict
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the first bad
+    /// field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.conflict.threshold == 0 {
+            return Err(CoreError::config("conflict threshold must be at least 1"));
+        }
+        for (name, v) in [
+            ("taken_threshold", self.taken_threshold),
+            ("not_taken_threshold", self.not_taken_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(CoreError::config(format!("{name} {v} outside [0, 1]")));
+            }
+        }
+        if self.not_taken_threshold > self.taken_threshold {
+            return Err(CoreError::config(format!(
+                "not_taken_threshold {} exceeds taken_threshold {}",
+                self.not_taken_threshold, self.taken_threshold
+            )));
+        }
+        Ok(())
+    }
+
     /// Runs steps 1–3 plus classification on a trace.
+    ///
+    /// Prefer [`Session::run`](crate::Session::run), which adds caching,
+    /// validation, and observability, or [`AnalysisPipeline::run_observed`]
+    /// for direct instrumented access.
+    #[deprecated(since = "0.4.0", note = "use bwsa_core::Session (or run_observed)")]
+    pub fn run(&self, trace: &Trace) -> Analysis {
+        self.run_observed(trace, &Obs::noop())
+    }
+
+    /// Runs steps 1–3 plus classification on a trace, reporting stage
+    /// timings and counters into `obs`.
+    ///
+    /// With [`Obs::noop`] this is exactly the uninstrumented pipeline;
+    /// the result is bit-identical whether or not `obs` records.
     ///
     /// # Example
     ///
     /// ```
     /// use bwsa_core::pipeline::AnalysisPipeline;
+    /// use bwsa_obs::Obs;
     /// use bwsa_trace::TraceBuilder;
     ///
     /// let mut t = TraceBuilder::new("demo");
     /// for i in 0..1000u64 {
     ///     t.record(0x100 + (i % 3) * 4, i % 2 == 0, i + 1);
     /// }
-    /// let analysis = AnalysisPipeline::new().run(&t.finish());
+    /// let obs = Obs::recording();
+    /// let analysis = AnalysisPipeline::new().run_observed(&t.finish(), &obs);
     /// assert_eq!(analysis.working_sets.report.total_sets, 1);
     /// assert_eq!(analysis.working_sets.report.max_size, 3);
+    /// let metrics = obs.snapshot().unwrap();
+    /// assert!(metrics.stage("interleave").is_some());
+    /// assert!(metrics.counter("core.interleave_pairs") > 0);
     /// ```
-    pub fn run(&self, trace: &Trace) -> Analysis {
-        let profile = BranchProfile::from_trace(trace);
-        let conflict = ConflictAnalysis::of_trace(trace, self.conflict);
-        let working = working_sets(&conflict.graph, &profile, self.definition);
-        let classification =
-            classify_with(&profile, self.taken_threshold, self.not_taken_threshold);
+    pub fn run_observed(&self, trace: &Trace, obs: &Obs) -> Analysis {
+        let profile = {
+            let _span = obs.span("profile");
+            BranchProfile::from_trace(trace)
+        };
+        let raw = {
+            let _span = obs.span("interleave");
+            crate::interleave_counts(trace).build()
+        };
+        obs.add("core.interleave_pairs", raw.edge_count() as u64);
+        obs.add("core.interleave_weight", raw.total_weight());
+        let conflict = {
+            let _span = obs.span("conflict_prune");
+            ConflictAnalysis::of_raw_graph(raw, self.conflict)
+        };
+        obs.add("core.graph_edges_raw", conflict.raw_edge_count as u64);
+        obs.add("core.graph_edges_kept", conflict.graph.edge_count() as u64);
+        let working = {
+            let _span = obs.span("working_sets");
+            working_sets(&conflict.graph, &profile, self.definition)
+        };
+        let classification = {
+            let _span = obs.span("classify");
+            classify_with(&profile, self.taken_threshold, self.not_taken_threshold)
+        };
+        obs.sample_peak_rss();
         Analysis {
             profile,
             conflict,
@@ -88,33 +167,99 @@ impl AnalysisPipeline {
 
     /// Runs the pipeline with the trace sharded across worker threads.
     ///
-    /// The result is bit-identical to [`AnalysisPipeline::run`] for every
-    /// worker and shard count; see [`crate::parallel`] for the two-pass
-    /// scheme that makes that hold.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use bwsa_core::pipeline::AnalysisPipeline;
-    /// use bwsa_core::ParallelConfig;
-    /// use bwsa_trace::TraceBuilder;
-    ///
-    /// let mut t = TraceBuilder::new("demo");
-    /// for i in 0..1000u64 {
-    ///     t.record(0x100 + (i % 3) * 4, i % 2 == 0, i + 1);
-    /// }
-    /// let trace = t.finish();
-    /// let pipeline = AnalysisPipeline::new();
-    /// let parallel = pipeline.run_parallel(&trace, &ParallelConfig::with_jobs(2));
-    /// assert_eq!(parallel, pipeline.run(&trace));
-    /// ```
+    /// Prefer [`Session::run`](crate::Session::run) with
+    /// [`Execution::Parallel`](crate::Execution::Parallel), or
+    /// [`crate::parallel::analyze_parallel_observed`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use bwsa_core::Session with Execution::Parallel"
+    )]
     pub fn run_parallel(&self, trace: &Trace, config: &crate::ParallelConfig) -> Analysis {
-        crate::parallel::analyze_parallel(self, trace, config)
+        crate::parallel::analyze_parallel_observed(self, trace, config, &Obs::noop())
     }
 }
 
 impl Analysis {
+    /// Branch allocation into a `table_size`-entry BHT, plain (§5.1) or
+    /// classified (§5.2) according to `classified`.
+    ///
+    /// This subsumes the deprecated `allocate`/`allocate_classified`
+    /// pair; the former panicking preconditions are now errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Core`] when `table_size` is zero, or below the 3
+    /// entries classified allocation needs (two reserved biased entries
+    /// plus at least one for the mixed branches).
+    pub fn allocation(
+        &self,
+        classified: Classified,
+        table_size: usize,
+        config: &AllocationConfig,
+    ) -> Result<Allocation, Error> {
+        if classified.0 {
+            if table_size < 3 {
+                return Err(CoreError::config(format!(
+                    "classified allocation needs a table of at least 3 entries, got {table_size}"
+                ))
+                .into());
+            }
+            Ok(allocate_classified(
+                &self.conflict.graph,
+                &self.classification,
+                table_size,
+                config,
+            ))
+        } else {
+            if table_size == 0 && self.conflict.graph.node_count() > 0 {
+                return Err(
+                    CoreError::config("cannot allocate branches into a zero-entry table").into(),
+                );
+            }
+            Ok(allocate(&self.conflict.graph, table_size, config))
+        }
+    }
+
+    /// The Table 3 / Table 4 cell: minimum BHT size for (plain or
+    /// classified) allocation to beat a conventional `baseline`-entry
+    /// table, for the trace this analysis was computed from.
+    ///
+    /// This subsumes the deprecated
+    /// `required_bht_size`/`required_bht_size_classified` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Core`] when `baseline` is zero.
+    pub fn required_size(
+        &self,
+        classified: Classified,
+        trace: &Trace,
+        baseline: usize,
+        config: &AllocationConfig,
+    ) -> Result<RequiredSize, Error> {
+        if baseline == 0 {
+            return Err(
+                CoreError::config("required-size search needs a nonzero baseline table").into(),
+            );
+        }
+        Ok(if classified.0 {
+            required_bht_size_classified(
+                &self.conflict.graph,
+                &self.classification,
+                trace.table(),
+                baseline,
+                config,
+            )
+        } else {
+            required_bht_size(&self.conflict.graph, trace.table(), baseline, config)
+        })
+    }
+
     /// Branch allocation into a `table_size`-entry BHT (§5.1).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Analysis::allocation(Classified(false), ..)"
+    )]
     pub fn allocate(&self, table_size: usize, config: &AllocationConfig) -> Allocation {
         allocate(&self.conflict.graph, table_size, config)
     }
@@ -124,6 +269,10 @@ impl Analysis {
     /// # Panics
     ///
     /// Panics if `table_size < 3`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Analysis::allocation(Classified(true), ..)"
+    )]
     pub fn allocate_classified(&self, table_size: usize, config: &AllocationConfig) -> Allocation {
         allocate_classified(
             &self.conflict.graph,
@@ -136,6 +285,10 @@ impl Analysis {
     /// The Table 3 cell: minimum BHT size for plain allocation to beat a
     /// conventional `baseline`-entry table, for the trace this analysis
     /// was computed from.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Analysis::required_size(Classified(false), ..)"
+    )]
     pub fn required_bht_size(
         &self,
         trace: &Trace,
@@ -146,6 +299,10 @@ impl Analysis {
     }
 
     /// The Table 4 cell: minimum BHT size for classified allocation.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Analysis::required_size(Classified(true), ..)"
+    )]
     pub fn required_bht_size_classified(
         &self,
         trace: &Trace,
@@ -190,7 +347,7 @@ mod tests {
 
     #[test]
     fn pipeline_finds_the_phase_structure() {
-        let analysis = AnalysisPipeline::new().run(&phased_trace());
+        let analysis = AnalysisPipeline::new().run_observed(&phased_trace(), &Obs::noop());
         assert_eq!(analysis.working_sets.report.total_sets, 2);
         assert_eq!(analysis.working_sets.report.max_size, 3);
         assert_eq!(analysis.profile.static_count(), 6);
@@ -199,22 +356,71 @@ mod tests {
     #[test]
     fn allocation_methods_agree_with_direct_calls() {
         let trace = phased_trace();
-        let analysis = AnalysisPipeline::new().run(&trace);
+        let analysis = AnalysisPipeline::new().run_observed(&trace, &Obs::noop());
         let cfg = AllocationConfig::default();
-        let a = analysis.allocate(4, &cfg);
+        let a = analysis.allocation(Classified(false), 4, &cfg).unwrap();
         let direct = crate::allocation::allocate(&analysis.conflict.graph, 4, &cfg);
         assert_eq!(a, direct);
-        let r = analysis.required_bht_size(&trace, 1024, &cfg);
+        let r = analysis
+            .required_size(Classified(false), &trace, 1024, &cfg)
+            .unwrap();
         assert!(r.size <= 6);
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_the_new_primitives() {
+        let trace = phased_trace();
+        let analysis = AnalysisPipeline::new().run_observed(&trace, &Obs::noop());
+        let cfg = AllocationConfig::default();
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                analysis.allocate(4, &cfg),
+                analysis.allocation(Classified(false), 4, &cfg).unwrap()
+            );
+            assert_eq!(
+                analysis.allocate_classified(4, &cfg),
+                analysis.allocation(Classified(true), 4, &cfg).unwrap()
+            );
+            assert_eq!(
+                analysis.required_bht_size(&trace, 1024, &cfg),
+                analysis
+                    .required_size(Classified(false), &trace, 1024, &cfg)
+                    .unwrap()
+            );
+            assert_eq!(
+                analysis.required_bht_size_classified(&trace, 1024, &cfg),
+                analysis
+                    .required_size(Classified(true), &trace, 1024, &cfg)
+                    .unwrap()
+            );
+            assert_eq!(AnalysisPipeline::new().run(&trace), analysis);
+        }
+    }
+
+    #[test]
+    fn bad_allocation_requests_are_errors_not_panics() {
+        let trace = phased_trace();
+        let analysis = AnalysisPipeline::new().run_observed(&trace, &Obs::noop());
+        let cfg = AllocationConfig::default();
+        assert!(analysis.allocation(Classified(true), 2, &cfg).is_err());
+        assert!(analysis.allocation(Classified(false), 0, &cfg).is_err());
+        assert!(analysis
+            .required_size(Classified(false), &trace, 0, &cfg)
+            .is_err());
     }
 
     #[test]
     fn classified_required_size_not_larger() {
         let trace = phased_trace();
-        let analysis = AnalysisPipeline::new().run(&trace);
+        let analysis = AnalysisPipeline::new().run_observed(&trace, &Obs::noop());
         let cfg = AllocationConfig::default();
-        let plain = analysis.required_bht_size(&trace, 2, &cfg);
-        let classified = analysis.required_bht_size_classified(&trace, 2, &cfg);
+        let plain = analysis
+            .required_size(Classified(false), &trace, 2, &cfg)
+            .unwrap();
+        let classified = analysis
+            .required_size(Classified(true), &trace, 2, &cfg)
+            .unwrap();
         // Classified needs at least 3 (reserved), but never more than
         // plain + 2.
         assert!(classified.size <= plain.size + 2);
@@ -226,5 +432,19 @@ mod tests {
         assert_eq!(p.conflict.threshold, 100);
         assert_eq!(p.taken_threshold, 0.99);
         assert_eq!(p.not_taken_threshold, 0.01);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_thresholds() {
+        let mut p = AnalysisPipeline::new();
+        p.taken_threshold = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = AnalysisPipeline::new();
+        p.not_taken_threshold = 0.995; // above taken_threshold
+        assert!(p.validate().is_err());
+        let mut p = AnalysisPipeline::new();
+        p.conflict.threshold = 0;
+        assert!(p.validate().is_err());
     }
 }

@@ -12,7 +12,8 @@
 use bwsa_core::allocation::AllocationConfig;
 use bwsa_core::merge::{ShardBoundary, ShardDelta};
 use bwsa_core::pipeline::AnalysisPipeline;
-use bwsa_core::{analyze_parallel, parallel_map, ParallelConfig};
+use bwsa_core::{analyze_parallel, parallel_map, Classified, ParallelConfig};
+use bwsa_obs::Obs;
 use bwsa_trace::{Trace, TraceBuilder};
 use proptest::prelude::*;
 use std::num::NonZeroUsize;
@@ -52,7 +53,7 @@ proptest! {
         shards in 1usize..40,
     ) {
         let pipeline = AnalysisPipeline::new();
-        let serial = pipeline.run(&trace);
+        let serial = pipeline.run_observed(&trace, &Obs::noop());
         let parallel = analyze_parallel(&pipeline, &trace, &config(jobs, shards));
         prop_assert_eq!(&parallel, &serial);
         // The conflict graphs compare above as part of Analysis, but make
@@ -69,7 +70,7 @@ proptest! {
         // One shard (pure serial) and more shards than records (most
         // shards empty) are the boundary cases of the split.
         let pipeline = AnalysisPipeline::new();
-        let serial = pipeline.run(&trace);
+        let serial = pipeline.run_observed(&trace, &Obs::noop());
         for shards in [1, trace.len(), trace.len() + 7] {
             let cfg = config(jobs, shards.max(1));
             prop_assert_eq!(analyze_parallel(&pipeline, &trace, &cfg), serial.clone());
@@ -87,15 +88,15 @@ proptest! {
             ..AnalysisPipeline::new()
         };
         let cfg = AllocationConfig::default();
-        let serial = pipeline.run(&trace);
-        let parallel = pipeline.run_parallel(&trace, &config(jobs, jobs * 2));
+        let serial = pipeline.run_observed(&trace, &Obs::noop());
+        let parallel = analyze_parallel(&pipeline, &trace, &config(jobs, jobs * 2));
         prop_assert_eq!(
-            parallel.allocate(table, &cfg),
-            serial.allocate(table, &cfg)
+            parallel.allocation(Classified(false), table, &cfg).unwrap(),
+            serial.allocation(Classified(false), table, &cfg).unwrap()
         );
         prop_assert_eq!(
-            parallel.allocate_classified(table.max(3), &cfg),
-            serial.allocate_classified(table.max(3), &cfg)
+            parallel.allocation(Classified(true), table.max(3), &cfg).unwrap(),
+            serial.allocation(Classified(true), table.max(3), &cfg).unwrap()
         );
     }
 

@@ -1,0 +1,57 @@
+//! Peak resident-set-size sampling.
+//!
+//! Linux exposes the high-water mark of a process's resident set as the
+//! `VmHWM` line of `/proc/self/status`; other platforms get `None` and
+//! the `process.peak_rss_bytes` counter simply never appears in reports.
+
+/// The peak resident set size of this process in bytes, when the
+/// platform exposes it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Extracts `VmHWM` (reported in kB) from `/proc/self/status` content.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_vm_hwm_line() {
+        let status = "Name:\tbwsa\nVmPeak:\t  123 kB\nVmHWM:\t    5168 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(5168 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_lines_yield_none() {
+        assert_eq!(parse_vm_hwm("Name:\tbwsa\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot a number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_sample_is_positive_on_linux() {
+        let bytes = peak_rss_bytes().expect("/proc/self/status should parse");
+        assert!(bytes > 0);
+    }
+}

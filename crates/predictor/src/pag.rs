@@ -132,6 +132,10 @@ impl BranchPredictor for Pag {
         }
         self.last_user[entry] = id.as_u32();
     }
+
+    fn interference_events(&self) -> Option<u64> {
+        Some(self.interference_events)
+    }
 }
 
 impl Checkpointable for Pag {

@@ -22,6 +22,14 @@ pub trait BranchPredictor {
 
     /// Trains the predictor with the resolved outcome.
     fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction);
+
+    /// Number of interference events (history register switches between
+    /// distinct branches sharing a table entry) observed so far, for
+    /// schemes that track them. The default is `None`: most predictors
+    /// have no notion of interference.
+    fn interference_events(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -35,6 +43,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction) {
         (**self).update(pc, id, outcome)
+    }
+
+    fn interference_events(&self) -> Option<u64> {
+        (**self).interference_events()
     }
 }
 

@@ -163,6 +163,30 @@ pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -
     }
 }
 
+/// [`simulate`] with a `simulate` span and `predictor.lookups`,
+/// `predictor.mispredicts`, and (for schemes that track it)
+/// `predictor.interference_events` counters reported into `obs`.
+///
+/// The counters are read off the finished result, never threaded through
+/// the hot loop, so the simulation is bit-identical with or without a
+/// recording observer.
+pub fn simulate_observed<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    obs: &bwsa_obs::Obs,
+) -> SimResult {
+    let events_before = predictor.interference_events();
+    let span = obs.span("simulate");
+    let result = simulate(predictor, trace);
+    span.finish();
+    obs.add("predictor.lookups", result.total);
+    obs.add("predictor.mispredicts", result.mispredictions);
+    if let (Some(before), Some(after)) = (events_before, predictor.interference_events()) {
+        obs.add("predictor.interference_events", after - before);
+    }
+    result
+}
+
 /// Like [`simulate`] but also accumulates per-static-branch counts.
 pub fn simulate_detailed<P: BranchPredictor + ?Sized>(
     predictor: &mut P,
@@ -584,6 +608,55 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("records"), "{err}");
+    }
+
+    #[test]
+    fn observed_simulation_is_identical_and_counts_its_work() {
+        let mut b = TraceBuilder::new("obs");
+        for i in 0..3000u64 {
+            let pc = if i % 2 == 0 { 0x100 } else { 0x104 };
+            b.record(pc, i % 3 != 0, i + 1);
+        }
+        let trace = b.finish();
+        let plain = simulate(
+            &mut crate::Pag::new(crate::BhtIndexer::pc_modulo(1), 4),
+            &trace,
+        );
+        let obs = bwsa_obs::Obs::recording();
+        let mut pag = crate::Pag::new(crate::BhtIndexer::pc_modulo(1), 4);
+        let observed = simulate_observed(&mut pag, &trace, &obs);
+        assert_eq!(observed, plain);
+        let metrics = obs.snapshot().expect("recording observer");
+        assert_eq!(metrics.counter("predictor.lookups"), observed.total);
+        assert_eq!(
+            metrics.counter("predictor.mispredicts"),
+            observed.mispredictions
+        );
+        assert_eq!(
+            metrics.counter("predictor.interference_events"),
+            pag.interference_events()
+        );
+        assert!(
+            metrics.stage("simulate").is_some(),
+            "simulate span recorded"
+        );
+    }
+
+    #[test]
+    fn predictors_without_interference_tracking_report_no_counter() {
+        let trace = {
+            let mut b = TraceBuilder::new("t");
+            for i in 0..100u64 {
+                b.record(0x100, i % 2 == 0, i + 1);
+            }
+            b.finish()
+        };
+        let obs = bwsa_obs::Obs::recording();
+        simulate_observed(&mut crate::Bimodal::new(16), &trace, &obs);
+        let metrics = obs.snapshot().expect("recording observer");
+        assert!(!metrics
+            .counters
+            .contains_key("predictor.interference_events"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::checkpoint::Checkpointable;
 use crate::error::PredictorError;
 use crate::predictor::BranchPredictor;
 use crate::sim::{simulate, simulate_resumable, SimCheckpoint, SimResult};
+use bwsa_obs::Obs;
 use bwsa_trace::Trace;
 use crossbeam::queue::SegQueue;
 use std::sync::Mutex;
@@ -118,12 +119,37 @@ impl<'a> SweepCell<'a> {
 ///
 /// Propagates a panic from any cell's simulation.
 pub fn sweep(cells: Vec<SweepCell<'_>>, jobs: usize) -> Result<Vec<SimResult>, PredictorError> {
+    sweep_observed(cells, jobs, &Obs::noop())
+}
+
+/// [`sweep`] with per-cell wall times (one `sweep:<label>` span each) and
+/// aggregate `predictor.lookups` / `predictor.mispredicts` counters
+/// reported into `obs`. Results are unchanged by observation.
+///
+/// # Errors
+///
+/// Exactly those of [`sweep`].
+pub fn sweep_observed(
+    cells: Vec<SweepCell<'_>>,
+    jobs: usize,
+    obs: &Obs,
+) -> Result<Vec<SimResult>, PredictorError> {
+    let execute_observed = |cell: SweepCell<'_>| {
+        let span = obs.span(format!("sweep:{}", cell.label()));
+        let outcome = cell.execute();
+        span.finish();
+        if let Ok(result) = &outcome {
+            obs.add("predictor.lookups", result.total);
+            obs.add("predictor.mispredicts", result.mispredictions);
+        }
+        outcome
+    };
     let workers = jobs.clamp(1, cells.len().max(1));
     let outcomes: Vec<(usize, Result<SimResult, PredictorError>)> = if workers <= 1 {
         cells
             .into_iter()
             .enumerate()
-            .map(|(i, cell)| (i, cell.execute()))
+            .map(|(i, cell)| (i, execute_observed(cell)))
             .collect()
     } else {
         let queue: SegQueue<(usize, SweepCell<'_>)> = cells.into_iter().enumerate().collect();
@@ -133,7 +159,7 @@ pub fn sweep(cells: Vec<SweepCell<'_>>, jobs: usize) -> Result<Vec<SimResult>, P
                 scope.spawn(|_| {
                     let mut local = Vec::new();
                     while let Some((i, cell)) = queue.pop() {
-                        local.push((i, cell.execute()));
+                        local.push((i, execute_observed(cell)));
                     }
                     collected.lock().expect("results poisoned").extend(local);
                 });
@@ -220,6 +246,40 @@ mod tests {
     #[test]
     fn empty_sweep_is_fine() {
         assert_eq!(sweep(Vec::new(), 4).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn observed_sweep_matches_plain_and_reports_per_cell_spans() {
+        let trace = looped_trace("t", 7, 4000);
+        let plain = sweep(
+            vec![
+                SweepCell::plain(Pag::paper_baseline(), &trace),
+                SweepCell::plain(Bimodal::new(64), &trace),
+            ],
+            2,
+        )
+        .unwrap();
+        let obs = Obs::recording();
+        let observed = sweep_observed(
+            vec![
+                SweepCell::plain(Pag::paper_baseline(), &trace),
+                SweepCell::plain(Bimodal::new(64), &trace),
+            ],
+            2,
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(observed, plain);
+        let metrics = obs.snapshot().expect("recording observer");
+        assert_eq!(metrics.stages.len(), 2, "one span per cell");
+        assert!(metrics
+            .stages
+            .iter()
+            .all(|s| s.name.starts_with("sweep:") && s.name.contains('@')));
+        let total: u64 = observed.iter().map(|r| r.total).sum();
+        let misses: u64 = observed.iter().map(|r| r.mispredictions).sum();
+        assert_eq!(metrics.counter("predictor.lookups"), total);
+        assert_eq!(metrics.counter("predictor.mispredicts"), misses);
     }
 
     #[test]

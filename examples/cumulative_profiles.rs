@@ -43,9 +43,12 @@ fn main() {
         conflict: threshold,
         ..AnalysisPipeline::new()
     };
-    let analysis_a = pipeline.run(&a);
+    let session_a = bwsa::core::Session::new(&a).with_pipeline(pipeline);
+    let analysis_a = session_a.run().expect("serial analysis is infallible");
     let cfg = AllocationConfig::default();
-    let alloc_a = analysis_a.allocate(TABLE, &cfg);
+    let alloc_a = analysis_a
+        .allocation(bwsa::core::Classified(false), TABLE, &cfg)
+        .expect("table size is positive");
 
     // Merge both inputs' conflict graphs (union id space keyed by pc).
     let mut cumulative = CumulativeProfile::new();

@@ -93,7 +93,8 @@ fn main() {
         conflict: ConflictConfig::with_threshold(50).unwrap(),
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
+    let session = bwsa::core::Session::new(&trace).with_pipeline(pipeline);
+    let analysis = session.run().expect("serial analysis is infallible");
     println!(
         "found {} working sets (expected 3 — one per region):",
         analysis.working_sets.report.total_sets

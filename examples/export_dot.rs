@@ -17,7 +17,8 @@ fn main() {
         conflict: ConflictConfig::with_threshold(10).expect("valid threshold"),
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
+    let session = bwsa::core::Session::new(&trace).with_pipeline(pipeline);
+    let analysis = session.run().expect("serial analysis is infallible");
 
     // Group nodes by the working set that owns them.
     let mut groups = vec![0u32; analysis.conflict.graph.node_count()];

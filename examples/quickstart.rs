@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::{Classified, Session};
 use bwsa::predictor::{simulate, BhtIndexer, Pag};
 use bwsa::workload::suite::{Benchmark, InputSet};
 
@@ -23,7 +23,8 @@ fn main() {
         conflict: bwsa::core::conflict::ConflictConfig::with_threshold(20).unwrap(),
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
+    let session = Session::new(&trace).with_pipeline(pipeline);
+    let analysis = session.run().expect("serial analysis is infallible");
     let report = &analysis.working_sets.report;
     println!(
         "working sets: {} sets, avg size {:.1} (static) / {:.1} (dynamic), largest {}",
@@ -34,8 +35,9 @@ fn main() {
 
     // 3. Branch allocation (§5): assign each branch a BHT entry by graph
     //    coloring, with the two reserved entries for biased branches.
-    let cfg = AllocationConfig::default();
-    let allocation = analysis.allocate_classified(128, &cfg);
+    let allocation = session
+        .allocate(Classified(true), 128)
+        .expect("table size is positive");
     println!(
         "allocation into 128 entries: residual conflict mass {} over {} pairs",
         allocation.conflict_mass, allocation.conflicting_pairs

@@ -12,13 +12,28 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> parallel/serial equivalence + golden fixtures"
 cargo test -q --test parallel_prop -p bwsa-core
 cargo test -q --test golden_regression
 cargo test -q --test cli_jobs
+
+echo "==> observability: instrumented == uninstrumented + report schema"
+cargo test -q --test observed_equivalence -p bwsa-core
+cargo test -q --test run_report
+
+echo "==> run report smoke (--report json validates against the golden schema)"
+report_tmp="$(mktemp -d)"
+trap 'rm -rf "$report_tmp"' EXIT
+bwsa="target/release/bwsa"
+"$bwsa" generate pgp --scale 0.01 -o "$report_tmp/pgp.bwst" > /dev/null
+"$bwsa" analyze "$report_tmp/pgp.bwst" --report json --metrics "$report_tmp/analyze.json" > /dev/null
+"$bwsa" validate-report "$report_tmp/analyze.json"
+"$bwsa" simulate "$report_tmp/pgp.bwst" --predictor pag --report json \
+    --metrics "$report_tmp/simulate.json" > /dev/null
+"$bwsa" validate-report "$report_tmp/simulate.json"
 
 echo "==> bench smoke (single iteration, parallel sweep)"
 cargo run --release -p bwsa-bench --bin experiments_all -- --quick --bench compress --jobs 2 > /dev/null

@@ -32,21 +32,34 @@
 //!
 //! bwsa dot <trace> [--threshold N] [--salvage]
 //!     Emit the conflict graph as Graphviz DOT, colored by working set.
+//!
+//! bwsa validate-report <report.json>
+//!     Check a previously emitted run report against this build's schema
+//!     fixture and version.
 //! ```
+//!
+//! `analyze`, `allocate`, and `simulate` additionally accept
+//! `--report json|text` (emit a versioned run report with per-stage wall
+//! times, counters, and result digests; `json` replaces the normal
+//! human output) and `--metrics FILE` (write the JSON report to a file
+//! alongside the normal output).
 //!
 //! Exit codes: 0 on success (including a partial salvage, which warns on
 //! stderr), 1 on I/O and data errors, 2 on usage errors.
 
-use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::conflict::ConflictConfig;
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::{ParallelConfig, StreamingAnalysis};
+use bwsa::core::pipeline::{Analysis, AnalysisPipeline};
+use bwsa::core::{Classified, Execution, ParallelConfig, Session, StreamingAnalysis};
 use bwsa::graph::dot::{to_dot, DotOptions};
+use bwsa::obs::json::Json;
+use bwsa::obs::report::schema_shape;
+use bwsa::obs::{Obs, RunReport, RUN_REPORT_VERSION};
 use bwsa::predictor::{
-    simulate, simulate_resumable, sweep, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor,
-    Checkpointable, Gag, Gshare, Hybrid, Pag, PredictorError, SimCheckpoint, StaticPredictor,
-    SweepCell,
+    simulate_observed, simulate_resumable, sweep_observed, Agree, BhtIndexer, BiMode, Bimodal,
+    BranchPredictor, Checkpointable, Gag, Gshare, Hybrid, Pag, PredictorError, SimCheckpoint,
+    StaticPredictor, SweepCell,
 };
+use bwsa::trace::codec::crc32;
 use bwsa::trace::stream::{
     RecoveryPolicy, SalvageReport, StreamReader, StreamWriter, DEFAULT_CHUNK_RECORDS,
 };
@@ -98,6 +111,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("allocate") => cmd_allocate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("validate-report") => cmd_validate_report(&args[1..]),
         Some("help") | None => {
             println!("{}", USAGE);
             Ok(())
@@ -112,10 +126,14 @@ subcommands:
   generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
   analyze  <trace> [--threshold N] [--jobs N] [--salvage]
            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+           [--report json|text] [--metrics FILE]
   allocate <trace> [--table N] [--threshold N] [--classify] [--salvage]
+           [--report json|text] [--metrics FILE]
   simulate <trace> [--predictor pag|free|bimodal|gshare|gag|hybrid|agree|bimode|profile]
            [--jobs N] [--salvage] [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+           [--report json|text] [--metrics FILE]
   dot      <trace> [--threshold N] [--salvage]
+  validate-report <report.json>
   help
 
 trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
@@ -128,6 +146,12 @@ chunks (default 64, one chunk = 4096 records); --resume continues from one.
 threads (default: all hardware threads); results are bit-identical to a
 serial run. Checkpointed streaming analysis is inherently sequential, so
 `analyze --checkpoint/--resume` rejects --jobs above 1.
+
+--report json prints a versioned run report (stage wall times, counters,
+result digests) as the only stdout output; --report text appends a
+human-readable report to the normal output. --metrics FILE writes the
+JSON report to FILE without changing stdout. `validate-report` checks an
+emitted report against this build's schema and version.
 
 exit codes: 0 success, 1 I/O or data error, 2 usage error";
 
@@ -207,6 +231,104 @@ fn recovery_policy(p: &Parsed) -> RecoveryPolicy {
     }
 }
 
+/// How `--report` wants the run report rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportMode {
+    Json,
+    Text,
+}
+
+/// The observability request parsed off a subcommand's flags: an optional
+/// `--report` rendering plus an optional `--metrics` sidecar file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ReportSpec {
+    mode: Option<ReportMode>,
+    metrics_path: Option<String>,
+}
+
+impl ReportSpec {
+    /// Whether any instrumentation output was requested at all.
+    fn wanted(&self) -> bool {
+        self.mode.is_some() || self.metrics_path.is_some()
+    }
+
+    /// `--report json` owns stdout: the normal human output is suppressed
+    /// so the report is the only thing printed.
+    fn json_only(&self) -> bool {
+        self.mode == Some(ReportMode::Json)
+    }
+
+    /// A recording observer when a report was requested, the zero-cost
+    /// no-op otherwise.
+    fn observer(&self) -> Obs {
+        if self.wanted() {
+            Obs::recording()
+        } else {
+            Obs::noop()
+        }
+    }
+
+    /// Emits the finished report: `--metrics` file first, then stdout in
+    /// the requested rendering.
+    fn emit(&self, report: &RunReport) -> Result<(), CliError> {
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, report.to_json_string())
+                .map_err(|e| runtime_err(format!("cannot write {path}: {e}")))?;
+        }
+        match self.mode {
+            Some(ReportMode::Json) => println!("{}", report.to_json_string()),
+            Some(ReportMode::Text) => print!("\n{}", report.to_text()),
+            None => {}
+        }
+        Ok(())
+    }
+}
+
+fn report_spec(p: &Parsed) -> Result<ReportSpec, CliError> {
+    let mode = match p.value("report") {
+        None => None,
+        Some("json") => Some(ReportMode::Json),
+        Some("text") => Some(ReportMode::Text),
+        Some(other) => {
+            return Err(usage_err(format!(
+                "bad --report {other:?} (use json or text)"
+            )))
+        }
+    };
+    Ok(ReportSpec {
+        mode,
+        metrics_path: p.value("metrics").map(str::to_owned),
+    })
+}
+
+/// A `crc32:xxxxxxxx` digest over a stable rendering of a result, for
+/// cheap cross-run equality checks inside run reports.
+fn digest_of(stable: &str) -> String {
+    format!("crc32:{:08x}", crc32(stable.as_bytes()))
+}
+
+/// Appends the analysis result digests every `analyze` report carries.
+fn push_analysis_digests(report: &mut RunReport, analysis: &Analysis) {
+    let r = &analysis.working_sets.report;
+    report.push_digest(
+        "working_sets",
+        digest_of(&format!(
+            "{} {} {:.6} {:.6}",
+            r.total_sets, r.max_size, r.avg_static_size, r.avg_dynamic_size
+        )),
+    );
+    let (t, n, m) = analysis.classification.counts();
+    report.push_digest("classification", digest_of(&format!("{t} {n} {m}")));
+    report.push_digest(
+        "conflict_graph",
+        digest_of(&format!(
+            "{} {}",
+            analysis.conflict.graph.edge_count(),
+            analysis.conflict.raw_edge_count
+        )),
+    );
+}
+
 /// Prints the stderr warning for a partial salvage. A clean read stays
 /// silent.
 fn warn_salvage(path: &str, report: &SalvageReport) {
@@ -222,22 +344,31 @@ fn warn_salvage(path: &str, report: &SalvageReport) {
     }
 }
 
-/// Loads a trace of either format into memory. For BWSS input the salvage
-/// report is returned so callers can warn about recovered damage.
-fn load_trace(path: &str, policy: RecoveryPolicy) -> Result<(Trace, SalvageReport), CliError> {
-    match detect_format(path)? {
+/// Loads a trace of either format into memory under an `ingest` span. For
+/// BWSS input the salvage report is returned so callers can warn about
+/// recovered damage, and the stream reader feeds `trace.*` counters into
+/// `obs`.
+fn load_trace(
+    path: &str,
+    policy: RecoveryPolicy,
+    obs: &Obs,
+) -> Result<(Trace, SalvageReport), CliError> {
+    let span = obs.span("ingest");
+    let loaded = match detect_format(path)? {
         TraceFormat::Bwst => {
             let file =
                 File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
             let trace = trace_io::read_binary(BufReader::new(file))
                 .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+            obs.add("trace.records_read", trace.len() as u64);
             Ok((trace, SalvageReport::default()))
         }
         TraceFormat::Bwss => {
             let file =
                 File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
             let mut reader = StreamReader::with_recovery(BufReader::new(file), policy)
-                .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+                .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?
+                .with_observer(obs.clone());
             let mut trace = Trace::new(reader.name().to_owned());
             for item in reader.by_ref() {
                 let rec = item.map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
@@ -250,7 +381,9 @@ fn load_trace(path: &str, policy: RecoveryPolicy) -> Result<(Trace, SalvageRepor
             }
             Ok((trace, reader.salvage_report().clone()))
         }
-    }
+    };
+    span.finish();
+    loaded
 }
 
 fn threshold_of(p: &Parsed) -> Result<ConflictConfig, CliError> {
@@ -400,6 +533,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
             "checkpoint-every",
             "resume",
             "jobs",
+            "report",
+            "metrics",
         ],
         &["salvage"],
     )?;
@@ -412,6 +547,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         ..AnalysisPipeline::new()
     };
     checkpoint_cadence(&p)?;
+    let spec = report_spec(&p)?;
+    let obs = spec.observer();
     let jobs = jobs_of(&p)?;
     let wants_checkpointing = p.value("checkpoint").is_some() || p.value("resume").is_some();
     if wants_checkpointing && jobs.is_some_and(|j| j > 1) {
@@ -426,47 +563,95 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                     "--checkpoint/--resume need a BWSS stream trace (see `bwsa generate --format bwss`)",
                 ));
             }
-            let (trace, _) = load_trace(path, RecoveryPolicy::Strict)?;
-            analyze_in_memory(&trace, &pipeline, jobs);
+            let (trace, _) = load_trace(path, RecoveryPolicy::Strict, &obs)?;
+            analyze_in_memory(&trace, &pipeline, jobs, &spec, &obs)?;
         }
         // A BWSS stream stays on the constant-memory sequential path
         // unless --jobs explicitly asks for workers, which requires
         // materialising the trace to shard it.
         TraceFormat::Bwss if !wants_checkpointing && jobs.is_some_and(|j| j > 1) => {
-            let (trace, report) = load_trace(path, recovery_policy(&p))?;
+            let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
             warn_salvage(path, &report);
-            analyze_in_memory(&trace, &pipeline, jobs);
+            analyze_in_memory(&trace, &pipeline, jobs, &spec, &obs)?;
         }
-        TraceFormat::Bwss => analyze_stream(path, &p, &pipeline)?,
+        TraceFormat::Bwss => analyze_stream(path, &p, &pipeline, &spec, &obs)?,
     }
     Ok(())
 }
 
-/// The in-memory `analyze` path: sharded parallel pipeline (bit-identical
-/// to serial for any worker count) plus the report printout.
-fn analyze_in_memory(trace: &Trace, pipeline: &AnalysisPipeline, jobs: Option<usize>) {
-    let analysis = pipeline.run_parallel(trace, &parallel_config(jobs));
-    println!("{trace}");
-    let s = trace_stats(trace);
-    println!(
-        "density {:.3} branches/instr, dynamic taken rate {:.1}%",
-        s.branch_density,
-        s.dynamic_taken_rate * 100.0
-    );
-    print_analysis(&analysis, pipeline);
+/// The in-memory `analyze` path: a [`Session`] over the sharded parallel
+/// pipeline (bit-identical to serial for any worker count) plus the
+/// report printout.
+fn analyze_in_memory(
+    trace: &Trace,
+    pipeline: &AnalysisPipeline,
+    jobs: Option<usize>,
+    spec: &ReportSpec,
+    obs: &Obs,
+) -> Result<(), CliError> {
+    let session = Session::new(trace)
+        .with_pipeline(*pipeline)
+        .with_execution(Execution::Parallel(parallel_config(jobs)))
+        .with_observer(obs.clone());
+    let analysis = session.run().map_err(|e| runtime_err(e.to_string()))?;
+    if !spec.json_only() {
+        println!("{trace}");
+        let s = trace_stats(trace);
+        println!(
+            "density {:.3} branches/instr, dynamic taken rate {:.1}%",
+            s.branch_density,
+            s.dynamic_taken_rate * 100.0
+        );
+        print_analysis(analysis, pipeline);
+    }
+    if let Some(mut report) = session.run_report("analyze") {
+        push_analysis_digests(&mut report, analysis);
+        spec.emit(&report)?;
+    }
+    Ok(())
+}
+
+/// The configuration echo for the streaming `analyze` path, which has no
+/// [`Session`] to build one (the trace is never materialised).
+fn stream_config_json(pipeline: &AnalysisPipeline) -> Json {
+    Json::object([
+        (
+            "conflict_threshold",
+            Json::UInt(pipeline.conflict.threshold),
+        ),
+        (
+            "working_set_definition",
+            Json::from(format!("{:?}", pipeline.definition)),
+        ),
+        ("taken_threshold", Json::Float(pipeline.taken_threshold)),
+        (
+            "not_taken_threshold",
+            Json::Float(pipeline.not_taken_threshold),
+        ),
+        ("execution", Json::from("streaming")),
+        ("jobs", Json::UInt(1)),
+        ("shards", Json::Null),
+    ])
 }
 
 /// Streaming analysis of a BWSS trace: constant memory in the trace
 /// length, with optional salvage and checkpoint/resume.
-fn analyze_stream(path: &str, p: &Parsed, pipeline: &AnalysisPipeline) -> Result<(), CliError> {
+fn analyze_stream(
+    path: &str,
+    p: &Parsed,
+    pipeline: &AnalysisPipeline,
+    spec: &ReportSpec,
+    obs: &Obs,
+) -> Result<(), CliError> {
     let file = File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
     let mut reader = StreamReader::with_recovery(BufReader::new(file), recovery_policy(p))
-        .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+        .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?
+        .with_observer(obs.clone());
     let mut analysis = match p.value("resume") {
         Some(ck_path) => {
             let bytes = std::fs::read(ck_path)
                 .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
-            let a = StreamingAnalysis::load(&bytes)
+            let a = StreamingAnalysis::load_observed(&bytes, obs)
                 .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?;
             if a.trace_name() != reader.name() {
                 return Err(runtime_err(format!(
@@ -485,6 +670,7 @@ fn analyze_stream(path: &str, p: &Parsed, pipeline: &AnalysisPipeline) -> Result
     let mut next_checkpoint_at = cadence
         .as_ref()
         .map(|(_, every)| analysis.records_consumed() + every);
+    let ingest_span = obs.span("ingest");
     for item in reader.by_ref() {
         let rec = item.map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
         if skipped < to_skip {
@@ -494,11 +680,12 @@ fn analyze_stream(path: &str, p: &Parsed, pipeline: &AnalysisPipeline) -> Result
         analysis.push(&rec);
         if let (Some((ck_path, every)), Some(at)) = (&cadence, next_checkpoint_at) {
             if analysis.records_consumed() >= at {
-                write_checkpoint(ck_path, &analysis.save()).map_err(runtime_err)?;
+                write_checkpoint(ck_path, &analysis.save_observed(obs)).map_err(runtime_err)?;
                 next_checkpoint_at = Some(analysis.records_consumed() + every);
             }
         }
     }
+    ingest_span.finish();
     if skipped < to_skip {
         return Err(runtime_err(format!(
             "checkpoint consumed {to_skip} records but {path} only has {skipped}"
@@ -509,26 +696,43 @@ fn analyze_stream(path: &str, p: &Parsed, pipeline: &AnalysisPipeline) -> Result
     let n = analysis.records_consumed();
     let static_count = analysis.static_branch_count();
     let instructions = reader.total_instructions();
-    println!(
-        "trace '{}': {} dynamic branches over {} static sites, {} instructions",
-        reader.name(),
-        n,
-        static_count,
-        instructions.map_or_else(|| "unknown".to_owned(), |t| t.to_string())
-    );
-    let result = analysis.finish(pipeline);
-    let taken: u64 = result.profile.iter().map(|(_, s)| s.taken).sum();
-    let density = match instructions {
-        Some(t) if t > 0 => n as f64 / t as f64,
-        _ => 0.0,
-    };
-    let taken_rate = if n > 0 { taken as f64 / n as f64 } else { 0.0 };
-    println!(
-        "density {:.3} branches/instr, dynamic taken rate {:.1}%",
-        density,
-        taken_rate * 100.0
-    );
-    print_analysis(&result, pipeline);
+    if !spec.json_only() {
+        println!(
+            "trace '{}': {} dynamic branches over {} static sites, {} instructions",
+            reader.name(),
+            n,
+            static_count,
+            instructions.map_or_else(|| "unknown".to_owned(), |t| t.to_string())
+        );
+    }
+    let trace_name = reader.name().to_owned();
+    let result = analysis.finish_observed(pipeline, obs);
+    if !spec.json_only() {
+        let taken: u64 = result.profile.iter().map(|(_, s)| s.taken).sum();
+        let density = match instructions {
+            Some(t) if t > 0 => n as f64 / t as f64,
+            _ => 0.0,
+        };
+        let taken_rate = if n > 0 { taken as f64 / n as f64 } else { 0.0 };
+        println!(
+            "density {:.3} branches/instr, dynamic taken rate {:.1}%",
+            density,
+            taken_rate * 100.0
+        );
+        print_analysis(&result, pipeline);
+    }
+    if let Some(metrics) = obs.snapshot() {
+        let mut report = RunReport::new(
+            "analyze",
+            trace_name,
+            n,
+            static_count as u64,
+            stream_config_json(pipeline),
+            &metrics,
+        );
+        push_analysis_digests(&mut report, &result);
+        spec.emit(&report)?;
+    }
     Ok(())
 }
 
@@ -551,7 +755,11 @@ fn print_analysis(analysis: &bwsa::core::Analysis, pipeline: &AnalysisPipeline) 
 }
 
 fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
-    let p = parse(args, &["table", "threshold"], &["classify", "salvage"])?;
+    let p = parse(
+        args,
+        &["table", "threshold", "report", "metrics"],
+        &["classify", "salvage"],
+    )?;
     let path = p
         .positionals
         .first()
@@ -561,53 +769,75 @@ fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
         .unwrap_or("1024")
         .parse()
         .map_err(|_| usage_err("bad table size"))?;
-    let (trace, report) = load_trace(path, recovery_policy(&p))?;
+    let spec = report_spec(&p)?;
+    let obs = spec.observer();
+    let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
     warn_salvage(path, &report);
     let pipeline = AnalysisPipeline {
         conflict: threshold_of(&p)?,
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
-    let cfg = AllocationConfig::default();
-    let allocation = if p.has("classify") {
-        analysis.allocate_classified(table, &cfg)
-    } else {
-        analysis.allocate(table, &cfg)
-    };
+    let classified = Classified(p.has("classify"));
+    let session = Session::new(&trace)
+        .with_pipeline(pipeline)
+        .with_observer(obs.clone());
+    let allocation = session
+        .allocate(classified, table)
+        .map_err(|e| runtime_err(e.to_string()))?;
     let occ = allocation.occupancy();
-    println!(
-        "allocation into {table} entries ({}): conflict mass {}, {} conflicting pairs",
-        if p.has("classify") {
-            "classified"
-        } else {
-            "plain"
-        },
-        allocation.conflict_mass,
-        allocation.conflicting_pairs
-    );
-    println!(
-        "occupancy: {} entries used, max {} branches/entry, mean {:.2}",
-        occ.used_entries, occ.max_per_entry, occ.mean_per_used_entry
-    );
-    let required = if p.has("classify") {
-        analysis.required_bht_size_classified(&trace, 1024, &cfg)
-    } else {
-        analysis.required_bht_size(&trace, 1024, &cfg)
-    };
-    println!(
-        "required size to beat conventional 1024-entry BHT: {} (target mass {}, achieved {})",
-        required.size, required.target_mass, required.achieved_mass
-    );
+    if !spec.json_only() {
+        println!(
+            "allocation into {table} entries ({}): conflict mass {}, {} conflicting pairs",
+            if classified.0 { "classified" } else { "plain" },
+            allocation.conflict_mass,
+            allocation.conflicting_pairs
+        );
+        println!(
+            "occupancy: {} entries used, max {} branches/entry, mean {:.2}",
+            occ.used_entries, occ.max_per_entry, occ.mean_per_used_entry
+        );
+    }
+    let required = session
+        .required_bht_size(classified, 1024)
+        .map_err(|e| runtime_err(e.to_string()))?;
+    if !spec.json_only() {
+        println!(
+            "required size to beat conventional 1024-entry BHT: {} (target mass {}, achieved {})",
+            required.size, required.target_mass, required.achieved_mass
+        );
+    }
+    let alloc_mass = allocation.conflict_mass;
+    let alloc_pairs = allocation.conflicting_pairs;
     let mut pag = Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index));
-    let alloc_rate = simulate(&mut pag, &trace).misprediction_rate();
-    let conv = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
-    let free = simulate(&mut Pag::interference_free(), &trace).misprediction_rate();
-    println!(
-        "\nmisprediction: allocated {:.2}% | conventional-1024 {:.2}% | interference-free {:.2}%",
-        alloc_rate * 100.0,
-        conv * 100.0,
-        free * 100.0
-    );
+    let alloc_rate = simulate_observed(&mut pag, &trace, &obs).misprediction_rate();
+    let conv = simulate_observed(&mut Pag::paper_baseline(), &trace, &obs).misprediction_rate();
+    let free = simulate_observed(&mut Pag::interference_free(), &trace, &obs).misprediction_rate();
+    if !spec.json_only() {
+        println!(
+            "\nmisprediction: allocated {:.2}% | conventional-1024 {:.2}% | interference-free {:.2}%",
+            alloc_rate * 100.0,
+            conv * 100.0,
+            free * 100.0
+        );
+    }
+    if let Some(mut run_report) = session.run_report("allocate") {
+        push_analysis_digests(
+            &mut run_report,
+            session.run().map_err(|e| runtime_err(e.to_string()))?,
+        );
+        run_report.push_digest(
+            "allocation",
+            digest_of(&format!("{table} {alloc_mass} {alloc_pairs}")),
+        );
+        run_report.push_digest(
+            "required_size",
+            digest_of(&format!(
+                "{} {} {}",
+                required.size, required.target_mass, required.achieved_mass
+            )),
+        );
+        spec.emit(&run_report)?;
+    }
     Ok(())
 }
 
@@ -620,6 +850,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
             "checkpoint-every",
             "resume",
             "jobs",
+            "report",
+            "metrics",
         ],
         &["salvage"],
     )?;
@@ -629,8 +861,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| usage_err("simulate needs a trace file"))?;
     let cadence = checkpoint_cadence(&p)?;
     let jobs = jobs_of(&p)?.unwrap_or_else(|| ParallelConfig::available().jobs.get());
+    let spec = report_spec(&p)?;
+    let obs = spec.observer();
     let wants_checkpointing = cadence.is_some() || p.value("resume").is_some();
-    let (trace, report) = load_trace(path, recovery_policy(&p))?;
+    let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
     warn_salvage(path, &report);
 
     let cells: Vec<SweepCell<'_>> = if !wants_checkpointing {
@@ -647,7 +881,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
             .into_iter()
             .map(|mut pred| {
                 let trace = &trace;
-                SweepCell::new(pred.name(), move || Ok(simulate(&mut *pred, trace)))
+                SweepCell::new(pred.name(), move || {
+                    Ok(bwsa::predictor::simulate(&mut *pred, trace))
+                })
             })
             .collect()
     } else {
@@ -683,9 +919,37 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
             )
         })]
     };
-    let results = sweep(cells, jobs).map_err(|e| runtime_err(e.to_string()))?;
-    for result in results {
-        println!("{result}");
+    let results = sweep_observed(cells, jobs, &obs).map_err(|e| runtime_err(e.to_string()))?;
+    if !spec.json_only() {
+        for result in &results {
+            println!("{result}");
+        }
+    }
+    obs.sample_peak_rss();
+    if let Some(metrics) = obs.snapshot() {
+        let config = Json::object([
+            (
+                "predictor",
+                Json::from(p.value("predictor").unwrap_or("grid")),
+            ),
+            ("jobs", Json::UInt(jobs as u64)),
+            ("checkpointing", Json::from(wants_checkpointing)),
+        ]);
+        let mut run_report = RunReport::new(
+            "simulate",
+            trace.meta().name.clone(),
+            trace.len() as u64,
+            trace.static_branch_count() as u64,
+            config,
+            &metrics,
+        );
+        for result in &results {
+            run_report.push_digest(
+                result.predictor.as_str(),
+                digest_of(&format!("{} {}", result.mispredictions, result.total)),
+            );
+        }
+        spec.emit(&run_report)?;
     }
     Ok(())
 }
@@ -729,13 +993,14 @@ fn cmd_dot(args: &[String]) -> Result<(), CliError> {
         .positionals
         .first()
         .ok_or_else(|| usage_err("dot needs a trace file"))?;
-    let (trace, report) = load_trace(path, recovery_policy(&p))?;
+    let (trace, report) = load_trace(path, recovery_policy(&p), &Obs::noop())?;
     warn_salvage(path, &report);
     let pipeline = AnalysisPipeline {
         conflict: threshold_of(&p)?,
         ..AnalysisPipeline::new()
     };
-    let analysis = pipeline.run(&trace);
+    let session = Session::new(&trace).with_pipeline(pipeline);
+    let analysis = session.run().map_err(|e| runtime_err(e.to_string()))?;
     let mut groups = vec![0u32; analysis.conflict.graph.node_count()];
     for (i, set) in analysis.working_sets.sets.iter().enumerate() {
         for &id in set {
@@ -752,6 +1017,50 @@ fn cmd_dot(args: &[String]) -> Result<(), CliError> {
             }
         )
     );
+    Ok(())
+}
+
+/// The pinned run-report schema this build emits and validates against —
+/// the same fixture the golden schema test locks (`tests/golden/`).
+const RUN_REPORT_SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_report.schema"
+));
+
+fn cmd_validate_report(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &[], &[])?;
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("validate-report needs a report JSON file"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| runtime_err(format!("{path}: {e}")))?;
+    let version = doc
+        .get("run_report_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| runtime_err(format!("{path}: missing run_report_version")))?;
+    if version != RUN_REPORT_VERSION {
+        return Err(runtime_err(format!(
+            "{path}: run_report_version {version}, this build validates version {RUN_REPORT_VERSION}"
+        )));
+    }
+    // Subset check: every path in the report must be in the pinned
+    // schema. Commands emit different counter/digest/config sets, so the
+    // wildcarded shape is the contract, not byte equality.
+    let known: std::collections::BTreeSet<&str> = RUN_REPORT_SCHEMA.lines().collect();
+    let shape = schema_shape(&doc);
+    let unknown: Vec<&str> = shape
+        .lines()
+        .filter(|line| !line.is_empty() && !known.contains(line))
+        .collect();
+    if !unknown.is_empty() {
+        return Err(runtime_err(format!(
+            "{path}: shape differs from the version-{RUN_REPORT_VERSION} schema; unknown fields:\n  {}",
+            unknown.join("\n  ")
+        )));
+    }
+    println!("{path}: valid run report (version {version})");
     Ok(())
 }
 
@@ -1006,6 +1315,129 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn report_flag_values_are_validated() {
+        assert!(matches!(
+            run(&strs(&["analyze", "/no/such.bwst", "--report", "xml"])),
+            Err(CliError::Usage(_))
+        ));
+        let p = parse(&strs(&["--report", "json"]), &["report"], &[]).unwrap();
+        let spec = report_spec(&p).unwrap();
+        assert!(spec.wanted());
+        assert!(spec.json_only());
+        let p = parse(&strs(&["--metrics", "m.json"]), &["report", "metrics"], &[]).unwrap();
+        let spec = report_spec(&p).unwrap();
+        assert!(spec.wanted());
+        assert!(!spec.json_only(), "--metrics alone keeps stdout human");
+        let none = report_spec(&parse(&[], &["report"], &[]).unwrap()).unwrap();
+        assert!(!none.wanted());
+    }
+
+    #[test]
+    fn every_reporting_subcommand_emits_a_valid_versioned_report() {
+        let dir = std::env::temp_dir().join("bwsa_cli_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.bwst");
+        let trace_s = trace.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.01", "-o", &trace_s,
+        ]))
+        .unwrap();
+        for (extra, name) in [
+            (vec!["analyze"], "analyze.json"),
+            (vec!["analyze", "--jobs", "3"], "analyze_par.json"),
+            (
+                vec!["allocate", "--table", "64", "--classify"],
+                "alloc.json",
+            ),
+            (vec!["simulate", "--predictor", "pag"], "sim.json"),
+        ] {
+            let metrics = dir.join(name);
+            let metrics_s = metrics.to_str().unwrap().to_owned();
+            let mut args = vec![extra[0].to_owned(), trace_s.clone()];
+            args.extend(extra[1..].iter().map(|s| s.to_string()));
+            args.extend(["--metrics".to_owned(), metrics_s.clone()]);
+            run(&args).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            run(&strs(&["validate-report", &metrics_s]))
+                .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+            assert_eq!(
+                doc.get("run_report_version").and_then(Json::as_u64),
+                Some(RUN_REPORT_VERSION),
+                "{name}"
+            );
+            std::fs::remove_file(metrics).unwrap();
+        }
+        std::fs::remove_file(trace).unwrap();
+    }
+
+    #[test]
+    fn analyze_report_times_every_pipeline_stage() {
+        let dir = std::env::temp_dir().join("bwsa_cli_stage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.bwst");
+        let trace_s = trace.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.01", "-o", &trace_s,
+        ]))
+        .unwrap();
+        let metrics = dir.join("m.json");
+        let metrics_s = metrics.to_str().unwrap().to_owned();
+        run(&strs(&["analyze", &trace_s, "--metrics", &metrics_s])).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let stages: Vec<String> = match doc.get("stages") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .filter_map(|s| s.get("name").and_then(Json::as_str).map(str::to_owned))
+                .collect(),
+            other => panic!("stages missing: {other:?}"),
+        };
+        for required in [
+            "ingest",
+            "shard_summarize",
+            "shard_combine",
+            "shard_detect",
+            "conflict_prune",
+            "working_sets",
+            "classify",
+        ] {
+            assert!(
+                stages.iter().any(|s| s == required),
+                "missing {required} in {stages:?}"
+            );
+        }
+        std::fs::remove_file(metrics).unwrap();
+        std::fs::remove_file(trace).unwrap();
+    }
+
+    #[test]
+    fn validate_report_rejects_garbage_and_wrong_versions() {
+        let dir = std::env::temp_dir().join("bwsa_cli_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        assert!(matches!(
+            run(&strs(&["validate-report", garbage.to_str().unwrap()])),
+            Err(CliError::Runtime(_))
+        ));
+        let wrong = dir.join("wrong_version.json");
+        std::fs::write(&wrong, "{\"run_report_version\": 999}").unwrap();
+        let err = run(&strs(&["validate-report", wrong.to_str().unwrap()])).unwrap_err();
+        match err {
+            CliError::Runtime(msg) => assert!(msg.contains("999"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        let alien = dir.join("alien_field.json");
+        std::fs::write(&alien, "{\"run_report_version\": 1, \"surprise\": true}").unwrap();
+        assert!(matches!(
+            run(&strs(&["validate-report", alien.to_str().unwrap()])),
+            Err(CliError::Runtime(_))
+        ));
+        std::fs::remove_file(garbage).unwrap();
+        std::fs::remove_file(wrong).unwrap();
+        std::fs::remove_file(alien).unwrap();
     }
 
     #[test]

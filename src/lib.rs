@@ -17,22 +17,27 @@
 //! * [`predictor`] — the `sim-bpred` equivalent: bimodal, GAg, gshare,
 //!   PAg, PAp, hybrid, agree, and allocation-indexed PAg variants.
 //! * [`core`] — the paper's contribution: interleaving analysis, working
-//!   sets, branch classification, and branch allocation.
+//!   sets, branch classification, and branch allocation, fronted by the
+//!   [`core::Session`] API.
+//! * [`obs`] — the observability layer: spans, counters, and versioned
+//!   [`obs::RunReport`] documents.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use bwsa::core::AnalysisPipeline;
+//! use bwsa::core::Session;
 //! use bwsa::workload::suite::{Benchmark, InputSet};
 //!
 //! // Generate a small trace of the `compress`-like workload and analyse it.
 //! let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
-//! let analysis = AnalysisPipeline::new().run(&trace);
+//! let session = Session::new(&trace);
+//! let analysis = session.run().unwrap();
 //! println!("{} working sets", analysis.working_sets.report.total_sets);
 //! ```
 
 pub use bwsa_core as core;
 pub use bwsa_graph as graph;
+pub use bwsa_obs as obs;
 pub use bwsa_predictor as predictor;
 pub use bwsa_trace as trace;
 pub use bwsa_workload as workload;
@@ -43,7 +48,8 @@ pub use bwsa_workload as workload;
 /// use bwsa::prelude::*;
 ///
 /// let trace = Benchmark::Pgp.generate_scaled(InputSet::A, 0.01);
-/// let analysis = AnalysisPipeline::new().run(&trace);
+/// let session = Session::new(&trace);
+/// let analysis = session.run().unwrap();
 /// let mut pag = Pag::paper_baseline();
 /// let result = simulate(&mut pag, &trace);
 /// assert!(result.misprediction_rate() <= 1.0);
@@ -54,6 +60,8 @@ pub mod prelude {
     pub use bwsa_core::conflict::{ConflictAnalysis, ConflictConfig};
     pub use bwsa_core::pipeline::{Analysis, AnalysisPipeline};
     pub use bwsa_core::{classify, BiasClass, WorkingSetDefinition};
+    pub use bwsa_core::{Classified, Execution, Session};
+    pub use bwsa_obs::{Obs, RunReport};
     pub use bwsa_predictor::{simulate, BhtIndexer, BranchPredictor, Pag, SimResult};
     pub use bwsa_trace::{BranchId, BranchRecord, Direction, Pc, Trace, TraceBuilder};
     pub use bwsa_workload::suite::{Benchmark, InputSet};

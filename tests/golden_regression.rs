@@ -15,7 +15,8 @@
 use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::ParallelConfig;
+use bwsa::core::{analyze_parallel_observed, Classified, ParallelConfig};
+use bwsa::obs::Obs;
 use bwsa::workload::suite::{Benchmark, InputSet};
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
@@ -50,7 +51,7 @@ fn snapshot(bench: Benchmark, set: InputSet) -> String {
         jobs: NonZeroUsize::new(2).unwrap(),
         shards: NonZeroUsize::new(5),
     };
-    let analysis = pipeline.run_parallel(&trace, &cfg);
+    let analysis = analyze_parallel_observed(&pipeline, &trace, &cfg, &Obs::noop());
 
     let mut out = String::new();
     let _ = writeln!(
@@ -83,8 +84,12 @@ fn snapshot(bench: Benchmark, set: InputSet) -> String {
         analysis.conflict.graph.total_weight()
     );
     let alloc_cfg = AllocationConfig::default();
-    let plain = analysis.required_bht_size(&trace, 1024, &alloc_cfg);
-    let classified = analysis.required_bht_size_classified(&trace, 1024, &alloc_cfg);
+    let plain = analysis
+        .required_size(Classified(false), &trace, 1024, &alloc_cfg)
+        .unwrap();
+    let classified = analysis
+        .required_size(Classified(true), &trace, 1024, &alloc_cfg)
+        .unwrap();
     let _ = writeln!(
         out,
         "table3: required_plain={} required_classified={}",

@@ -4,6 +4,8 @@
 use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::Classified;
+use bwsa::obs::Obs;
 use bwsa::predictor::{simulate, BhtIndexer, Pag};
 use bwsa::workload::suite::{Benchmark, InputSet};
 
@@ -20,7 +22,7 @@ fn pipeline() -> AnalysisPipeline {
 fn working_sets_are_small_relative_to_static_population() {
     for bench in [Benchmark::Compress, Benchmark::Pgp, Benchmark::Perl] {
         let trace = bench.generate_scaled(InputSet::A, SCALE);
-        let analysis = pipeline().run(&trace);
+        let analysis = pipeline().run_observed(&trace, &Obs::noop());
         let report = &analysis.working_sets.report;
         assert!(report.total_sets >= 1, "{bench}: no working sets");
         assert!(
@@ -35,8 +37,15 @@ fn working_sets_are_small_relative_to_static_population() {
 #[test]
 fn allocation_conflict_mass_beats_conventional_at_modest_sizes() {
     let trace = Benchmark::Compress.generate_scaled(InputSet::A, SCALE);
-    let analysis = pipeline().run(&trace);
-    let r = analysis.required_bht_size(&trace, 1024, &AllocationConfig::default());
+    let analysis = pipeline().run_observed(&trace, &Obs::noop());
+    let r = analysis
+        .required_size(
+            Classified(false),
+            &trace,
+            1024,
+            &AllocationConfig::default(),
+        )
+        .unwrap();
     assert!(
         r.size < 1024,
         "allocation should need far fewer than 1024 entries, got {}",
@@ -49,10 +58,14 @@ fn allocation_conflict_mass_beats_conventional_at_modest_sizes() {
 fn classification_never_hurts_required_size() {
     for bench in [Benchmark::Compress, Benchmark::Pgp] {
         let trace = bench.generate_scaled(InputSet::A, SCALE);
-        let analysis = pipeline().run(&trace);
+        let analysis = pipeline().run_observed(&trace, &Obs::noop());
         let cfg = AllocationConfig::default();
-        let plain = analysis.required_bht_size(&trace, 1024, &cfg);
-        let classified = analysis.required_bht_size_classified(&trace, 1024, &cfg);
+        let plain = analysis
+            .required_size(Classified(false), &trace, 1024, &cfg)
+            .unwrap();
+        let classified = analysis
+            .required_size(Classified(true), &trace, 1024, &cfg)
+            .unwrap();
         assert!(
             classified.size <= plain.size.max(3),
             "{bench}: classified {} vs plain {}",
@@ -68,8 +81,10 @@ fn allocated_pag_tracks_interference_free() {
     // full 1024 entries lands within a small margin of the
     // interference-free PAg, and does not lose to the conventional PAg.
     let trace = Benchmark::M88ksim.generate_scaled(InputSet::A, SCALE);
-    let analysis = pipeline().run(&trace);
-    let allocation = analysis.allocate(1024, &AllocationConfig::default());
+    let analysis = pipeline().run_observed(&trace, &Obs::noop());
+    let allocation = analysis
+        .allocation(Classified(false), 1024, &AllocationConfig::default())
+        .unwrap();
     let conventional = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
     let allocated = simulate(
         &mut Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index)),
@@ -90,10 +105,10 @@ fn allocated_pag_tracks_interference_free() {
 #[test]
 fn biased_branches_share_reserved_entries_without_penalty() {
     let trace = Benchmark::Pgp.generate_scaled(InputSet::A, SCALE);
-    let analysis = pipeline().run(&trace);
+    let analysis = pipeline().run_observed(&trace, &Obs::noop());
     let cfg = AllocationConfig::default();
-    let plain = analysis.allocate(256, &cfg);
-    let classified = analysis.allocate_classified(256, &cfg);
+    let plain = analysis.allocation(Classified(false), 256, &cfg).unwrap();
+    let classified = analysis.allocation(Classified(true), 256, &cfg).unwrap();
     let rate = |index: bwsa::predictor::AllocatedIndex| {
         simulate(
             &mut Pag::paper_with_indexer(BhtIndexer::Allocated(index)),
@@ -115,8 +130,10 @@ fn allocation_reduces_first_level_interference_events() {
     // The mechanism behind the figures: allocation cuts the number of
     // times a branch finds someone else's history in its BHT entry.
     let trace = Benchmark::Li.generate_scaled(InputSet::A, SCALE);
-    let analysis = pipeline().run(&trace);
-    let allocation = analysis.allocate(1024, &AllocationConfig::default());
+    let analysis = pipeline().run_observed(&trace, &Obs::noop());
+    let allocation = analysis
+        .allocation(Classified(false), 1024, &AllocationConfig::default())
+        .unwrap();
 
     let mut conventional = Pag::paper_baseline();
     simulate(&mut conventional, &trace);
@@ -138,11 +155,17 @@ fn allocation_reduces_first_level_interference_events() {
 fn analysis_is_deterministic_end_to_end() {
     let a = {
         let trace = Benchmark::Perl.generate_scaled(InputSet::A, SCALE);
-        pipeline().run(&trace).working_sets.report
+        pipeline()
+            .run_observed(&trace, &Obs::noop())
+            .working_sets
+            .report
     };
     let b = {
         let trace = Benchmark::Perl.generate_scaled(InputSet::A, SCALE);
-        pipeline().run(&trace).working_sets.report
+        pipeline()
+            .run_observed(&trace, &Obs::noop())
+            .working_sets
+            .report
     };
     assert_eq!(a, b);
 }

@@ -1,0 +1,100 @@
+//! Golden schema test for the versioned [`RunReport`] JSON document.
+//!
+//! The report is a public, machine-readable interface: downstream tooling
+//! parses `bwsa analyze --report json` output, so its *shape* (which
+//! paths exist and what type each holds) must not drift silently. This
+//! test pins the wildcarded shape of a canonical report — one that
+//! exercises every field and every JSON value type a subcommand can put
+//! in its `config` echo — against `tests/golden/run_report.schema`, the
+//! same fixture `bwsa validate-report` checks emitted reports against.
+//!
+//! Changing the report's shape intentionally means bumping
+//! [`RUN_REPORT_VERSION`] and regenerating:
+//!
+//! ```text
+//! BWSA_UPDATE_GOLDEN=1 cargo test --test run_report
+//! ```
+
+use bwsa::obs::json::Json;
+use bwsa::obs::report::schema_shape;
+use bwsa::obs::{Obs, RunReport, RUN_REPORT_VERSION};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("run_report.schema")
+}
+
+/// A report exercising every schema element: stages, counters, digests,
+/// peak RSS, and a `config` echo holding each JSON value type any
+/// subcommand uses (number, string, null, bool).
+fn canonical_report() -> RunReport {
+    let obs = Obs::recording();
+    obs.span("ingest").finish();
+    obs.span("profile").finish();
+    obs.add("trace.records_read", 100);
+    obs.add("core.interleave_pairs", 12);
+    let metrics = obs.snapshot().unwrap();
+    let config = Json::object([
+        ("conflict_threshold", Json::UInt(100)),
+        ("taken_threshold", Json::Float(0.99)),
+        ("execution", Json::from("serial")),
+        ("shards", Json::Null),
+        ("checkpointing", Json::from(false)),
+    ]);
+    let mut report = RunReport::new("analyze", "golden", 100, 7, config, &metrics);
+    // Pin the platform-dependent field so the fixture is identical
+    // everywhere.
+    report.peak_rss_bytes = Some(1 << 20);
+    report.push_digest("classification", "crc32:deadbeef");
+    report
+}
+
+#[test]
+fn run_report_schema_matches_golden_fixture() {
+    let shape = schema_shape(&canonical_report().to_json());
+    let path = golden_path();
+    if std::env::var_os("BWSA_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &shape).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        shape, golden,
+        "RunReport JSON shape changed without a schema update.\n\
+         If intentional: bump RUN_REPORT_VERSION in crates/obs/src/report.rs\n\
+         and regenerate with BWSA_UPDATE_GOLDEN=1 cargo test --test run_report"
+    );
+}
+
+#[test]
+fn schema_version_is_pinned() {
+    // Bumping the version is deliberate: it invalidates old reports for
+    // `bwsa validate-report` and requires regenerating the fixture.
+    assert_eq!(RUN_REPORT_VERSION, 1);
+}
+
+#[test]
+fn canonical_report_roundtrips_through_json() {
+    let report = canonical_report();
+    let doc = Json::parse(&report.to_json_string()).unwrap();
+    assert_eq!(
+        doc.get("run_report_version").and_then(Json::as_u64),
+        Some(RUN_REPORT_VERSION)
+    );
+    assert_eq!(
+        doc.get("trace")
+            .and_then(|t| t.get("records"))
+            .and_then(Json::as_u64),
+        Some(100)
+    );
+    // A parsed emitted report has exactly the pinned shape.
+    assert_eq!(
+        schema_shape(&doc),
+        schema_shape(&report.to_json()),
+        "serialisation must not change the shape"
+    );
+}

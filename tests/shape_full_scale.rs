@@ -9,6 +9,8 @@
 
 use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::Classified;
+use bwsa::obs::Obs;
 use bwsa::predictor::{simulate, BhtIndexer, Pag};
 use bwsa::trace::profile::FrequencyFilter;
 use bwsa::workload::suite::{Benchmark, InputSet};
@@ -16,7 +18,7 @@ use bwsa::workload::suite::{Benchmark, InputSet};
 fn full_analysis(bench: Benchmark) -> (bwsa::trace::Trace, bwsa::core::pipeline::Analysis) {
     let raw = bench.generate(InputSet::A);
     let (trace, _) = FrequencyFilter::MinExecutions(20).filter_trace(&raw);
-    let analysis = AnalysisPipeline::new().run(&trace);
+    let analysis = AnalysisPipeline::new().run_observed(&trace, &Obs::noop());
     (trace, analysis)
 }
 
@@ -32,8 +34,12 @@ fn li_full_scale_reproduces_all_paper_shapes() {
     assert!(report.avg_dynamic_size < trace.static_branch_count() as f64 / 4.0);
 
     // Tables 3–4 shape: far fewer than 1024 entries; classification shrinks.
-    let plain = analysis.required_bht_size(&trace, 1024, &cfg);
-    let classified = analysis.required_bht_size_classified(&trace, 1024, &cfg);
+    let plain = analysis
+        .required_size(Classified(false), &trace, 1024, &cfg)
+        .unwrap();
+    let classified = analysis
+        .required_size(Classified(true), &trace, 1024, &cfg)
+        .unwrap();
     assert!(plain.size < 400, "plain {}", plain.size);
     assert!(
         classified.size < plain.size,
@@ -43,7 +49,7 @@ fn li_full_scale_reproduces_all_paper_shapes() {
     );
 
     // Figure 4 shape: alloc-1024 ≥ ~10% relative gain, ≈ interference-free.
-    let allocation = analysis.allocate_classified(1024, &cfg);
+    let allocation = analysis.allocation(Classified(true), 1024, &cfg).unwrap();
     let conventional = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
     let allocated = simulate(
         &mut Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index)),

@@ -12,6 +12,8 @@ use bwsa::core::allocation::AllocationConfig;
 use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::AnalysisPipeline;
 use bwsa::core::ParallelConfig;
+use bwsa::core::{analyze_parallel_observed, Classified};
+use bwsa::obs::Obs;
 use bwsa::predictor::{simulate, BhtIndexer, Pag};
 use bwsa::trace::profile::FrequencyFilter;
 use bwsa::workload::suite::{Benchmark, InputSet};
@@ -34,9 +36,13 @@ fn quick_analysis(bench: Benchmark) -> (bwsa::trace::Trace, bwsa::core::pipeline
         jobs: NonZeroUsize::new(2).unwrap(),
         shards: None,
     };
-    let analysis = pipeline.run_parallel(&trace, &cfg);
+    let analysis = analyze_parallel_observed(&pipeline, &trace, &cfg, &Obs::noop());
     // The parallel path must agree with the serial one bit for bit.
-    assert_eq!(analysis, pipeline.run(&trace), "parallel != serial");
+    assert_eq!(
+        analysis,
+        pipeline.run_observed(&trace, &Obs::noop()),
+        "parallel != serial"
+    );
     (trace, analysis)
 }
 
@@ -57,8 +63,12 @@ fn li_quick_scale_reproduces_paper_shapes() {
 
     // Tables 3–4 shape: far fewer than 1024 entries; classification
     // shrinks the requirement (calibrated: 157 plain, 92 classified).
-    let plain = analysis.required_bht_size(&trace, 1024, &cfg);
-    let classified = analysis.required_bht_size_classified(&trace, 1024, &cfg);
+    let plain = analysis
+        .required_size(Classified(false), &trace, 1024, &cfg)
+        .unwrap();
+    let classified = analysis
+        .required_size(Classified(true), &trace, 1024, &cfg)
+        .unwrap();
     assert!(plain.size < 400, "plain {}", plain.size);
     assert!(
         classified.size < plain.size,
@@ -70,7 +80,7 @@ fn li_quick_scale_reproduces_paper_shapes() {
     // Figure 4 shape: allocation recovers a solid fraction of the
     // interference loss (calibrated: ~10% relative gain, allocated within
     // a whisker of interference-free).
-    let allocation = analysis.allocate_classified(1024, &cfg);
+    let allocation = analysis.allocation(Classified(true), 1024, &cfg).unwrap();
     let conventional = simulate(&mut Pag::paper_baseline(), &trace).misprediction_rate();
     let allocated = simulate(
         &mut Pag::paper_with_indexer(BhtIndexer::Allocated(allocation.index)),

@@ -1,7 +1,7 @@
 //! Integration: trace serialisation round-trips preserve every analysis
 //! artifact, so traces can be generated once and analysed elsewhere.
 
-use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::Session;
 use bwsa::trace::io as trace_io;
 use bwsa::workload::suite::{Benchmark, InputSet};
 
@@ -12,9 +12,10 @@ fn binary_roundtrip_preserves_analysis_results() {
     let back = trace_io::decode_binary(&bytes).expect("roundtrip decodes");
     assert_eq!(back, trace);
 
-    let pipeline = AnalysisPipeline::new();
-    let original = pipeline.run(&trace);
-    let reloaded = pipeline.run(&back);
+    let original_session = Session::new(&trace);
+    let original = original_session.run().unwrap();
+    let reloaded_session = Session::new(&back);
+    let reloaded = reloaded_session.run().unwrap();
     assert_eq!(original.working_sets, reloaded.working_sets);
     assert_eq!(original.profile, reloaded.profile);
 }
