@@ -153,16 +153,19 @@ impl StreamingAnalysis {
         obs.add("core.interleave_weight", raw.total_weight());
         let conflict = {
             let _span = obs.span("conflict_prune");
+            bwsa_resilience::failpoint!("core.conflict_prune");
             ConflictAnalysis::of_raw_graph(raw, pipeline.conflict)
         };
         obs.add("core.graph_edges_raw", conflict.raw_edge_count as u64);
         obs.add("core.graph_edges_kept", conflict.graph.edge_count() as u64);
         let working = {
             let _span = obs.span("working_sets");
+            bwsa_resilience::failpoint!("core.working_sets");
             working_sets(&conflict.graph, &profile, pipeline.definition)
         };
         let classification = {
             let _span = obs.span("classify");
+            bwsa_resilience::failpoint!("core.classify");
             classify_with(
                 &profile,
                 pipeline.taken_threshold,
@@ -199,6 +202,7 @@ impl StreamingAnalysis {
     /// Serialises the analysis state, appending a CRC32 of everything
     /// before it.
     pub fn save(&self) -> Vec<u8> {
+        bwsa_resilience::failpoint!("core.checkpoint_save");
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC);
         buf.push(CHECKPOINT_VERSION);
@@ -248,6 +252,7 @@ impl StreamingAnalysis {
     /// Returns [`CoreError::Checkpoint`] on a bad magic, unsupported
     /// version, wrong kind, CRC mismatch, or malformed payload.
     pub fn load(bytes: &[u8]) -> Result<Self, CoreError> {
+        bwsa_resilience::failpoint!("core.checkpoint_restore");
         fn malformed(e: TraceError) -> CoreError {
             CoreError::checkpoint(format!("malformed state: {e}"))
         }

@@ -7,6 +7,7 @@
 
 use bwsa_graph::GraphError;
 use bwsa_predictor::PredictorError;
+use bwsa_resilience::supervisor::ResilienceError;
 use bwsa_trace::TraceError;
 use std::fmt;
 
@@ -69,6 +70,9 @@ pub enum Error {
     Graph(GraphError),
     /// Predictor construction or simulation failed.
     Predictor(PredictorError),
+    /// A supervised run exhausted its degradation ladder: every rung
+    /// failed and this is the last rung's fault.
+    Resilience(ResilienceError),
 }
 
 impl fmt::Display for Error {
@@ -78,6 +82,7 @@ impl fmt::Display for Error {
             Error::Trace(e) => write!(f, "trace error: {e}"),
             Error::Graph(e) => write!(f, "graph error: {e}"),
             Error::Predictor(e) => write!(f, "predictor error: {e}"),
+            Error::Resilience(e) => write!(f, "resilience error: {e}"),
         }
     }
 }
@@ -89,6 +94,7 @@ impl std::error::Error for Error {
             Error::Trace(e) => Some(e),
             Error::Graph(e) => Some(e),
             Error::Predictor(e) => Some(e),
+            Error::Resilience(e) => Some(e),
         }
     }
 }
@@ -114,6 +120,12 @@ impl From<GraphError> for Error {
 impl From<PredictorError> for Error {
     fn from(e: PredictorError) -> Self {
         Error::Predictor(e)
+    }
+}
+
+impl From<ResilienceError> for Error {
+    fn from(e: ResilienceError) -> Self {
+        Error::Resilience(e)
     }
 }
 

@@ -65,7 +65,45 @@ pub mod phases;
 pub mod pipeline;
 pub mod report;
 pub mod session;
+pub mod supervise;
 pub mod working_set;
+
+/// Failpoint sites this crate hosts (see [`bwsa_resilience::failpoint`]).
+pub mod failpoints {
+    /// Fires at the start of the serial profile stage.
+    pub const PROFILE: &str = "core.profile";
+    /// Fires at the start of the serial interleave stage.
+    pub const INTERLEAVE: &str = "core.interleave";
+    /// Fires at the start of the conflict-graph pruning stage.
+    pub const CONFLICT_PRUNE: &str = "core.conflict_prune";
+    /// Fires at the start of the working-set extraction stage.
+    pub const WORKING_SETS: &str = "core.working_sets";
+    /// Fires at the start of the branch-classification stage.
+    pub const CLASSIFY: &str = "core.classify";
+    /// Fires inside every shard of the parallel summarise pass.
+    pub const SHARD_SUMMARIZE: &str = "core.shard_summarize";
+    /// Fires inside every shard of the parallel detect pass.
+    pub const SHARD_DETECT: &str = "core.shard_detect";
+    /// Fires before the serial shard-delta merge fold.
+    pub const SHARD_MERGE: &str = "core.shard_merge";
+    /// Fires when a [`crate::StreamingAnalysis`] checkpoint is saved.
+    pub const CHECKPOINT_SAVE: &str = "core.checkpoint_save";
+    /// Fires when a [`crate::StreamingAnalysis`] checkpoint is restored.
+    pub const CHECKPOINT_RESTORE: &str = "core.checkpoint_restore";
+    /// Every site in this crate, for chaos-sweep enumeration.
+    pub const SITES: &[&str] = &[
+        PROFILE,
+        INTERLEAVE,
+        CONFLICT_PRUNE,
+        WORKING_SETS,
+        CLASSIFY,
+        SHARD_SUMMARIZE,
+        SHARD_DETECT,
+        SHARD_MERGE,
+        CHECKPOINT_SAVE,
+        CHECKPOINT_RESTORE,
+    ];
+}
 
 pub use allocation::{allocate, required_bht_size, Allocation, AllocationConfig};
 pub use checkpoint::StreamingAnalysis;
@@ -73,7 +111,11 @@ pub use classify::{classify, BiasClass, Classification};
 pub use conflict::{ConflictAnalysis, ConflictConfig};
 pub use error::{CoreError, Error};
 pub use interleave::{interleave_counts, interleave_counts_naive, StreamingInterleave};
-pub use parallel::{analyze_parallel, analyze_parallel_observed, parallel_map, ParallelConfig};
+pub use parallel::{
+    analyze_parallel, analyze_parallel_observed, analyze_parallel_supervised, parallel_map,
+    ParallelConfig, ShardRetryPolicy,
+};
 pub use pipeline::{Analysis, AnalysisPipeline};
 pub use session::{Classified, Execution, Session};
+pub use supervise::{Downgrade, ResilienceSummary, SupervisorConfig};
 pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};

@@ -134,26 +134,31 @@ impl AnalysisPipeline {
     pub fn run_observed(&self, trace: &Trace, obs: &Obs) -> Analysis {
         let profile = {
             let _span = obs.span("profile");
+            bwsa_resilience::failpoint!("core.profile");
             BranchProfile::from_trace(trace)
         };
         let raw = {
             let _span = obs.span("interleave");
+            bwsa_resilience::failpoint!("core.interleave");
             crate::interleave_counts(trace).build()
         };
         obs.add("core.interleave_pairs", raw.edge_count() as u64);
         obs.add("core.interleave_weight", raw.total_weight());
         let conflict = {
             let _span = obs.span("conflict_prune");
+            bwsa_resilience::failpoint!("core.conflict_prune");
             ConflictAnalysis::of_raw_graph(raw, self.conflict)
         };
         obs.add("core.graph_edges_raw", conflict.raw_edge_count as u64);
         obs.add("core.graph_edges_kept", conflict.graph.edge_count() as u64);
         let working = {
             let _span = obs.span("working_sets");
+            bwsa_resilience::failpoint!("core.working_sets");
             working_sets(&conflict.graph, &profile, self.definition)
         };
         let classification = {
             let _span = obs.span("classify");
+            bwsa_resilience::failpoint!("core.classify");
             classify_with(&profile, self.taken_threshold, self.not_taken_threshold)
         };
         obs.sample_peak_rss();

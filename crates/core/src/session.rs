@@ -41,7 +41,9 @@ use crate::allocation::{Allocation, RequiredSize};
 use crate::error::Error;
 use crate::parallel::{analyze_parallel_observed, ParallelConfig};
 use crate::pipeline::{Analysis, AnalysisPipeline};
+use crate::supervise::{self, ResilienceSummary, SupervisorConfig};
 use bwsa_obs::json::Json;
+use bwsa_obs::report::{DowngradeReport, ResilienceReport};
 use bwsa_obs::{Metrics, Obs, RunReport};
 use bwsa_trace::Trace;
 use std::sync::OnceLock;
@@ -77,8 +79,10 @@ pub struct Session<'t> {
     trace: &'t Trace,
     pipeline: AnalysisPipeline,
     execution: Execution,
+    supervisor: Option<SupervisorConfig>,
     obs: Obs,
     analysis: OnceLock<Analysis>,
+    resilience: OnceLock<ResilienceSummary>,
 }
 
 impl<'t> Session<'t> {
@@ -89,8 +93,10 @@ impl<'t> Session<'t> {
             trace,
             pipeline: AnalysisPipeline::default(),
             execution: Execution::Serial,
+            supervisor: None,
             obs: Obs::noop(),
             analysis: OnceLock::new(),
+            resilience: OnceLock::new(),
         }
     }
 
@@ -103,6 +109,16 @@ impl<'t> Session<'t> {
     /// Picks serial or parallel execution.
     pub fn with_execution(mut self, execution: Execution) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Runs the pipeline under supervision: worker isolation, retries
+    /// with backoff, cooperative deadlines, a soft memory budget, and
+    /// graceful degradation down the ladder described in
+    /// [`crate::supervise`]. Every attempt, retry, and downgrade is
+    /// recorded in [`Session::resilience_summary`] and in run reports.
+    pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = Some(config);
         self
     }
 
@@ -139,21 +155,44 @@ impl<'t> Session<'t> {
     /// # Errors
     ///
     /// Returns [`Error::Core`] when the configuration fails
-    /// [`AnalysisPipeline::validate`].
+    /// [`AnalysisPipeline::validate`]; a supervised session additionally
+    /// returns [`Error::Resilience`] when the whole degradation ladder
+    /// fails.
     pub fn run(&self) -> Result<&Analysis, Error> {
         if let Some(analysis) = self.analysis.get() {
             return Ok(analysis);
         }
         self.pipeline.validate()?;
-        let analysis = match &self.execution {
-            Execution::Serial => self.pipeline.run_observed(self.trace, &self.obs),
-            Execution::Parallel(config) => {
-                analyze_parallel_observed(&self.pipeline, self.trace, config, &self.obs)
+        let analysis = match &self.supervisor {
+            Some(config) => {
+                let (result, summary) = supervise::run_supervised(
+                    &self.pipeline,
+                    self.trace,
+                    &self.execution,
+                    config,
+                    &self.obs,
+                );
+                let _ = self.resilience.set(summary);
+                result?
             }
+            None => match &self.execution {
+                Execution::Serial => self.pipeline.run_observed(self.trace, &self.obs),
+                Execution::Parallel(config) => {
+                    analyze_parallel_observed(&self.pipeline, self.trace, config, &self.obs)
+                }
+            },
         };
         // A concurrent caller may have won the race; either value is
         // identical, so return whichever landed.
         Ok(self.analysis.get_or_init(|| analysis))
+    }
+
+    /// What a supervised run survived — attempts, retries, downgrades,
+    /// faults. `None` before [`Session::run`] or without
+    /// [`Session::with_supervisor`]. Populated even when the run failed,
+    /// so error paths can still report what was attempted.
+    pub fn resilience_summary(&self) -> Option<&ResilienceSummary> {
+        self.resilience.get()
     }
 
     /// Branch allocation into a `table_size`-entry BHT, running the
@@ -242,14 +281,32 @@ impl<'t> Session<'t> {
     /// emitting it.
     pub fn run_report(&self, command: &str) -> Option<RunReport> {
         let metrics = self.metrics()?;
-        Some(RunReport::new(
+        let mut report = RunReport::new(
             command,
             self.trace.meta().name.clone(),
             self.trace.len() as u64,
             self.trace.static_branch_count() as u64,
             self.config_json(),
             &metrics,
-        ))
+        );
+        if let Some(summary) = self.resilience_summary() {
+            report.set_resilience(ResilienceReport {
+                supervised: true,
+                attempts: summary.attempts,
+                retries: summary.retries,
+                downgrades: summary
+                    .downgrades
+                    .iter()
+                    .map(|d| DowngradeReport {
+                        from: d.from.to_string(),
+                        to: d.to.to_string(),
+                        reason: d.reason.clone(),
+                    })
+                    .collect(),
+                faults: summary.faults.clone(),
+            });
+        }
+        Some(report)
     }
 }
 

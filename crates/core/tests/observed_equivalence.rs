@@ -7,7 +7,7 @@
 use bwsa_core::pipeline::AnalysisPipeline;
 use bwsa_core::{
     analyze_parallel_observed, Classified, ConflictConfig, Execution, ParallelConfig, Session,
-    StreamingAnalysis,
+    StreamingAnalysis, SupervisorConfig,
 };
 use bwsa_obs::Obs;
 use bwsa_trace::{Trace, TraceBuilder};
@@ -138,5 +138,32 @@ proptest! {
             .with_execution(Execution::Parallel(ParallelConfig::with_jobs(jobs)))
             .with_observer(Obs::recording());
         prop_assert_eq!(serial.run().unwrap(), parallel.run().unwrap());
+    }
+
+    #[test]
+    fn supervision_is_invisible_when_no_faults_fire(
+        trace in arb_trace(),
+        jobs in 1usize..5,
+    ) {
+        // The supervisor is pure mechanism: with failpoints disabled it
+        // must neither change results nor take extra attempts.
+        let baseline = Session::new(&trace);
+        let plain = baseline.run().unwrap();
+        for execution in [
+            Execution::Serial,
+            Execution::Parallel(ParallelConfig::with_jobs(jobs)),
+        ] {
+            let session = Session::new(&trace)
+                .with_execution(execution)
+                .with_supervisor(SupervisorConfig::default())
+                .with_observer(Obs::recording());
+            let supervised = session.run().unwrap();
+            prop_assert_eq!(&supervised, &plain);
+            let summary = session.resilience_summary().unwrap();
+            prop_assert_eq!(summary.attempts, 1);
+            prop_assert_eq!(summary.retries, 0);
+            prop_assert!(summary.downgrades.is_empty());
+            prop_assert!(summary.faults.is_empty());
+        }
     }
 }

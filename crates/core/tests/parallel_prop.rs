@@ -164,6 +164,30 @@ proptest! {
     }
 
     #[test]
+    fn supervised_shard_mapper_is_identical_when_no_faults_fire(
+        trace in arb_trace(),
+        jobs in 1usize..6,
+        shards in 1usize..20,
+    ) {
+        use bwsa_core::{analyze_parallel_supervised, ShardRetryPolicy};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pipeline = AnalysisPipeline::new();
+        let serial = pipeline.run_observed(&trace, &Obs::noop());
+        let retries = AtomicU64::new(0);
+        let supervised = analyze_parallel_supervised(
+            &pipeline,
+            &trace,
+            &config(jobs, shards),
+            &Obs::noop(),
+            &ShardRetryPolicy::default(),
+            &retries,
+        )
+        .unwrap();
+        prop_assert_eq!(&supervised, &serial);
+        prop_assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn predictor_sweep_matches_serial_simulation(trace in arb_trace(), jobs in 1usize..6) {
         use bwsa_predictor::{simulate, sweep, Bimodal, Gshare, Pag, SweepCell};
         let serial = vec![

@@ -194,8 +194,9 @@ fn bron_kerbosch(
         if let Ok(i) = p.binary_search(&v) {
             p.remove(i);
         }
-        let pos = x.binary_search(&v).unwrap_err();
-        x.insert(pos, v);
+        if let Err(pos) = x.binary_search(&v) {
+            x.insert(pos, v);
+        }
     }
 }
 

@@ -114,7 +114,8 @@ pub fn conflict_mass(graph: &ConflictGraph, assignment: &[u32]) -> (u64, usize) 
 ///
 /// # Panics
 ///
-/// Panics if `k == 0` and the graph has nodes to color.
+/// Panics if `k == 0` and the graph has nodes to color; use
+/// [`try_color_graph`] to get a typed error instead.
 ///
 /// # Example
 ///
@@ -132,16 +133,37 @@ pub fn conflict_mass(graph: &ConflictGraph, assignment: &[u32]) -> (u64, usize) 
 /// assert_eq!(two.conflict_mass, 10, "one pair must share");
 /// ```
 pub fn color_graph(graph: &ConflictGraph, k: usize, options: &ColoringOptions) -> Coloring {
+    match try_color_graph(graph, k, options) {
+        Ok(coloring) => coloring,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`color_graph`] with the unusable-configuration case surfaced as a
+/// typed error instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ZeroColors`] when `k == 0` and the graph has
+/// nodes to color.
+pub fn try_color_graph(
+    graph: &ConflictGraph,
+    k: usize,
+    options: &ColoringOptions,
+) -> Result<Coloring, crate::GraphError> {
+    bwsa_resilience::failpoint!("graph.color");
     let n = graph.node_count();
     if n == 0 {
-        return Coloring {
+        return Ok(Coloring {
             colors: k,
             assignment: Vec::new(),
             conflict_mass: 0,
             conflicting_edges: 0,
-        };
+        });
     }
-    assert!(k > 0, "cannot color {n} nodes with zero colors");
+    if k == 0 {
+        return Err(crate::GraphError::ZeroColors { nodes: n });
+    }
 
     // --- Simplify phase -------------------------------------------------
     let mut cur_deg: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
@@ -223,12 +245,12 @@ pub fn color_graph(graph: &ConflictGraph, k: usize, options: &ColoringOptions) -
     }
 
     let (conflict_mass, conflicting_edges) = self::conflict_mass(graph, &assignment);
-    Coloring {
+    Ok(Coloring {
         colors: k,
         assignment,
         conflict_mass,
         conflicting_edges,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -349,6 +371,23 @@ mod tests {
             0,
             &ColoringOptions::default(),
         );
+    }
+
+    #[test]
+    fn try_coloring_surfaces_zero_colors_as_a_typed_error() {
+        let err = try_color_graph(
+            &GraphBuilder::new(2).build(),
+            0,
+            &ColoringOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::GraphError::ZeroColors { nodes: 2 });
+        assert!(try_color_graph(
+            &GraphBuilder::new(0).build(),
+            0,
+            &ColoringOptions::default()
+        )
+        .is_ok());
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub enum GraphError {
         /// The node the loop was attached to.
         node: u32,
     },
+    /// A coloring was requested with zero colors for a non-empty graph.
+    ZeroColors {
+        /// How many nodes needed a color.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -29,6 +34,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::ZeroColors { nodes } => {
+                write!(f, "cannot color {nodes} nodes with zero colors")
             }
         }
     }

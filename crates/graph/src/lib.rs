@@ -58,6 +58,14 @@ mod error;
 mod graph;
 pub mod io;
 
+/// Failpoint sites this crate hosts (see [`bwsa_resilience::failpoint`]).
+pub mod failpoints {
+    /// Fires at the start of every [`crate::coloring::try_color_graph`].
+    pub const COLOR: &str = "graph.color";
+    /// Every site in this crate, for chaos-sweep enumeration.
+    pub const SITES: &[&str] = &[COLOR];
+}
+
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::ConflictGraph;

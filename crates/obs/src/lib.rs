@@ -38,7 +38,7 @@ pub mod json;
 pub mod report;
 pub mod rss;
 
-pub use report::{RunReport, StageReport, RUN_REPORT_VERSION};
+pub use report::{DowngradeReport, ResilienceReport, RunReport, StageReport, RUN_REPORT_VERSION};
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;

@@ -16,7 +16,10 @@ use crate::json::Json;
 use crate::Metrics;
 
 /// Version of the `RunReport` JSON shape. Bump on any schema change.
-pub const RUN_REPORT_VERSION: u64 = 1;
+///
+/// v2 added the always-present `resilience` section (supervision
+/// attempts, retries, downgrades, faults).
+pub const RUN_REPORT_VERSION: u64 = 2;
 
 /// One pipeline stage's timing row in a report.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +30,48 @@ pub struct StageReport {
     pub wall_nanos: u128,
     /// Number of spans aggregated into this row.
     pub count: u64,
+}
+
+/// One drop down the supervised degradation ladder, as reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DowngradeReport {
+    /// The engine that failed (`"parallel"`, `"serial"`).
+    pub from: String,
+    /// The engine the run fell back to (`"serial"`, `"streaming"`).
+    pub to: String,
+    /// The fault that forced the drop, rendered for humans.
+    pub reason: String,
+}
+
+/// The supervision section of a report: what the run survived.
+///
+/// Always present in the JSON (v2) so consumers can rely on the shape;
+/// an unsupervised run reports the trivial summary — one attempt,
+/// nothing retried, nothing downgraded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Whether the run executed under a supervisor.
+    pub supervised: bool,
+    /// Whole-engine attempts made.
+    pub attempts: u64,
+    /// Retries granted (whole-engine and per-shard combined).
+    pub retries: u64,
+    /// Each drop down the degradation ladder, in order.
+    pub downgrades: Vec<DowngradeReport>,
+    /// Every fault observed, rendered for humans, in order.
+    pub faults: Vec<String>,
+}
+
+impl Default for ResilienceReport {
+    fn default() -> Self {
+        ResilienceReport {
+            supervised: false,
+            attempts: 1,
+            retries: 0,
+            downgrades: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
 }
 
 /// A complete, self-describing record of one instrumented run.
@@ -52,6 +97,8 @@ pub struct RunReport {
     /// Named result digests (`crc32:xxxxxxxx`), for cheap equality checks
     /// between runs.
     pub digests: Vec<(String, String)>,
+    /// Supervision outcome; the trivial default for unsupervised runs.
+    pub resilience: ResilienceReport,
 }
 
 impl RunReport {
@@ -91,12 +138,18 @@ impl RunReport {
             counters,
             peak_rss_bytes: metrics.counters.get("process.peak_rss_bytes").copied(),
             digests: Vec::new(),
+            resilience: ResilienceReport::default(),
         }
     }
 
     /// Appends a named result digest.
     pub fn push_digest(&mut self, name: impl Into<String>, digest: impl Into<String>) {
         self.digests.push((name.into(), digest.into()));
+    }
+
+    /// Replaces the supervision section (set by supervised sessions).
+    pub fn set_resilience(&mut self, resilience: ResilienceReport) {
+        self.resilience = resilience;
     }
 
     /// The report as a JSON document (see [`RunReport::to_json_string`]
@@ -150,6 +203,40 @@ impl RunReport {
                 },
             ),
             (
+                "resilience",
+                Json::object([
+                    ("supervised", Json::Bool(self.resilience.supervised)),
+                    ("attempts", Json::UInt(self.resilience.attempts)),
+                    ("retries", Json::UInt(self.resilience.retries)),
+                    (
+                        "downgrades",
+                        Json::Array(
+                            self.resilience
+                                .downgrades
+                                .iter()
+                                .map(|d| {
+                                    Json::object([
+                                        ("from", Json::from(d.from.clone())),
+                                        ("to", Json::from(d.to.clone())),
+                                        ("reason", Json::from(d.reason.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "faults",
+                        Json::Array(
+                            self.resilience
+                                .faults
+                                .iter()
+                                .map(|f| Json::from(f.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
                 "digests",
                 Json::Object(
                     self.digests
@@ -194,6 +281,18 @@ impl RunReport {
         }
         if let Some(rss) = self.peak_rss_bytes {
             let _ = writeln!(out, "peak rss: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
+        if self.resilience.supervised {
+            let _ = writeln!(
+                out,
+                "resilience: {} attempts, {} retries, {} faults",
+                self.resilience.attempts,
+                self.resilience.retries,
+                self.resilience.faults.len()
+            );
+            for d in &self.resilience.downgrades {
+                let _ = writeln!(out, "  downgraded {} -> {}: {}", d.from, d.to, d.reason);
+            }
         }
         for (k, v) in &self.digests {
             let _ = writeln!(out, "digest {k}: {v}");
@@ -339,5 +438,38 @@ mod tests {
         assert!(text.contains("interleave"));
         assert!(text.contains("core.interleave_pairs"));
         assert!(text.contains("peak rss"));
+    }
+
+    #[test]
+    fn resilience_section_is_always_present_and_roundtrips() {
+        let plain = sample_report();
+        let doc = Json::parse(&plain.to_json_string()).unwrap();
+        let resilience = doc.get("resilience").expect("always present");
+        assert_eq!(resilience.get("supervised"), Some(&Json::Bool(false)));
+        assert_eq!(
+            resilience.get("attempts").and_then(Json::as_u64),
+            Some(1),
+            "an unsupervised run is one attempt"
+        );
+        assert!(!plain.to_text().contains("resilience:"));
+
+        let mut degraded = sample_report();
+        degraded.set_resilience(ResilienceReport {
+            supervised: true,
+            attempts: 3,
+            retries: 1,
+            downgrades: vec![DowngradeReport {
+                from: "parallel".into(),
+                to: "serial".into(),
+                reason: "injected fault at 'core.shard_detect': boom".into(),
+            }],
+            faults: vec!["injected fault at 'core.shard_detect': boom".into()],
+        });
+        let doc = Json::parse(&degraded.to_json_string()).unwrap();
+        let resilience = doc.get("resilience").unwrap();
+        assert_eq!(resilience.get("retries").and_then(Json::as_u64), Some(1));
+        let text = degraded.to_text();
+        assert!(text.contains("3 attempts, 1 retries"), "{text}");
+        assert!(text.contains("downgraded parallel -> serial"), "{text}");
     }
 }

@@ -32,11 +32,26 @@ pub enum PredictorError {
         /// What went wrong.
         reason: String,
     },
+    /// A sweep cell's simulation unwound (a panic or an injected fault);
+    /// the sweep's containment boundary isolated it from the other cells.
+    CellFailed {
+        /// The failed cell's label (`predictor@trace`).
+        label: String,
+        /// Why it failed.
+        reason: String,
+    },
 }
 
 impl PredictorError {
     pub(crate) fn checkpoint(reason: impl Into<String>) -> Self {
         PredictorError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn cell_failed(label: impl Into<String>, reason: impl Into<String>) -> Self {
+        PredictorError::CellFailed {
+            label: label.into(),
             reason: reason.into(),
         }
     }
@@ -56,6 +71,9 @@ impl fmt::Display for PredictorError {
             }
             PredictorError::Checkpoint { reason } => {
                 write!(f, "predictor checkpoint error: {reason}")
+            }
+            PredictorError::CellFailed { label, reason } => {
+                write!(f, "sweep cell '{label}' failed: {reason}")
             }
         }
     }

@@ -59,6 +59,18 @@ mod staticpred;
 pub mod sweep;
 mod tables;
 
+/// Failpoint sites this crate hosts (see [`bwsa_resilience::failpoint`]).
+pub mod failpoints {
+    /// Fires when a trace-driven simulation starts ([`crate::simulate`]).
+    pub const SIMULATE: &str = "predictor.simulate";
+    /// Fires inside each sweep cell's containment boundary.
+    pub const SWEEP_CELL: &str = "predictor.sweep_cell";
+    /// Fires when a [`crate::SimCheckpoint`] is serialised.
+    pub const CHECKPOINT_SAVE: &str = "predictor.checkpoint_save";
+    /// Every site in this crate, for chaos-sweep enumeration.
+    pub const SITES: &[&str] = &[SIMULATE, SWEEP_CELL, CHECKPOINT_SAVE];
+}
+
 pub use agree::Agree;
 pub use bimodal::Bimodal;
 pub use bimode::BiMode;

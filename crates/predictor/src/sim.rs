@@ -147,6 +147,7 @@ impl PipelineModel {
 /// assert_eq!(r.mispredictions, 1);
 /// ```
 pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    bwsa_resilience::failpoint!("predictor.simulate");
     let mut mispredictions = 0u64;
     for (id, rec) in trace.indexed_records() {
         let predicted = predictor.predict(rec.pc, id);
@@ -254,6 +255,7 @@ impl SimCheckpoint {
     /// Serialises the checkpoint, appending a CRC32 of everything before
     /// it.
     pub fn to_bytes(&self) -> Vec<u8> {
+        bwsa_resilience::failpoint!("predictor.checkpoint_save");
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC);
         buf.push(CHECKPOINT_VERSION);

@@ -111,13 +111,13 @@ impl<'a> SweepCell<'a> {
 /// results come back ordered by input index, and if any cells fail the
 /// error returned is always the one with the lowest index.
 ///
+/// A cell that *unwinds* — a genuine panic or an injected fault — is
+/// isolated at the cell boundary and reported as
+/// [`PredictorError::CellFailed`] rather than tearing down the sweep.
+///
 /// # Errors
 ///
 /// Returns the lowest-index cell's error; every cell still runs.
-///
-/// # Panics
-///
-/// Propagates a panic from any cell's simulation.
 pub fn sweep(cells: Vec<SweepCell<'_>>, jobs: usize) -> Result<Vec<SimResult>, PredictorError> {
     sweep_observed(cells, jobs, &Obs::noop())
 }
@@ -136,7 +136,15 @@ pub fn sweep_observed(
 ) -> Result<Vec<SimResult>, PredictorError> {
     let execute_observed = |cell: SweepCell<'_>| {
         let span = obs.span(format!("sweep:{}", cell.label()));
-        let outcome = cell.execute();
+        let label = cell.label().to_string();
+        // Containment boundary: a cell that unwinds (a genuine panic or
+        // an injected fault) fails only itself, as a typed error — the
+        // other cells and the worker pool are unaffected.
+        let outcome = bwsa_resilience::supervisor::catch(|| {
+            bwsa_resilience::failpoint!("predictor.sweep_cell");
+            cell.execute()
+        })
+        .unwrap_or_else(|fault| Err(PredictorError::cell_failed(label, fault.to_string())));
         span.finish();
         if let Ok(result) = &outcome {
             obs.add("predictor.lookups", result.total);
@@ -246,6 +254,26 @@ mod tests {
     #[test]
     fn empty_sweep_is_fine() {
         assert_eq!(sweep(Vec::new(), 4).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_typed_without_tearing_down_the_sweep() {
+        let trace = looped_trace("t", 3, 100);
+        for jobs in [1, 3] {
+            let cells = vec![
+                SweepCell::plain(Bimodal::new(64), &trace),
+                SweepCell::new("explodes@t", || panic!("cell blew up")),
+                SweepCell::plain(Gshare::new(10), &trace),
+            ];
+            let err = sweep(cells, jobs).unwrap_err();
+            match err {
+                PredictorError::CellFailed { label, reason } => {
+                    assert_eq!(label, "explodes@t", "jobs {jobs}");
+                    assert!(reason.contains("cell blew up"), "jobs {jobs}: {reason}");
+                }
+                other => panic!("jobs {jobs}: expected CellFailed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! A tiny deterministic RNG shared by the fault model and test harnesses.
+//!
+//! The workspace's external `rand` stand-in lives *above* this crate in
+//! the dependency order, so resilience carries its own generator: a
+//! [splitmix64](https://prng.di.unimi.it/splitmix64.c) stepper. It is not
+//! cryptographic and does not need to be — plans derived from it only
+//! have to be reproducible per seed.
+
+/// A splitmix64 deterministic random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// A generator seeded with `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `[0, bound)`; `bound` of zero returns zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift reduction: unbiased enough for fault placement.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A float in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_yield_equal_streams() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_the_bound() {
+        let mut rng = DetRng::new(7);
+        for bound in [1u64, 2, 8, 10, 255] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range_and_varies() {
+        let mut rng = DetRng::new(1);
+        let samples: Vec<f64> = (0..100).map(|_| rng.unit_f64()).collect();
+        assert!(samples.iter().all(|v| (0.0..1.0).contains(v)));
+        assert!(samples.iter().any(|v| *v > 0.5));
+        assert!(samples.iter().any(|v| *v < 0.5));
+    }
+}

@@ -1,0 +1,404 @@
+//! The failpoint registry: named injection points, armed by spec.
+//!
+//! Pipeline code marks its fault boundaries with
+//! `bwsa_resilience::failpoint!("stage.site")`. With nothing configured,
+//! a site costs two relaxed atomic loads (registry armed? watchdog
+//! armed?) — cheap enough for per-record paths. Arming happens through
+//! [`configure`] / [`configure_from_env`] with a spec string:
+//!
+//! ```text
+//! site=ACTION[;site=ACTION...]
+//! ACTION := [COUNT*]KIND[(ARG)]
+//! KIND   := off | panic | error | delay
+//! ```
+//!
+//! Examples: `core.interleave=panic`, `trace.decode_record=error(bad
+//! chunk)`, `core.shard_detect=2*panic` (fire twice, then pass),
+//! `predictor.simulate=delay(25)` (milliseconds). `panic` unwinds with a
+//! plain message, `error` unwinds with a typed
+//! [`InjectedFault`](crate::InjectedFault) payload, and `delay` sleeps —
+//! observing the [`crate::watchdog`] — then passes. Faults never return
+//! error values in-band: they *unwind*, and a supervisor boundary
+//! ([`crate::supervisor::catch`]) converts them to typed errors, so
+//! infallible pipeline signatures stay infallible.
+//!
+//! Every site traversal while the registry is armed is counted
+//! ([`hits`]), so the chaos suite can assert a sweep actually exercised
+//! each site.
+
+use crate::supervisor::InjectedFault;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when execution reaches it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum FailAction {
+    /// Pass through (used to explicitly silence a site).
+    #[default]
+    Off,
+    /// Unwind with a plain panic message.
+    Panic {
+        /// The panic message.
+        message: String,
+    },
+    /// Unwind with a typed [`InjectedFault`](crate::InjectedFault)
+    /// payload.
+    Error {
+        /// The fault message.
+        message: String,
+    },
+    /// Sleep for the given milliseconds, then pass.
+    Delay {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A malformed failpoint spec (see the module docs for the grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was wrong with the spec.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad failpoint spec: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Default)]
+struct Site {
+    action: FailAction,
+    /// How many more times the action fires; `None` is unlimited.
+    remaining: Option<u64>,
+    hits: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static CELL: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+// Failpoints unwind threads that may hold this lock; recover from
+// poisoning instead of propagating it.
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Site>> {
+    registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether any failpoint is configured.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms `site` with `action`, firing at most `count` times (`None` is
+/// unlimited).
+pub fn configure_site(site: impl Into<String>, action: FailAction, count: Option<u64>) {
+    let mut reg = lock_registry();
+    let entry = reg.entry(site.into()).or_default();
+    entry.action = action;
+    entry.remaining = count;
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Arms failpoints from a `site=ACTION;site=ACTION` spec string.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on a malformed spec; no sites are armed in
+/// that case.
+pub fn configure(spec: &str) -> Result<(), ParseError> {
+    let mut parsed = Vec::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, action_spec) = entry.split_once('=').ok_or_else(|| ParseError {
+            reason: format!("'{entry}' has no '=' (expected site=ACTION)"),
+        })?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(ParseError {
+                reason: format!("'{entry}' has an empty site name"),
+            });
+        }
+        let (action, count) = parse_action(action_spec.trim())?;
+        parsed.push((site.to_string(), action, count));
+    }
+    for (site, action, count) in parsed {
+        configure_site(site, action, count);
+    }
+    Ok(())
+}
+
+/// Arms failpoints from the `BWSA_FAILPOINTS` environment variable;
+/// returns whether anything was configured.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the variable is set but malformed.
+pub fn configure_from_env() -> Result<bool, ParseError> {
+    match std::env::var("BWSA_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            configure(&spec)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn parse_action(spec: &str) -> Result<(FailAction, Option<u64>), ParseError> {
+    let (count, spec) = match spec.split_once('*') {
+        Some((count, rest)) => {
+            let count = count.trim().parse::<u64>().map_err(|_| ParseError {
+                reason: format!("'{spec}' has a non-numeric trigger count"),
+            })?;
+            (Some(count), rest.trim())
+        }
+        None => (None, spec),
+    };
+    let (kind, arg) = match spec.split_once('(') {
+        Some((kind, rest)) => {
+            let arg = rest.strip_suffix(')').ok_or_else(|| ParseError {
+                reason: format!("'{spec}' has an unterminated argument"),
+            })?;
+            (kind.trim(), Some(arg.trim()))
+        }
+        None => (spec.trim(), None),
+    };
+    let action = match kind {
+        "off" => FailAction::Off,
+        "panic" => FailAction::Panic {
+            message: arg.unwrap_or("injected panic").to_string(),
+        },
+        "error" => FailAction::Error {
+            message: arg.unwrap_or("injected fault").to_string(),
+        },
+        "delay" => FailAction::Delay {
+            millis: match arg {
+                Some(ms) => ms.parse().map_err(|_| ParseError {
+                    reason: format!("'{spec}' has a non-numeric delay"),
+                })?,
+                None => 10,
+            },
+        },
+        other => {
+            return Err(ParseError {
+                reason: format!("unknown failpoint kind '{other}'"),
+            })
+        }
+    };
+    Ok((action, count))
+}
+
+/// Disarms every failpoint and clears all hit counters.
+pub fn clear() {
+    ARMED.store(false, Ordering::Relaxed);
+    lock_registry().clear();
+}
+
+/// How many times execution traversed `site` while the registry was
+/// armed (whether or not the site was configured to act).
+pub fn hits(site: &str) -> u64 {
+    lock_registry().get(site).map_or(0, |s| s.hits)
+}
+
+/// Arms a spec and returns a guard that [`clear`]s the registry when
+/// dropped — the safe way for tests to scope failpoints.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on a malformed spec.
+pub fn scoped(spec: &str) -> Result<ScopedFailpoints, ParseError> {
+    configure(spec)?;
+    Ok(ScopedFailpoints { _private: () })
+}
+
+/// Clears the failpoint registry on drop; returned by [`scoped`].
+#[derive(Debug)]
+pub struct ScopedFailpoints {
+    _private: (),
+}
+
+impl Drop for ScopedFailpoints {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// The slow path behind the [`failpoint!`](crate::failpoint!) macro; use
+/// the macro, not this, at injection sites.
+#[inline]
+pub fn check(site: &str) {
+    if armed() {
+        check_armed(site);
+    }
+    crate::watchdog::observe(site);
+}
+
+#[cold]
+fn check_armed(site: &str) {
+    let action = {
+        let mut reg = lock_registry();
+        let entry = reg.entry(site.to_string()).or_default();
+        entry.hits += 1;
+        match entry.remaining {
+            Some(0) => FailAction::Off,
+            ref mut remaining => {
+                if let Some(n) = remaining {
+                    *n -= 1;
+                }
+                entry.action.clone()
+            }
+        }
+    };
+    // The registry lock is released before acting: unwinding while
+    // holding it would poison every other site.
+    match action {
+        FailAction::Off => {}
+        FailAction::Panic { message } => panic!("failpoint '{site}': {message}"),
+        FailAction::Error { message } => std::panic::panic_any(InjectedFault {
+            site: site.to_string(),
+            message,
+        }),
+        FailAction::Delay { millis } => {
+            crate::watchdog::sleep_observing(Duration::from_millis(millis), site);
+        }
+    }
+}
+
+/// Marks a failpoint site. Costs two relaxed atomic loads when nothing
+/// is armed; see the [module docs](crate::failpoint) for arming specs.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        $crate::failpoint::check($site)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::{catch, ResilienceError};
+
+    // The registry is a process global; serialise the tests that arm it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_failpoints_pass_through() {
+        let _serial = serial();
+        clear();
+        failpoint!("tests.site");
+        assert_eq!(hits("tests.site"), 0, "hits only count while armed");
+    }
+
+    #[test]
+    fn error_mode_unwinds_with_a_typed_payload() {
+        let _serial = serial();
+        let _guard = scoped("tests.site=error(bad block)").unwrap();
+        let err = catch(|| failpoint!("tests.site")).unwrap_err();
+        assert_eq!(
+            err,
+            ResilienceError::Injected {
+                site: "tests.site".into(),
+                message: "bad block".into()
+            }
+        );
+        assert_eq!(hits("tests.site"), 1);
+    }
+
+    #[test]
+    fn panic_mode_unwinds_with_a_message() {
+        let _serial = serial();
+        let _guard = scoped("tests.site=panic(kaput)").unwrap();
+        let err = catch(|| failpoint!("tests.site")).unwrap_err();
+        match err {
+            ResilienceError::Panic { message } => {
+                assert!(message.contains("tests.site") && message.contains("kaput"))
+            }
+            other => panic!("expected a panic classification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counted_actions_exhaust() {
+        let _serial = serial();
+        let _guard = scoped("tests.site=2*error").unwrap();
+        assert!(catch(|| failpoint!("tests.site")).is_err());
+        assert!(catch(|| failpoint!("tests.site")).is_err());
+        assert!(catch(|| failpoint!("tests.site")).is_ok(), "third pass");
+        assert_eq!(hits("tests.site"), 3, "exhausted passes still count");
+    }
+
+    #[test]
+    fn unconfigured_sites_count_hits_while_armed() {
+        let _serial = serial();
+        let _guard = scoped("tests.other=off").unwrap();
+        failpoint!("tests.site");
+        assert_eq!(hits("tests.site"), 1);
+    }
+
+    #[test]
+    fn delay_mode_sleeps_then_passes() {
+        let _serial = serial();
+        let _guard = scoped("tests.site=delay(15)").unwrap();
+        let start = std::time::Instant::now();
+        failpoint!("tests.site");
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn multi_site_specs_and_whitespace_parse() {
+        let _serial = serial();
+        let _guard = scoped(" a.b = panic ; c.d = 3*delay(7) ; ").unwrap();
+        let reg = lock_registry();
+        assert!(matches!(reg["a.b"].action, FailAction::Panic { .. }));
+        assert_eq!(reg["c.d"].action, FailAction::Delay { millis: 7 });
+        assert_eq!(reg["c.d"].remaining, Some(3));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _serial = serial();
+        for bad in [
+            "no-equals",
+            "=panic",
+            "a.b=explode",
+            "a.b=x*panic",
+            "a.b=delay(ms)",
+            "a.b=panic(unterminated",
+        ] {
+            assert!(configure(bad).is_err(), "accepted {bad:?}");
+        }
+        clear();
+    }
+
+    #[test]
+    fn env_configuration_reads_bwsa_failpoints() {
+        let _serial = serial();
+        clear();
+        // Unset → nothing armed.
+        std::env::remove_var("BWSA_FAILPOINTS");
+        assert_eq!(configure_from_env(), Ok(false));
+        assert!(!armed());
+        std::env::set_var("BWSA_FAILPOINTS", "tests.env=error");
+        assert_eq!(configure_from_env(), Ok(true));
+        assert!(armed());
+        std::env::remove_var("BWSA_FAILPOINTS");
+        clear();
+    }
+}

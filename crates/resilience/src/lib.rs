@@ -1,0 +1,38 @@
+//! Fault injection and supervision primitives for the BWSA pipeline.
+//!
+//! This crate sits **below** every other `bwsa-*` crate (it depends only
+//! on `std`) so that any layer can host failpoint sites and any harness
+//! can supervise them. It provides four things:
+//!
+//! - [`failpoint!`]: a zero-cost-when-disabled injection point. Disabled,
+//!   a site costs two relaxed atomic loads; armed (via
+//!   [`failpoint::configure`] or the `BWSA_FAILPOINTS` environment
+//!   variable), a site can panic, raise a typed [`InjectedFault`], or
+//!   delay — deterministically, with optional trigger counts.
+//! - [`watchdog`]: a cooperative deadline. Every failpoint site doubles
+//!   as a cancellation point, so an armed deadline unwinds a stuck stage
+//!   at its next site instead of requiring killable threads.
+//! - [`supervisor`]: [`supervisor::catch`] converts unwinds (injected or
+//!   genuine) into a typed [`ResilienceError`], plus [`Backoff`] for
+//!   bounded exponential retry delays.
+//! - [`fault`]: the byte-corruption fault model ([`Fault`], [`FaultPlan`],
+//!   [`FaultyReader`]) shared by the trace-salvage property tests and the
+//!   chaos suite, driven by the dependency-free deterministic [`DetRng`].
+//!
+//! The failpoint registry, watchdog, and hit counters are **process
+//! globals**: tests that arm them must serialise against each other (the
+//! chaos suite takes a lock) and clear state when done (use
+//! [`failpoint::scoped`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod det;
+pub mod failpoint;
+pub mod fault;
+pub mod supervisor;
+pub mod watchdog;
+
+pub use det::DetRng;
+pub use fault::{Fault, FaultPlan, FaultyReader};
+pub use supervisor::{Backoff, InjectedFault, ResilienceError};

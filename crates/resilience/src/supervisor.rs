@@ -1,0 +1,243 @@
+//! Panic containment and retry pacing for supervised execution.
+//!
+//! [`catch`] is the boundary between "code that may unwind" (worker
+//! closures, pipeline stages with failpoints, third-party panics) and
+//! "code that reasons about failures": it converts any unwind into a
+//! typed [`ResilienceError`], recognising the payloads this crate's
+//! failpoints and watchdog raise. [`Backoff`] produces the bounded
+//! exponential delays a supervisor sleeps between retries.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Panic payload raised by a failpoint in `error` mode.
+///
+/// Error-mode failpoints unwind with this payload instead of changing
+/// infallible function signatures; [`catch`] downcasts it back into
+/// [`ResilienceError::Injected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The failpoint site that fired (e.g. `core.interleave`).
+    pub site: String,
+    /// The configured fault message.
+    pub message: String,
+}
+
+/// Panic payload raised by the [`crate::watchdog`] when a deadline
+/// passes; [`catch`] turns it into [`ResilienceError::Timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The cancellation point that observed the expired deadline.
+    pub site: String,
+}
+
+/// A failure a supervisor isolated: what went wrong, in a form a caller
+/// can match on, log, and convert into the workspace error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResilienceError {
+    /// A failpoint in `error` mode fired.
+    Injected {
+        /// The site that fired.
+        site: String,
+        /// The configured message.
+        message: String,
+    },
+    /// Code under supervision panicked (including `panic`-mode
+    /// failpoints).
+    Panic {
+        /// The panic message, or a placeholder for non-string payloads.
+        message: String,
+    },
+    /// A watchdog deadline expired.
+    Timeout {
+        /// The cancellation point that observed the expiry.
+        site: String,
+    },
+    /// The soft memory budget was exceeded.
+    MemoryBudget {
+        /// Observed peak RSS in bytes.
+        peak_bytes: u64,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+    },
+}
+
+impl ResilienceError {
+    /// Classifies a caught panic payload.
+    pub fn from_panic_payload(payload: Box<dyn Any + Send>) -> Self {
+        let payload = match payload.downcast::<InjectedFault>() {
+            Ok(fault) => {
+                return ResilienceError::Injected {
+                    site: fault.site,
+                    message: fault.message,
+                }
+            }
+            Err(other) => other,
+        };
+        let payload = match payload.downcast::<DeadlineExceeded>() {
+            Ok(deadline) => {
+                return ResilienceError::Timeout {
+                    site: deadline.site,
+                }
+            }
+            Err(other) => other,
+        };
+        let message = if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        ResilienceError::Panic { message }
+    }
+
+    /// Whether retrying the failed work could plausibly succeed.
+    ///
+    /// Timeouts and memory-budget failures are pressure signals — the
+    /// same work will hit them again — so a supervisor should degrade
+    /// instead of retrying.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ResilienceError::Injected { .. } | ResilienceError::Panic { .. }
+        )
+    }
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Injected { site, message } => {
+                write!(f, "injected fault at '{site}': {message}")
+            }
+            ResilienceError::Panic { message } => write!(f, "isolated panic: {message}"),
+            ResilienceError::Timeout { site } => {
+                write!(f, "deadline exceeded (observed at '{site}')")
+            }
+            ResilienceError::MemoryBudget {
+                peak_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded: peak rss {peak_bytes} bytes over budget {budget_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+/// Runs `f`, converting any unwind into a typed [`ResilienceError`].
+///
+/// This is the supervisor's containment boundary: failpoint unwinds come
+/// back as [`ResilienceError::Injected`] / [`ResilienceError::Timeout`],
+/// genuine panics as [`ResilienceError::Panic`].
+pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, ResilienceError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(ResilienceError::from_panic_payload)
+}
+
+/// Bounded exponential backoff: each [`Backoff::delay`] call returns the
+/// next sleep, doubling from `base` up to `cap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and capped at `64 * base`.
+    pub fn new(base: Duration) -> Self {
+        Backoff {
+            next: base,
+            cap: base.saturating_mul(64),
+        }
+    }
+
+    /// A backoff starting at `base`, never exceeding `cap`.
+    pub fn with_cap(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            next: base.min(cap),
+            cap,
+        }
+    }
+
+    /// The delay to sleep before the next retry; doubles on each call.
+    pub fn delay(&mut self) -> Duration {
+        let current = self.next;
+        self.next = self.next.saturating_mul(2).min(self.cap);
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_passes_values_through() {
+        assert_eq!(catch(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn catch_classifies_injected_faults() {
+        let err = catch(|| {
+            std::panic::panic_any(InjectedFault {
+                site: "core.interleave".into(),
+                message: "boom".into(),
+            })
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ResilienceError::Injected {
+                site: "core.interleave".into(),
+                message: "boom".into()
+            }
+        );
+        assert!(err.is_retryable());
+        assert!(err.to_string().contains("core.interleave"));
+    }
+
+    #[test]
+    fn catch_classifies_deadlines_as_timeouts() {
+        let err = catch(|| {
+            std::panic::panic_any(DeadlineExceeded {
+                site: "core.shard_detect".into(),
+            })
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ResilienceError::Timeout {
+                site: "core.shard_detect".into()
+            }
+        );
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn catch_classifies_plain_panics() {
+        let err = catch(|| panic!("kaput {}", 3)).unwrap_err();
+        assert_eq!(
+            err,
+            ResilienceError::Panic {
+                message: "kaput 3".into()
+            }
+        );
+        let err = catch(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert!(matches!(err, ResilienceError::Panic { .. }));
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap() {
+        let mut b = Backoff::with_cap(Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(b.delay(), Duration::from_millis(10));
+        assert_eq!(b.delay(), Duration::from_millis(20));
+        assert_eq!(b.delay(), Duration::from_millis(35));
+        assert_eq!(b.delay(), Duration::from_millis(35));
+    }
+}

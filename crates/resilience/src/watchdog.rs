@@ -1,0 +1,169 @@
+//! A cooperative deadline watchdog.
+//!
+//! Safe Rust cannot kill a stuck thread, so the watchdog is cooperative:
+//! the supervisor [`arm`]s a process-wide deadline, and every
+//! [`failpoint!`](crate::failpoint) site doubles as a cancellation point
+//! that [`observe`]s it. When the deadline has passed, the observing
+//! thread unwinds with a [`DeadlineExceeded`] payload, which
+//! [`supervisor::catch`](crate::supervisor::catch) converts into
+//! [`ResilienceError::Timeout`](crate::ResilienceError::Timeout).
+//!
+//! Granularity therefore equals failpoint-site density: a stage with no
+//! sites in its inner loop is only cancelled at its boundaries. Delay-mode
+//! failpoints sleep in small slices and observe between them, so injected
+//! stalls never outlive the deadline by more than one slice.
+//!
+//! Disarmed, [`observe`] costs one relaxed atomic load.
+
+use crate::supervisor::DeadlineExceeded;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn deadline_cell() -> &'static Mutex<Option<Instant>> {
+    static CELL: OnceLock<Mutex<Option<Instant>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+// The watchdog unwinds threads that may hold this lock; recover the
+// guard from poisoning instead of propagating it.
+fn lock_deadline() -> MutexGuard<'static, Option<Instant>> {
+    deadline_cell()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Arms the process-wide deadline; returns a guard that disarms it when
+/// dropped (including during an unwind).
+///
+/// Arming while already armed replaces the previous deadline.
+#[must_use = "the deadline is disarmed when the guard drops"]
+pub fn arm(deadline: Instant) -> WatchdogGuard {
+    *lock_deadline() = Some(deadline);
+    ARMED.store(true, Ordering::Relaxed);
+    WatchdogGuard { _private: () }
+}
+
+/// Disarms the deadline immediately.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+    *lock_deadline() = None;
+}
+
+/// Disarms the watchdog on drop; returned by [`arm`].
+#[derive(Debug)]
+pub struct WatchdogGuard {
+    _private: (),
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Time left before the armed deadline; `None` when disarmed, zero when
+/// already past.
+pub fn remaining() -> Option<Duration> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    (*lock_deadline()).map(|d| d.saturating_duration_since(Instant::now()))
+}
+
+/// Cancellation point: unwinds with [`DeadlineExceeded`] if the armed
+/// deadline has passed. Every failpoint site calls this.
+#[inline]
+pub fn observe(site: &str) {
+    if ARMED.load(Ordering::Relaxed) {
+        observe_armed(site);
+    }
+}
+
+#[cold]
+fn observe_armed(site: &str) {
+    let expired = matches!(*lock_deadline(), Some(d) if Instant::now() >= d);
+    if expired {
+        std::panic::panic_any(DeadlineExceeded {
+            site: site.to_string(),
+        });
+    }
+}
+
+/// Sleeps for `total`, observing the deadline between small slices so an
+/// injected delay cannot stall past an armed deadline.
+pub fn sleep_observing(total: Duration, site: &str) {
+    const SLICE: Duration = Duration::from_millis(5);
+    let until = Instant::now() + total;
+    loop {
+        observe(site);
+        let left = until.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(SLICE));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::{catch, ResilienceError};
+
+    // The watchdog is a process global; serialise the tests that arm it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_observe_is_a_no_op() {
+        let _serial = serial();
+        disarm();
+        observe("any.site");
+        assert_eq!(remaining(), None);
+    }
+
+    #[test]
+    fn expired_deadline_unwinds_as_timeout() {
+        let _serial = serial();
+        let result = catch(|| {
+            let _guard = arm(Instant::now() - Duration::from_millis(1));
+            observe("core.interleave");
+        });
+        assert_eq!(
+            result,
+            Err(ResilienceError::Timeout {
+                site: "core.interleave".into()
+            })
+        );
+        assert!(!ARMED.load(Ordering::Relaxed), "guard disarmed on unwind");
+    }
+
+    #[test]
+    fn future_deadline_lets_work_proceed() {
+        let _serial = serial();
+        let guard = arm(Instant::now() + Duration::from_secs(60));
+        observe("core.interleave");
+        assert!(remaining().is_some_and(|d| d > Duration::from_secs(30)));
+        drop(guard);
+        assert_eq!(remaining(), None);
+    }
+
+    #[test]
+    fn observed_sleep_aborts_at_the_deadline() {
+        let _serial = serial();
+        let start = Instant::now();
+        let result = catch(|| {
+            let _guard = arm(Instant::now() + Duration::from_millis(20));
+            sleep_observing(Duration::from_secs(10), "delay.site");
+        });
+        assert!(matches!(result, Err(ResilienceError::Timeout { .. })));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "did not sleep 10s"
+        );
+    }
+}

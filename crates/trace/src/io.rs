@@ -89,6 +89,7 @@ pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError>
 /// Returns [`TraceError::Io`] on read failure and [`TraceError::Format`]
 /// when the bytes are not a valid `BWST1` stream.
 pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    bwsa_resilience::failpoint!("trace.read_binary");
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
     decode_binary(&raw)

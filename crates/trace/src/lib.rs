@@ -54,6 +54,16 @@ pub mod stats;
 pub mod stream;
 mod trace;
 
+/// Failpoint sites this crate hosts (see [`bwsa_resilience::failpoint`]).
+pub mod failpoints {
+    /// Fires once per record pulled through a [`crate::stream::StreamReader`].
+    pub const DECODE_RECORD: &str = "trace.decode_record";
+    /// Fires when [`crate::io::read_binary`] starts ingesting a `BWST` file.
+    pub const READ_BINARY: &str = "trace.read_binary";
+    /// Every site in this crate, for chaos-sweep enumeration.
+    pub const SITES: &[&str] = &[DECODE_RECORD, READ_BINARY];
+}
+
 pub use error::TraceError;
 pub use id::{BranchId, InstrCount, Pc};
 pub use record::{BranchRecord, Direction};

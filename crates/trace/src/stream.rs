@@ -914,6 +914,7 @@ impl<R: Read> StreamReader<R> {
     }
 
     fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        bwsa_resilience::failpoint!("trace.decode_record");
         if self.version == VERSION_1 {
             let out = self.next_record_v1();
             if matches!(out, Ok(Some(_))) && self.remaining_in_chunk == 0 {

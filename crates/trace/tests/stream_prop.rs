@@ -55,6 +55,47 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Fuzz the whole surface: header parsing and record iteration on
+        // completely arbitrary input must reject via `TraceError`, never
+        // unwind. The take() bound fuses any hypothetical runaway
+        // iterator.
+        if let Ok(reader) = StreamReader::new(&bytes[..]) {
+            for item in reader.take(10_000) {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic(
+        records in arb_records(),
+        flips in prop::collection::vec((any::<usize>(), 1u8..=255), 1..8),
+    ) {
+        // Unlike pure noise, a bit-flipped *valid* stream gets deep into
+        // the decode path: framing checks, checksums, varint decoding.
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, "flip").unwrap();
+        for r in &records {
+            w.push(*r).unwrap();
+        }
+        w.finish(7).unwrap();
+        for &(pos, xor) in &flips {
+            let n = buf.len();
+            buf[pos % n] ^= xor;
+        }
+        if let Ok(reader) = StreamReader::new(&buf[..]) {
+            for item in reader.take(records.len() + 10_000) {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
     fn truncated_streams_never_panic(records in arb_records(), cut_frac in 0.0f64..1.0) {
         let mut buf = Vec::new();
         let mut w = StreamWriter::new(&mut buf, "cut").unwrap();

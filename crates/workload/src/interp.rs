@@ -89,7 +89,14 @@ pub fn execute(
     config: &InterpConfig,
 ) -> Result<Trace, WorkloadError> {
     program.validate()?;
-    let main = program.main().expect("validate guarantees main");
+    // validate() currently guarantees a main, but a future relaxation of
+    // it must not turn this into a panic on a fallible path.
+    let main = program
+        .main()
+        .ok_or_else(|| WorkloadError::DanglingReference {
+            holder: "program".into(),
+            reference: "main function (none set)".into(),
+        })?;
 
     let mut states: Vec<BehaviorState> = program
         .branches()

@@ -112,6 +112,47 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_specs_never_panic(
+        structure_seed in any::<u64>(),
+        regions in 0usize..20,
+        bpr_lo in 0usize..10, bpr_hi in 0usize..10,
+        trips_lo in 0u32..20, trips_hi in 0u32..20,
+        taken in -0.5f64..1.5, not_taken in -0.5f64..1.5,
+        pattern_frac in -0.5f64..1.5,
+        correlated_frac in -0.5f64..1.5,
+        guard_frac in -0.5f64..1.5,
+        block_lo in 0u32..8, block_hi in 0u32..8,
+        target in 0u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        // Fuzz the spec surface: arbitrary (mostly nonsensical) knob
+        // values must be rejected by `validate`/`instantiate` with a
+        // typed `WorkloadError` — and the specs that *do* pass must
+        // actually generate a trace. Nothing panics either way.
+        let spec = WorkloadSpec {
+            name: "fuzz".into(),
+            structure_seed,
+            regions,
+            branches_per_region: (bpr_lo, bpr_hi),
+            trips: (trips_lo, trips_hi),
+            bias: BiasMix { taken, not_taken },
+            pattern_frac,
+            correlated_frac,
+            guard_frac,
+            block_instrs: (block_lo, block_hi),
+            target_dynamic_branches: target,
+            schedule: bwsa_workload::spec::ScheduleModel::default(),
+        };
+        let validated = spec.validate();
+        // A typed rejection from `instantiate` is a correct outcome too.
+        if let Ok(workload) = spec.instantiate() {
+            prop_assert!(validated.is_ok(), "instantiate accepted what validate rejects");
+            let trace = workload.trace_scaled(&InputParams::new("fuzz", seed), 0.01);
+            prop_assert!(trace.len() as u64 <= target.max(1));
+        }
+    }
+
+    #[test]
     fn behavior_decide_matches_expected_rate_for_loops(trips in 1u32..40) {
         use bwsa_workload::behavior::{decide, DecisionContext};
         let behavior = BranchBehavior::LoopExit { trips };

@@ -15,6 +15,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy: no unwrap on library fallible paths"
+cargo clippy -p bwsa-resilience -p bwsa-trace -p bwsa-graph -p bwsa-predictor \
+    -p bwsa-workload -p bwsa-obs -p bwsa-core --lib \
+    -- -D warnings -D clippy::unwrap_used
+
 echo "==> parallel/serial equivalence + golden fixtures"
 cargo test -q --test parallel_prop -p bwsa-core
 cargo test -q --test golden_regression
@@ -23,6 +28,11 @@ cargo test -q --test cli_jobs
 echo "==> observability: instrumented == uninstrumented + report schema"
 cargo test -q --test observed_equivalence -p bwsa-core
 cargo test -q --test run_report
+
+echo "==> chaos: every failpoint site contained, fuzzed decoders never panic"
+cargo test -q --test chaos
+cargo test -q --test stream_prop -p bwsa-trace
+cargo test -q --test prop -p bwsa-workload
 
 echo "==> run report smoke (--report json validates against the golden schema)"
 report_tmp="$(mktemp -d)"

@@ -44,12 +44,22 @@
 //! human output) and `--metrics FILE` (write the JSON report to a file
 //! alongside the normal output).
 //!
+//! `analyze` and `allocate` accept `--retries N`, `--max-seconds S`, and
+//! `--max-rss-mb N` to run under supervision (worker isolation, retry
+//! with backoff, cooperative deadlines, graceful degradation — see
+//! `bwsa::core::supervise`). `BWSA_FAILPOINTS` arms deterministic fault
+//! injection for chaos testing.
+//!
 //! Exit codes: 0 on success (including a partial salvage, which warns on
-//! stderr), 1 on I/O and data errors, 2 on usage errors.
+//! stderr, and a degraded-but-finished supervised run), 1 on I/O, data,
+//! and resilience errors — every fault exits typed, never as a raw
+//! panic — 2 on usage errors.
 
 use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::{Analysis, AnalysisPipeline};
-use bwsa::core::{Classified, Execution, ParallelConfig, Session, StreamingAnalysis};
+use bwsa::core::{
+    Classified, Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig,
+};
 use bwsa::graph::dot::{to_dot, DotOptions};
 use bwsa::obs::json::Json;
 use bwsa::obs::report::schema_shape;
@@ -59,6 +69,7 @@ use bwsa::predictor::{
     BranchPredictor, Checkpointable, Gag, Gshare, Hybrid, Pag, PredictorError, SimCheckpoint,
     StaticPredictor, SweepCell,
 };
+use bwsa::resilience::{failpoint, supervisor, watchdog};
 use bwsa::trace::codec::crc32;
 use bwsa::trace::stream::{
     RecoveryPolicy, SalvageReport, StreamReader, StreamWriter, DEFAULT_CHUNK_RECORDS,
@@ -68,6 +79,7 @@ use bwsa::workload::suite::{Benchmark, InputSet};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 /// A CLI failure, classified for the exit code: misuse of the command
 /// line exits 2, failures of the data or the environment exit 1.
@@ -88,16 +100,31 @@ fn runtime_err(msg: impl Into<String>) -> CliError {
 }
 
 fn main() -> ExitCode {
+    // Chaos harness hook: `BWSA_FAILPOINTS=site=action;...` arms the
+    // failpoint registry for this process. A malformed spec is an
+    // invocation error, caught before any work starts.
+    if let Err(e) = failpoint::configure_from_env() {
+        eprintln!("error: invalid BWSA_FAILPOINTS: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Usage(msg)) => {
+    // Last-resort containment: an unwind that escapes a subcommand — an
+    // injected fault on an unsupervised path, a blown deadline, a
+    // genuine bug — still exits with the documented code 1 and a typed
+    // message, never a raw panic.
+    match supervisor::catch(|| run(&args)) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(CliError::Usage(msg))) => {
             eprintln!("error: {msg}");
             eprintln!("run `bwsa help` for usage");
             ExitCode::from(2)
         }
-        Err(CliError::Runtime(msg)) => {
+        Ok(Err(CliError::Runtime(msg))) => {
             eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+        Err(fault) => {
+            eprintln!("error: {fault}");
             ExitCode::from(1)
         }
     }
@@ -126,8 +153,10 @@ subcommands:
   generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
   analyze  <trace> [--threshold N] [--jobs N] [--salvage]
            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+           [--retries N] [--max-seconds S] [--max-rss-mb N]
            [--report json|text] [--metrics FILE]
   allocate <trace> [--table N] [--threshold N] [--classify] [--salvage]
+           [--retries N] [--max-seconds S] [--max-rss-mb N]
            [--report json|text] [--metrics FILE]
   simulate <trace> [--predictor pag|free|bimodal|gshare|gag|hybrid|agree|bimode|profile]
            [--jobs N] [--salvage] [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
@@ -147,13 +176,29 @@ threads (default: all hardware threads); results are bit-identical to a
 serial run. Checkpointed streaming analysis is inherently sequential, so
 `analyze --checkpoint/--resume` rejects --jobs above 1.
 
---report json prints a versioned run report (stage wall times, counters,
-result digests) as the only stdout output; --report text appends a
-human-readable report to the normal output. --metrics FILE writes the
-JSON report to FILE without changing stdout. `validate-report` checks an
-emitted report against this build's schema and version.
+--retries/--max-seconds/--max-rss-mb run the analysis under supervision:
+failed workers are isolated and retried N times with backoff, a run over
+the wall-clock deadline is cancelled cooperatively, and a run over the
+memory budget drops to the low-memory engine. A supervised run degrades
+gracefully (parallel -> serial -> streaming, recorded in the run report)
+and its result is bit-identical to an unsupervised run whenever any
+engine succeeds. Checkpoints rotate the previous good file to FILE.prev,
+and --resume falls back to it when FILE is corrupt.
 
-exit codes: 0 success, 1 I/O or data error, 2 usage error";
+--report json prints a versioned run report (stage wall times, counters,
+result digests, supervision outcome) as the only stdout output;
+--report text appends a human-readable report to the normal output.
+--metrics FILE writes the JSON report to FILE without changing stdout.
+`validate-report` checks an emitted report against this build's schema
+and version.
+
+env: BWSA_FAILPOINTS=site=action;... arms deterministic fault injection
+for chaos testing (actions: panic, error(msg), delay(ms), off; prefix
+COUNT* to limit firings).
+
+exit codes: 0 success (including partial salvage and any supervised run
+that degraded but finished), 1 I/O, data, or resilience error (every
+fault is reported typed — no raw panics), 2 usage error";
 
 /// Pulls `--flag value` pairs and positionals out of an arg list.
 struct Parsed {
@@ -424,6 +469,41 @@ fn parallel_config(jobs: Option<usize>) -> ParallelConfig {
     }
 }
 
+/// Supervision request from `--retries`, `--max-seconds`, and
+/// `--max-rss-mb`; `None` when none of the flags are present (plain,
+/// unsupervised execution).
+fn supervisor_of(p: &Parsed) -> Result<Option<SupervisorConfig>, CliError> {
+    let mut config = SupervisorConfig::default();
+    let mut any = false;
+    if let Some(v) = p.value("retries") {
+        config.retries = v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --retries {v:?}")))?;
+        any = true;
+    }
+    if let Some(v) = p.value("max-seconds") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --max-seconds {v:?}")))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(usage_err("--max-seconds must be positive"));
+        }
+        config.max_wall = Some(Duration::from_secs_f64(secs));
+        any = true;
+    }
+    if let Some(v) = p.value("max-rss-mb") {
+        let mb: u64 = v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --max-rss-mb {v:?}")))?;
+        if mb == 0 {
+            return Err(usage_err("--max-rss-mb must be positive"));
+        }
+        config.max_rss_bytes = Some(mb * 1024 * 1024);
+        any = true;
+    }
+    Ok(any.then_some(config))
+}
+
 /// Checkpoint cadence in records, derived from `--checkpoint-every` (in
 /// stream chunks; default 64). `None` when `--checkpoint` was not given.
 fn checkpoint_cadence(p: &Parsed) -> Result<Option<(String, u64)>, CliError> {
@@ -452,11 +532,45 @@ fn checkpoint_cadence(p: &Parsed) -> Result<Option<(String, u64)>, CliError> {
 }
 
 /// Writes checkpoint bytes via a temporary file and rename, so a crash
-/// mid-write never leaves a torn checkpoint at the final path.
+/// mid-write never leaves a torn checkpoint at the final path. The
+/// checkpoint being replaced is rotated to `FILE.prev` first, so even if
+/// the final file is later torn or corrupted on disk, one good ancestor
+/// survives for `--resume` to fall back to.
 fn write_checkpoint(path: &str, bytes: &[u8]) -> Result<(), String> {
     let tmp = format!("{path}.tmp");
     std::fs::write(&tmp, bytes).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    if std::fs::metadata(path).is_ok() {
+        let prev = format!("{path}.prev");
+        std::fs::rename(path, &prev).map_err(|e| format!("cannot rotate {path} to {prev}: {e}"))?;
+    }
     std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))
+}
+
+/// Loads a `--resume` checkpoint, falling back to the rotated
+/// `FILE.prev` ancestor (with a stderr warning) when the primary file is
+/// missing or corrupt. Errors only when no readable checkpoint remains.
+fn load_checkpoint_with_fallback<T>(
+    path: &str,
+    parse: impl Fn(&[u8]) -> Result<T, String>,
+) -> Result<T, CliError> {
+    let primary = std::fs::read(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+        .and_then(|bytes| parse(&bytes));
+    let err = match primary {
+        Ok(v) => return Ok(v),
+        Err(e) => e,
+    };
+    let prev = format!("{path}.prev");
+    match std::fs::read(&prev) {
+        Ok(bytes) => match parse(&bytes) {
+            Ok(v) => {
+                eprintln!("warning: {err}; resuming from previous good checkpoint {prev}");
+                Ok(v)
+            }
+            Err(prev_err) => Err(runtime_err(format!("{err}; fallback {prev}: {prev_err}"))),
+        },
+        Err(_) => Err(runtime_err(err)),
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), CliError> {
@@ -533,6 +647,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
             "checkpoint-every",
             "resume",
             "jobs",
+            "retries",
+            "max-seconds",
+            "max-rss-mb",
             "report",
             "metrics",
         ],
@@ -550,6 +667,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let spec = report_spec(&p)?;
     let obs = spec.observer();
     let jobs = jobs_of(&p)?;
+    let supervisor = supervisor_of(&p)?;
     let wants_checkpointing = p.value("checkpoint").is_some() || p.value("resume").is_some();
     if wants_checkpointing && jobs.is_some_and(|j| j > 1) {
         return Err(usage_err(
@@ -564,7 +682,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                 ));
             }
             let (trace, _) = load_trace(path, RecoveryPolicy::Strict, &obs)?;
-            analyze_in_memory(&trace, &pipeline, jobs, &spec, &obs)?;
+            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &spec, &obs)?;
         }
         // A BWSS stream stays on the constant-memory sequential path
         // unless --jobs explicitly asks for workers, which requires
@@ -572,9 +690,17 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         TraceFormat::Bwss if !wants_checkpointing && jobs.is_some_and(|j| j > 1) => {
             let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
             warn_salvage(path, &report);
-            analyze_in_memory(&trace, &pipeline, jobs, &spec, &obs)?;
+            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &spec, &obs)?;
         }
-        TraceFormat::Bwss => analyze_stream(path, &p, &pipeline, &spec, &obs)?,
+        TraceFormat::Bwss => {
+            // Streaming is already the bottom of the degradation ladder;
+            // supervision here means only the cooperative deadline (each
+            // record decode is a cancellation point).
+            let _watchdog = supervisor
+                .and_then(|c| c.max_wall)
+                .map(|wall| watchdog::arm(Instant::now() + wall));
+            analyze_stream(path, &p, &pipeline, &spec, &obs)?
+        }
     }
     Ok(())
 }
@@ -586,13 +712,17 @@ fn analyze_in_memory(
     trace: &Trace,
     pipeline: &AnalysisPipeline,
     jobs: Option<usize>,
+    supervisor: Option<SupervisorConfig>,
     spec: &ReportSpec,
     obs: &Obs,
 ) -> Result<(), CliError> {
-    let session = Session::new(trace)
+    let mut session = Session::new(trace)
         .with_pipeline(*pipeline)
         .with_execution(Execution::Parallel(parallel_config(jobs)))
         .with_observer(obs.clone());
+    if let Some(config) = supervisor {
+        session = session.with_supervisor(config);
+    }
     let analysis = session.run().map_err(|e| runtime_err(e.to_string()))?;
     if !spec.json_only() {
         println!("{trace}");
@@ -649,10 +779,9 @@ fn analyze_stream(
         .with_observer(obs.clone());
     let mut analysis = match p.value("resume") {
         Some(ck_path) => {
-            let bytes = std::fs::read(ck_path)
-                .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
-            let a = StreamingAnalysis::load_observed(&bytes, obs)
-                .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?;
+            let a = load_checkpoint_with_fallback(ck_path, |bytes| {
+                StreamingAnalysis::load_observed(bytes, obs).map_err(|e| format!("{ck_path}: {e}"))
+            })?;
             if a.trace_name() != reader.name() {
                 return Err(runtime_err(format!(
                     "{ck_path} is a checkpoint of trace {:?}, not {:?}",
@@ -757,7 +886,15 @@ fn print_analysis(analysis: &bwsa::core::Analysis, pipeline: &AnalysisPipeline) 
 fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
     let p = parse(
         args,
-        &["table", "threshold", "report", "metrics"],
+        &[
+            "table",
+            "threshold",
+            "retries",
+            "max-seconds",
+            "max-rss-mb",
+            "report",
+            "metrics",
+        ],
         &["classify", "salvage"],
     )?;
     let path = p
@@ -769,6 +906,7 @@ fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
         .unwrap_or("1024")
         .parse()
         .map_err(|_| usage_err("bad table size"))?;
+    let supervisor = supervisor_of(&p)?;
     let spec = report_spec(&p)?;
     let obs = spec.observer();
     let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
@@ -778,9 +916,12 @@ fn cmd_allocate(args: &[String]) -> Result<(), CliError> {
         ..AnalysisPipeline::new()
     };
     let classified = Classified(p.has("classify"));
-    let session = Session::new(&trace)
+    let mut session = Session::new(&trace)
         .with_pipeline(pipeline)
         .with_observer(obs.clone());
+    if let Some(config) = supervisor {
+        session = session.with_supervisor(config);
+    }
     let allocation = session
         .allocate(classified, table)
         .map_err(|e| runtime_err(e.to_string()))?;
@@ -892,14 +1033,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         })?;
         let mut pred = checkpointable_by_name(name)?;
         let resume = match p.value("resume") {
-            Some(ck_path) => {
-                let bytes = std::fs::read(ck_path)
-                    .map_err(|e| runtime_err(format!("cannot read {ck_path}: {e}")))?;
-                Some(
-                    SimCheckpoint::from_bytes(&bytes)
-                        .map_err(|e| runtime_err(format!("{ck_path}: {e}")))?,
-                )
-            }
+            Some(ck_path) => Some(load_checkpoint_with_fallback(ck_path, |bytes| {
+                SimCheckpoint::from_bytes(bytes).map_err(|e| format!("{ck_path}: {e}"))
+            })?),
             None => None,
         };
         let every = cadence.as_ref().map(|(_, every)| *every);
@@ -1430,7 +1566,11 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let alien = dir.join("alien_field.json");
-        std::fs::write(&alien, "{\"run_report_version\": 1, \"surprise\": true}").unwrap();
+        std::fs::write(
+            &alien,
+            format!("{{\"run_report_version\": {RUN_REPORT_VERSION}, \"surprise\": true}}"),
+        )
+        .unwrap();
         assert!(matches!(
             run(&strs(&["validate-report", alien.to_str().unwrap()])),
             Err(CliError::Runtime(_))
@@ -1438,6 +1578,144 @@ mod tests {
         std::fs::remove_file(garbage).unwrap();
         std::fs::remove_file(wrong).unwrap();
         std::fs::remove_file(alien).unwrap();
+    }
+
+    #[test]
+    fn supervisor_flags_are_validated_before_touching_the_trace() {
+        // Bad values are usage errors even when the file doesn't exist.
+        for (flag, bad) in [
+            ("--retries", "many"),
+            ("--retries", "-1"),
+            ("--max-seconds", "0"),
+            ("--max-seconds", "inf"),
+            ("--max-seconds", "soon"),
+            ("--max-rss-mb", "0"),
+            ("--max-rss-mb", "lots"),
+        ] {
+            assert!(
+                matches!(
+                    run(&strs(&["analyze", "/no/such.bwst", flag, bad])),
+                    Err(CliError::Usage(_))
+                ),
+                "analyze {flag} {bad}"
+            );
+            assert!(
+                matches!(
+                    run(&strs(&["allocate", "/no/such.bwst", flag, bad])),
+                    Err(CliError::Usage(_))
+                ),
+                "allocate {flag} {bad}"
+            );
+        }
+        // No supervisor flags means no supervisor.
+        let p = parse(&[], &["retries"], &[]).unwrap();
+        assert!(supervisor_of(&p).unwrap().is_none());
+        // Any one flag turns supervision on with defaults for the rest.
+        let p = parse(&strs(&["--retries", "5"]), &["retries"], &[]).unwrap();
+        let config = supervisor_of(&p).unwrap().unwrap();
+        assert_eq!(config.retries, 5);
+        assert!(config.max_wall.is_none());
+        assert!(config.max_rss_bytes.is_none());
+        let p = parse(
+            &strs(&["--max-seconds", "1.5", "--max-rss-mb", "64"]),
+            &["max-seconds", "max-rss-mb"],
+            &[],
+        )
+        .unwrap();
+        let config = supervisor_of(&p).unwrap().unwrap();
+        assert_eq!(config.max_wall, Some(Duration::from_millis(1500)));
+        assert_eq!(config.max_rss_bytes, Some(64 * 1024 * 1024));
+    }
+
+    #[test]
+    fn supervised_analyze_and_allocate_report_the_resilience_section() {
+        let dir = std::env::temp_dir().join("bwsa_cli_supervised_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.bwst");
+        let trace_s = trace.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.01", "-o", &trace_s,
+        ]))
+        .unwrap();
+        for (extra, name) in [
+            (vec!["analyze"], "analyze.json"),
+            (vec!["analyze", "--jobs", "2"], "analyze_par.json"),
+            (vec!["allocate", "--table", "64"], "alloc.json"),
+        ] {
+            let metrics = dir.join(name);
+            let metrics_s = metrics.to_str().unwrap().to_owned();
+            let mut args = vec![extra[0].to_owned(), trace_s.clone()];
+            args.extend(extra[1..].iter().map(|s| s.to_string()));
+            args.extend(
+                [
+                    "--retries",
+                    "2",
+                    "--max-rss-mb",
+                    "1000000",
+                    "--metrics",
+                    &metrics_s,
+                ]
+                .map(str::to_owned),
+            );
+            run(&args).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            run(&strs(&["validate-report", &metrics_s]))
+                .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+            let resilience = doc.get("resilience").unwrap_or_else(|| panic!("{name}"));
+            assert!(
+                matches!(resilience.get("supervised"), Some(Json::Bool(true))),
+                "{name}"
+            );
+            assert_eq!(
+                resilience.get("attempts").and_then(Json::as_u64),
+                Some(1),
+                "{name}: fault-free run needs exactly one attempt"
+            );
+            std::fs::remove_file(metrics).unwrap();
+        }
+        std::fs::remove_file(trace).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_resumes_from_the_rotated_ancestor() {
+        let dir = std::env::temp_dir().join("bwsa_cli_torn_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.bwss");
+        let trace_s = trace.to_str().unwrap().to_owned();
+        // 17500 records at chunk cadence 1 (4096 records) -> several
+        // checkpoint writes, so rotation leaves a `.prev` ancestor.
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.05", "--format", "bwss", "-o", &trace_s,
+        ]))
+        .unwrap();
+        let ck = dir.join("t.bwck");
+        let ck_s = ck.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "analyze",
+            &trace_s,
+            "--checkpoint",
+            &ck_s,
+            "--checkpoint-every",
+            "1",
+        ]))
+        .unwrap();
+        let prev = dir.join("t.bwck.prev");
+        assert!(prev.exists(), "rotation must keep the previous checkpoint");
+        // Tear the newest checkpoint, as a crash mid-write on a less
+        // forgiving filesystem would.
+        let good = std::fs::read(&ck).unwrap();
+        std::fs::write(&ck, &good[..good.len() / 2]).unwrap();
+        // Resume falls back to the rotated ancestor and completes.
+        run(&strs(&["analyze", &trace_s, "--resume", &ck_s]))
+            .expect("resume must fall back to the .prev checkpoint");
+        // With the ancestor gone too, the failure is a typed runtime error.
+        std::fs::remove_file(&prev).unwrap();
+        assert!(matches!(
+            run(&strs(&["analyze", &trace_s, "--resume", &ck_s])),
+            Err(CliError::Runtime(_))
+        ));
+        std::fs::remove_file(trace).unwrap();
+        std::fs::remove_file(ck).unwrap();
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   [`core::Session`] API.
 //! * [`obs`] — the observability layer: spans, counters, and versioned
 //!   [`obs::RunReport`] documents.
+//! * [`resilience`] — failpoints, the deterministic fault model, the
+//!   cooperative watchdog, and the supervision primitives behind
+//!   [`core::Session::with_supervisor`].
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@ pub use bwsa_core as core;
 pub use bwsa_graph as graph;
 pub use bwsa_obs as obs;
 pub use bwsa_predictor as predictor;
+pub use bwsa_resilience as resilience;
 pub use bwsa_trace as trace;
 pub use bwsa_workload as workload;
 

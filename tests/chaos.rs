@@ -1,0 +1,402 @@
+//! Chaos suite: sweep every registered failpoint site, in every fault
+//! mode, through the typed top-level API that wraps it.
+//!
+//! The contract under test is the repo's failure model (DESIGN.md §10):
+//! whatever a failpoint does — unwind with a typed payload, unwind with a
+//! plain panic, or stall — the result visible to a caller is either
+//!
+//! 1. output **bit-identical** to the fault-free baseline (the fault was
+//!    retried or degraded around), or
+//! 2. a **typed error** from the layer's public `Result` signature.
+//!
+//! Never a raw panic escaping the API, never silently different output.
+//!
+//! The failpoint registry is a process global, so every test here holds
+//! [`CHAOS_LOCK`] and scopes its spec with [`failpoint::scoped`].
+
+use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::core::{Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig};
+use bwsa::graph::coloring::{try_color_graph, ColoringOptions};
+use bwsa::graph::GraphBuilder;
+use bwsa::obs::json::Json;
+use bwsa::obs::Obs;
+use bwsa::predictor::{simulate, sweep, Pag, SimCheckpoint, SweepCell};
+use bwsa::resilience::{failpoint, supervisor};
+use bwsa::trace::stream::{StreamReader, StreamWriter};
+use bwsa::trace::{Trace, TraceBuilder};
+use std::num::NonZeroUsize;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A failed assertion in one chaos test must not wedge the rest.
+    CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Every registered failpoint site in the workspace, by owning crate.
+fn all_sites() -> Vec<&'static str> {
+    let mut sites = Vec::new();
+    sites.extend_from_slice(bwsa::trace::failpoints::SITES);
+    sites.extend_from_slice(bwsa::graph::failpoints::SITES);
+    sites.extend_from_slice(bwsa::predictor::failpoints::SITES);
+    sites.extend_from_slice(bwsa::core::failpoints::SITES);
+    sites
+}
+
+/// The drivers: one deterministic operation per site, exercised through
+/// the *typed* API layer that owns the site, returning a comparable
+/// digest on success and the typed error's message on failure. A driver
+/// must never unwind — that is exactly what the sweep asserts.
+struct Harness {
+    trace: Trace,
+    bwss: Vec<u8>,
+    bwst: Vec<u8>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let mut b = TraceBuilder::new("chaos");
+        let mut t = 1u64;
+        for i in 0u64..240 {
+            t += 1 + i % 3;
+            b.record(0x4000 + (i % 8) * 4, i % 3 != 0, t);
+        }
+        let trace = b.finish();
+        let mut bwss = Vec::new();
+        let mut w = StreamWriter::new(&mut bwss, "chaos").unwrap();
+        for r in trace.records() {
+            w.push(*r).unwrap();
+        }
+        w.finish(4096).unwrap();
+        let mut bwst = Vec::new();
+        bwsa::trace::io::write_binary(&trace, &mut bwst).unwrap();
+        Harness { trace, bwss, bwst }
+    }
+
+    fn drive(&self, site: &str) -> Result<String, String> {
+        match site {
+            "trace.decode_record" => self.drive_stream_decode(),
+            "trace.read_binary" => self.drive_read_binary(),
+            "graph.color" => self.drive_coloring(),
+            "predictor.simulate" => self.drive_simulate(),
+            "predictor.sweep_cell" => self.drive_sweep(),
+            "predictor.checkpoint_save" => self.drive_sim_checkpoint(),
+            "core.checkpoint_save" | "core.checkpoint_restore" => self.drive_analysis_checkpoint(),
+            // These stages only exist on the serial path; a parallel
+            // ladder would succeed on its first rung without ever
+            // reaching them.
+            "core.profile" | "core.interleave" => self.drive_session(Execution::Serial),
+            other if other.starts_with("core.") => {
+                self.drive_session(Execution::Parallel(ParallelConfig {
+                    jobs: NonZeroUsize::new(2).unwrap(),
+                    shards: NonZeroUsize::new(5),
+                }))
+            }
+            other => panic!("no chaos driver for failpoint site '{other}'"),
+        }
+    }
+
+    /// Supervised session over the degradation ladder; covers all
+    /// pipeline-stage and shard sites.
+    fn drive_session(&self, execution: Execution) -> Result<String, String> {
+        let session = Session::new(&self.trace)
+            .with_execution(execution)
+            .with_supervisor(SupervisorConfig {
+                backoff_base: Duration::from_millis(1),
+                ..SupervisorConfig::default()
+            });
+        match session.run() {
+            Ok(analysis) => Ok(format!("{analysis:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Streaming analysis save/load roundtrip; covers the analysis
+    /// checkpoint sites.
+    fn drive_analysis_checkpoint(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            let records = self.trace.records();
+            let mut streaming = StreamingAnalysis::new("chaos");
+            for r in &records[..records.len() / 2] {
+                streaming.push(r);
+            }
+            let blob = streaming.save();
+            let mut streaming = StreamingAnalysis::load(&blob).map_err(|e| e.to_string())?;
+            for r in &records[records.len() / 2..] {
+                streaming.push(r);
+            }
+            let analysis = streaming.finish_observed(&AnalysisPipeline::new(), &Obs::noop());
+            Ok(format!("{analysis:?}"))
+        }))
+    }
+
+    fn drive_stream_decode(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            let reader = StreamReader::new(&self.bwss[..]).map_err(|e| e.to_string())?;
+            let mut count = 0u64;
+            for record in reader {
+                record.map_err(|e| e.to_string())?;
+                count += 1;
+            }
+            Ok(format!("records:{count}"))
+        }))
+    }
+
+    fn drive_read_binary(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            let trace = bwsa::trace::io::read_binary(&self.bwst[..]).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "records:{} sites:{}",
+                trace.len(),
+                trace.static_branch_count()
+            ))
+        }))
+    }
+
+    fn drive_coloring(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            let mut b = GraphBuilder::new(6);
+            b.add_edge(0, 1, 5).add_edge(1, 2, 5).add_edge(2, 0, 5);
+            b.add_edge(3, 4, 2).add_edge(4, 5, 2);
+            let coloring = try_color_graph(&b.build(), 2, &ColoringOptions::default())
+                .map_err(|e| e.to_string())?;
+            Ok(format!("{coloring:?}"))
+        }))
+    }
+
+    fn drive_simulate(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            Ok(format!(
+                "{:?}",
+                simulate(&mut Pag::paper_baseline(), &self.trace)
+            ))
+        }))
+    }
+
+    /// The sweep has its own containment: a faulting cell surfaces as the
+    /// typed `CellFailed` without any catch at this layer.
+    fn drive_sweep(&self) -> Result<String, String> {
+        let cells = vec![
+            SweepCell::plain(Pag::paper_baseline(), &self.trace),
+            SweepCell::plain(Pag::paper_baseline(), &self.trace),
+        ];
+        match sweep(cells, 2) {
+            Ok(results) => Ok(format!("{results:?}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn drive_sim_checkpoint(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            let checkpoint = SimCheckpoint {
+                predictor: "pag".into(),
+                trace: "chaos".into(),
+                records_consumed: 120,
+                mispredictions: 17,
+                predictor_state: vec![1, 2, 3, 4],
+            };
+            let bytes = checkpoint.to_bytes();
+            let back = SimCheckpoint::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            Ok(format!("{back:?}"))
+        }))
+    }
+}
+
+/// Collapses "the typed boundary caught an unwind" and "the layer
+/// returned its own typed error" into one `Err` channel.
+fn flatten(
+    outcome: Result<Result<String, String>, supervisor::ResilienceError>,
+) -> Result<String, String> {
+    match outcome {
+        Ok(inner) => inner,
+        Err(fault) => Err(fault.to_string()),
+    }
+}
+
+/// Runs `site` under `spec` and asserts the containment contract:
+/// baseline-identical output or a typed error — and never an unwind
+/// escaping the driver (the outer catch must stay `Ok`).
+fn assert_contained(harness: &Harness, site: &'static str, spec: &str, baseline: &str) {
+    let guard = failpoint::scoped(spec).unwrap();
+    let outcome = supervisor::catch(|| harness.drive(site));
+    let outcome = outcome
+        .unwrap_or_else(|fault| panic!("{spec}: raw unwind escaped the typed boundary: {fault}"));
+    assert!(
+        failpoint::hits(site) > 0,
+        "{spec}: the driver never traversed the site"
+    );
+    match outcome {
+        Ok(digest) => assert_eq!(
+            digest, baseline,
+            "{spec}: a fault-survivor run must be bit-identical to the baseline"
+        ),
+        Err(message) => assert!(
+            !message.is_empty(),
+            "{spec}: typed errors must carry a message"
+        ),
+    }
+    drop(guard);
+}
+
+#[test]
+fn the_failpoint_catalog_spans_the_required_surface() {
+    // The chaos contract is only as strong as its coverage: at least a
+    // dozen sites, in all four instrumented crates.
+    let sites = all_sites();
+    assert!(sites.len() >= 12, "only {} sites registered", sites.len());
+    for prefix in ["trace.", "graph.", "predictor.", "core."] {
+        assert!(
+            sites.iter().any(|s| s.starts_with(prefix)),
+            "no failpoint site in {prefix}*"
+        );
+    }
+    let mut deduped = sites.clone();
+    deduped.sort_unstable();
+    deduped.dedup();
+    assert_eq!(deduped.len(), sites.len(), "duplicate site names");
+}
+
+#[test]
+fn every_site_is_contained_in_error_mode() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    for site in all_sites() {
+        let baseline = harness.drive(site).unwrap();
+        assert_contained(&harness, site, &format!("{site}=error(chaos)"), &baseline);
+    }
+}
+
+#[test]
+fn every_site_is_contained_in_panic_mode() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    for site in all_sites() {
+        let baseline = harness.drive(site).unwrap();
+        assert_contained(&harness, site, &format!("{site}=panic(chaos)"), &baseline);
+    }
+}
+
+#[test]
+fn delay_mode_only_adds_latency() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    for site in all_sites() {
+        let baseline = harness.drive(site).unwrap();
+        let _guard = failpoint::scoped(&format!("{site}=delay(1)")).unwrap();
+        let delayed = harness.drive(site);
+        assert_eq!(
+            delayed.as_deref(),
+            Ok(baseline.as_str()),
+            "{site}: a pure delay must not change the result"
+        );
+    }
+}
+
+#[test]
+fn transient_faults_are_absorbed_by_retry_and_degradation() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    // One-shot faults on every supervised core stage: whether the ladder
+    // recovers by shard retry, rung retry, or downgrade, the output must
+    // be the fault-free output.
+    for site in bwsa::core::failpoints::SITES {
+        if site.starts_with("core.checkpoint") {
+            continue; // not on the supervised session path
+        }
+        let baseline = harness.drive(site).unwrap();
+        let _guard = failpoint::scoped(&format!("{site}=1*error(transient)")).unwrap();
+        let recovered = harness.drive(site);
+        assert_eq!(
+            recovered.as_deref(),
+            Ok(baseline.as_str()),
+            "{site}: a single transient fault must be absorbed"
+        );
+        assert!(failpoint::hits(site) > 0, "{site} never fired");
+    }
+}
+
+#[test]
+fn degraded_runs_record_downgrades_and_retries_in_the_run_report() {
+    let _lock = lock();
+    failpoint::clear();
+    let trace = Harness::new().trace;
+    let plain = Session::new(&trace);
+    let baseline = plain.run().unwrap();
+
+    // A fault that only exists on the serial path: the supervised serial
+    // session must degrade to streaming replay and still match.
+    let _guard = failpoint::scoped("core.profile=error(stage exploded)").unwrap();
+    let session = Session::new(&trace)
+        .with_execution(Execution::Serial)
+        .with_supervisor(SupervisorConfig {
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        })
+        .with_observer(Obs::recording());
+    assert_eq!(session.run().unwrap(), baseline);
+
+    let summary = session.resilience_summary().unwrap();
+    assert!(summary.attempts >= 2, "summary: {summary:?}");
+    assert!(
+        summary
+            .downgrades
+            .iter()
+            .any(|d| d.reason.contains("core.profile")),
+        "downgrade reason must name the fault: {summary:?}"
+    );
+    assert!(!summary.faults.is_empty());
+
+    // And the run report carries the same story for offline consumers.
+    let report = session.run_report("chaos").unwrap();
+    let doc = Json::parse(&report.to_json_string()).unwrap();
+    let resilience = doc.get("resilience").unwrap();
+    assert!(matches!(
+        resilience.get("supervised"),
+        Some(Json::Bool(true))
+    ));
+    assert!(resilience.get("attempts").and_then(Json::as_u64).unwrap() >= 2);
+    assert!(resilience.get("retries").and_then(Json::as_u64).is_some());
+    match resilience.get("downgrades") {
+        Some(Json::Array(downgrades)) => {
+            assert!(downgrades.iter().any(|d| {
+                d.get("reason")
+                    .and_then(Json::as_str)
+                    .is_some_and(|r| r.contains("core.profile"))
+            }));
+        }
+        other => panic!("downgrades missing: {other:?}"),
+    }
+}
+
+#[test]
+fn a_stalled_stage_is_cut_short_by_the_deadline() {
+    let _lock = lock();
+    failpoint::clear();
+    let trace = Harness::new().trace;
+    let plain = Session::new(&trace);
+    let baseline = plain.run().unwrap();
+
+    // Stall a serial-only stage far beyond the budget; every other rung
+    // is fault-free, so the run still completes — without waiting out
+    // the stall on retry after retry.
+    let _guard = failpoint::scoped("core.interleave=delay(40)").unwrap();
+    let session = Session::new(&trace)
+        .with_execution(Execution::Serial)
+        .with_supervisor(SupervisorConfig {
+            backoff_base: Duration::from_millis(1),
+            max_wall: Some(Duration::from_millis(10)),
+            ..SupervisorConfig::default()
+        });
+    assert_eq!(session.run().unwrap(), baseline);
+    let summary = session.resilience_summary().unwrap();
+    assert!(
+        summary.faults.iter().any(|f| f.contains("deadline")),
+        "summary: {summary:?}"
+    );
+}

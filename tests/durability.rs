@@ -308,8 +308,10 @@ fn analysis_checkpoint_resumes_to_the_same_report() {
     std::fs::remove_file(ck_path).ok();
 }
 
-/// A checkpoint on disk survives bit rot checks: flipping any byte makes
-/// both loaders reject it with exit 1 rather than resuming silently wrong.
+/// A checkpoint on disk survives bit rot checks: flipping a byte makes the
+/// loader fall back to the rotated `.prev` ancestor with a warning, and once
+/// no valid ancestor exists the resume is rejected with exit 1 rather than
+/// resuming silently wrong.
 #[test]
 fn tampered_checkpoint_files_are_rejected_by_the_binary() {
     let trace = Benchmark::Compress.generate_scaled(InputSet::A, 0.05);
@@ -338,6 +340,34 @@ fn tampered_checkpoint_files_are_rejected_by_the_binary() {
     bytes[mid] ^= 0x20;
     std::fs::write(&ck_path, &bytes).unwrap();
 
+    // With the rotated ancestor still on disk, the loader warns and resumes
+    // from `.prev` instead of trusting the tampered file.
+    let prev_path = format!("{}.prev", ck_path.display());
+    assert!(
+        std::path::Path::new(&prev_path).exists(),
+        "checkpoint rotation should have produced {prev_path}"
+    );
+    let fallback = bwsa()
+        .args(["simulate"])
+        .arg(&trace_path)
+        .args(["--predictor", "gshare", "--resume"])
+        .arg(&ck_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        fallback.status.code(),
+        Some(0),
+        "resume should fall back to the rotated checkpoint: {}",
+        String::from_utf8_lossy(&fallback.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&fallback.stderr).contains(".prev"),
+        "fallback must be announced on stderr"
+    );
+
+    // Remove the ancestor: now only the tampered file remains and the resume
+    // must be rejected rather than silently wrong.
+    std::fs::remove_file(&prev_path).unwrap();
     let resumed = bwsa()
         .args(["simulate"])
         .arg(&trace_path)

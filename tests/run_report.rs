@@ -17,7 +17,7 @@
 
 use bwsa::obs::json::Json;
 use bwsa::obs::report::schema_shape;
-use bwsa::obs::{Obs, RunReport, RUN_REPORT_VERSION};
+use bwsa::obs::{DowngradeReport, Obs, ResilienceReport, RunReport, RUN_REPORT_VERSION};
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
@@ -49,6 +49,19 @@ fn canonical_report() -> RunReport {
     // everywhere.
     report.peak_rss_bytes = Some(1 << 20);
     report.push_digest("classification", "crc32:deadbeef");
+    // A populated resilience section, so the downgrade/fault array item
+    // shapes are pinned too (v2).
+    report.set_resilience(ResilienceReport {
+        supervised: true,
+        attempts: 3,
+        retries: 1,
+        downgrades: vec![DowngradeReport {
+            from: "parallel".into(),
+            to: "serial".into(),
+            reason: "injected fault at 'core.shard_detect': golden".into(),
+        }],
+        faults: vec!["injected fault at 'core.shard_detect': golden".into()],
+    });
     report
 }
 
@@ -74,7 +87,8 @@ fn run_report_schema_matches_golden_fixture() {
 fn schema_version_is_pinned() {
     // Bumping the version is deliberate: it invalidates old reports for
     // `bwsa validate-report` and requires regenerating the fixture.
-    assert_eq!(RUN_REPORT_VERSION, 1);
+    // v2 added the always-present `resilience` section.
+    assert_eq!(RUN_REPORT_VERSION, 2);
 }
 
 #[test]
