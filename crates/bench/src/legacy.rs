@@ -1,0 +1,210 @@
+//! Frozen replicas of the pre-optimisation hot paths, kept solely so the
+//! `hotpath` benchmark can measure the flat engines against the exact
+//! data structures they replaced — on the same machine, in the same
+//! binary, with the same workloads.
+//!
+//! Three replicas, matching the seed implementations line for line:
+//!
+//! * [`interleave_counts`] — the Figure 1 detection loop over a
+//!   `BTreeSet<(u64, u32)>` recency index.
+//! * [`EdgeMap`] — a `HashMap<(u32, u32), u64>` edge accumulator, the old
+//!   `GraphBuilder` interior.
+//! * [`Csr::from_edge_map`] — the two-pass CSR compile with per-node
+//!   adjacency sorts, the old `ConflictGraph::from_edge_map`.
+//!
+//! Nothing in the workspace calls these outside the benchmark; the
+//! production paths must never regress back onto them.
+
+use bwsa_trace::Trace;
+use std::collections::{BTreeSet, HashMap};
+
+/// The old `GraphBuilder` core: canonicalised pair keys in a `HashMap`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeMap {
+    nodes: u32,
+    edges: HashMap<(u32, u32), u64>,
+}
+
+impl EdgeMap {
+    /// An accumulator over nodes `0..nodes`.
+    pub fn new(nodes: u32) -> Self {
+        EdgeMap {
+            nodes,
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds `weight` to the undirected edge `{a, b}` (the seed's
+    /// entry-or-insert accumulate).
+    pub fn add_edge(&mut self, a: u32, b: u32, weight: u64) {
+        debug_assert!(a != b && a < self.nodes && b < self.nodes);
+        let key = if a < b { (a, b) } else { (b, a) };
+        *self.edges.entry(key).or_insert(0) += weight;
+    }
+
+    /// The accumulated edges, sorted — for equivalence checks against the
+    /// flat engine, not on the timed path.
+    pub fn sorted_edges(&self) -> Vec<(u32, u32, u64)> {
+        let mut out: Vec<_> = self.edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Compiles to CSR with the seed's build routine.
+    pub fn build(&self) -> Csr {
+        Csr::from_edge_map(self.nodes, &self.edges)
+    }
+}
+
+/// The old CSR compile target, private fields and all. Only the summary
+/// accessors the benchmark needs are exposed.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    weights: Vec<u64>,
+}
+
+impl Csr {
+    fn from_edge_map(nodes: u32, edges: &HashMap<(u32, u32), u64>) -> Self {
+        let n = nodes as usize;
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges.keys() {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut neighbors = vec![0u32; acc];
+        let mut weights = vec![0u64; acc];
+        let mut cursor = offsets[..n].to_vec();
+        for (&(a, b), &w) in edges {
+            let ca = cursor[a as usize];
+            neighbors[ca] = b;
+            weights[ca] = w;
+            cursor[a as usize] += 1;
+            let cb = cursor[b as usize];
+            neighbors[cb] = a;
+            weights[cb] = w;
+            cursor[b as usize] += 1;
+        }
+        let mut csr = Csr {
+            offsets,
+            neighbors,
+            weights,
+        };
+        for node in 0..n {
+            let range = csr.offsets[node]..csr.offsets[node + 1];
+            let mut pairs: Vec<(u32, u64)> = csr.neighbors[range.clone()]
+                .iter()
+                .copied()
+                .zip(csr.weights[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(nb, _)| nb);
+            for (i, (nb, w)) in pairs.into_iter().enumerate() {
+                csr.neighbors[range.start + i] = nb;
+                csr.weights[range.start + i] = w;
+            }
+        }
+        csr
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum::<u64>() / 2
+    }
+}
+
+/// The seed's interleave detection: a `BTreeSet<(u64, u32)>` recency index
+/// scanned with a `(prev + 1, 0)..` range per re-execution.
+pub fn interleave_counts(trace: &Trace) -> EdgeMap {
+    let n = trace.static_branch_count();
+    let mut builder = EdgeMap::new(n as u32);
+    let mut last_stamp: Vec<Option<u64>> = vec![None; n];
+    let mut recency: BTreeSet<(u64, u32)> = BTreeSet::new();
+    let mut hits: Vec<u32> = Vec::new();
+    for (id, rec) in trace.indexed_records() {
+        let node = id.as_u32();
+        let t = rec.time.get();
+        if let Some(prev) = last_stamp[node as usize] {
+            hits.clear();
+            // The seed wrote `prev + 1`; saturating keeps the replica
+            // panic-free at u64::MAX without changing any other stamp.
+            for &(_, b) in recency.range((prev.saturating_add(1), 0)..) {
+                if b != node {
+                    hits.push(b);
+                }
+            }
+            for &b in &hits {
+                builder.add_edge(node, b, 1);
+            }
+            recency.remove(&(prev, node));
+        }
+        recency.insert((t, node));
+        last_stamp[node as usize] = Some(t);
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwsa_trace::TraceBuilder;
+
+    /// The legacy replica and the production engine must agree edge for
+    /// edge — otherwise the benchmark compares different computations.
+    #[test]
+    fn legacy_replica_matches_production_engine() {
+        let mut b = TraceBuilder::new("mix");
+        let mut lcg: u64 = 0xBEEF;
+        let mut t = 0u64;
+        for _ in 0..5000 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t += (lcg >> 61) % 3;
+            b.record(0x1000 + ((lcg >> 33) % 40) * 4, (lcg >> 17) & 1 == 0, t);
+        }
+        let trace = b.finish();
+        let legacy = interleave_counts(&trace);
+        let fast = bwsa_core::interleave_counts(&trace);
+        let mut fast_edges: Vec<_> = fast.edges().collect();
+        fast_edges.sort_unstable();
+        assert_eq!(legacy.sorted_edges(), fast_edges);
+        let legacy_csr = legacy.build();
+        let graph = fast.build();
+        assert_eq!(legacy_csr.edge_count(), graph.edge_count());
+        assert_eq!(legacy_csr.total_weight(), graph.total_weight());
+    }
+
+    #[test]
+    fn figure1_example() {
+        let mut b = TraceBuilder::new("fig1");
+        b.record(0xa, true, 5)
+            .record(0xb, true, 10)
+            .record(0xc, true, 15)
+            .record(0xa, true, 20);
+        let m = interleave_counts(&b.finish());
+        assert_eq!(m.sorted_edges(), vec![(0, 1, 1), (0, 2, 1)]);
+    }
+}

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod legacy;
 pub mod paper;
 pub mod text;
 

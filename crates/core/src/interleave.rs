@@ -7,16 +7,20 @@
 //! then, and each such pair's interleave counter is incremented once — the
 //! paper's Figure 1 procedure, verbatim.
 //!
-//! [`interleave_counts`] maintains a recency index (an ordered set of
-//! `(latest timestamp, branch)` pairs) so each detection is a range scan
-//! over exactly the branches involved, costing `O(k log n)` per dynamic
-//! branch where `k` is the instantaneous working-set size — the very
-//! quantity the paper shows stays small. [`interleave_counts_naive`] is an
-//! independent quadratic oracle used by the tests.
+//! [`interleave_counts`] maintains a recency index of
+//! `(latest timestamp, branch)` pairs so each detection is a binary
+//! search plus a short scan over exactly the branches involved, costing
+//! `O(k + log n)` per dynamic branch where `k` is the instantaneous
+//! working-set size — the very quantity the paper shows stays small.
+//! Because trace timestamps are nondecreasing, the index is a flat
+//! append-only ring ([`crate::recency::RecencyRing`]) rather than a
+//! search tree: inserts land at the tail, and dead entries are reclaimed
+//! by amortised compaction. [`interleave_counts_naive`] is an independent
+//! linear-scan oracle used by the tests.
 
+use crate::recency::RecencyRing;
 use bwsa_graph::GraphBuilder;
 use bwsa_trace::Trace;
-use std::collections::BTreeSet;
 
 /// Computes pairwise interleave counts for every branch pair in the trace.
 ///
@@ -73,13 +77,10 @@ pub(crate) fn interleave_into(
     last_stamp: &mut Vec<Option<u64>>,
     records: impl Iterator<Item = (u32, u64)>,
 ) {
-    // Recency index: (latest stamp, branch), one entry per executed branch.
-    let mut recency: BTreeSet<(u64, u32)> = last_stamp
-        .iter()
-        .enumerate()
-        .filter_map(|(b, stamp)| stamp.map(|t| (t, b as u32)))
-        .collect();
-    // Reusable scratch for the branches hit by each range scan.
+    // Recency index: one live (latest stamp, branch) entry per executed
+    // branch, kept sorted by exploiting the monotone timestamps.
+    let mut recency = RecencyRing::from_stamps(last_stamp);
+    // Reusable scratch for the branches hit by each scan.
     let mut hits: Vec<u32> = Vec::new();
 
     for (node, t) in records {
@@ -90,49 +91,42 @@ pub(crate) fn interleave_into(
             // Every branch whose latest stamp is strictly greater than
             // this branch's previous stamp interleaved with it.
             hits.clear();
-            for &(_, b) in recency.range((prev + 1, 0)..) {
-                if b != node {
-                    hits.push(b);
-                }
-            }
+            recency.collect_after(prev, node, &mut hits);
             for &b in &hits {
                 builder.add_edge(node, b, 1);
             }
-            recency.remove(&(prev, node));
         }
-        recency.insert((t, node));
+        recency.record(node, t);
         last_stamp[node as usize] = Some(t);
     }
 }
 
-/// Quadratic reference implementation of [`interleave_counts`].
+/// Reference implementation of [`interleave_counts`], independent of the
+/// fast engine's recency index.
 ///
-/// For each re-execution of a branch, scans the whole trace segment since
-/// its previous instance and counts each distinct other branch once. Only
-/// suitable for small traces; exists to cross-validate the fast engine.
+/// Maintains the latest stamp per branch in a plain `HashMap` (updated
+/// incrementally — no per-record rebuild, so property tests can drive it
+/// over large traces) and, on each re-execution, scans *every* known
+/// branch rather than an ordered window. Its only shared assumption with
+/// the fast engine is the paper's strictly-greater rule itself.
 pub fn interleave_counts_naive(trace: &Trace) -> GraphBuilder {
     let n = trace.static_branch_count();
     let mut builder = GraphBuilder::new(n as u32);
-    let records: Vec<(u32, u64)> = trace
-        .indexed_records()
-        .map(|(id, r)| (id.as_u32(), r.time.get()))
-        .collect();
-    let mut last_index: Vec<Option<usize>> = vec![None; n];
-    for (i, &(node, _)) in records.iter().enumerate() {
-        if let Some(prev_i) = last_index[node as usize] {
-            let prev_t = records[prev_i].1;
-            // Latest stamp per other branch as of just before this record.
-            let mut seen = std::collections::HashMap::new();
-            for &(b, bt) in &records[..i] {
-                seen.insert(b, bt); // later entries overwrite: keeps latest
-            }
+    let mut last_stamp: Vec<Option<u64>> = vec![None; n];
+    // Latest stamp per branch over the records consumed so far.
+    let mut seen: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for (id, rec) in trace.indexed_records() {
+        let node = id.as_u32();
+        let t = rec.time.get();
+        if let Some(prev_t) = last_stamp[node as usize] {
             for (&b, &bt) in &seen {
                 if b != node && bt > prev_t {
                     builder.add_edge(node, b, 1);
                 }
             }
         }
-        last_index[node as usize] = Some(i);
+        seen.insert(node, t);
+        last_stamp[node as usize] = Some(t);
     }
     builder
 }
@@ -196,11 +190,11 @@ pub struct StreamingInterleave {
     pub(crate) builder: GraphBuilder,
     /// `last_stamp[b]` = timestamp of b's previous dynamic instance.
     pub(crate) last_stamp: Vec<Option<u64>>,
-    /// Recency index: (latest stamp, branch), one entry per executed
+    /// Recency index: one live (latest stamp, branch) entry per executed
     /// branch. Derivable from `last_stamp`, so checkpoints omit it —
     /// see [`StreamingInterleave::from_parts`].
-    recency: BTreeSet<(u64, u32)>,
-    /// Reusable scratch for the branches hit by each range scan.
+    recency: RecencyRing,
+    /// Reusable scratch for the branches hit by each scan.
     hits: Vec<u32>,
 }
 
@@ -211,7 +205,7 @@ impl StreamingInterleave {
             table: bwsa_trace::BranchTable::new(),
             builder: GraphBuilder::new(0),
             last_stamp: Vec::new(),
-            recency: BTreeSet::new(),
+            recency: RecencyRing::new(),
             hits: Vec::new(),
         }
     }
@@ -225,11 +219,7 @@ impl StreamingInterleave {
         builder: GraphBuilder,
         last_stamp: Vec<Option<u64>>,
     ) -> Self {
-        let recency = last_stamp
-            .iter()
-            .enumerate()
-            .filter_map(|(b, stamp)| stamp.map(|t| (t, b as u32)))
-            .collect();
+        let recency = RecencyRing::from_stamps(&last_stamp);
         StreamingInterleave {
             table,
             builder,
@@ -257,17 +247,12 @@ impl StreamingInterleave {
         let t = rec.time.get();
         if let Some(prev) = self.last_stamp[node as usize] {
             self.hits.clear();
-            for &(_, b) in self.recency.range((prev + 1, 0)..) {
-                if b != node {
-                    self.hits.push(b);
-                }
-            }
+            self.recency.collect_after(prev, node, &mut self.hits);
             for &b in &self.hits {
                 self.builder.add_edge(node, b, 1);
             }
-            self.recency.remove(&(prev, node));
         }
-        self.recency.insert((t, node));
+        self.recency.record(node, t);
         self.last_stamp[node as usize] = Some(t);
         id
     }
@@ -436,6 +421,36 @@ mod tests {
         let reader = StreamReader::new(&buf[..]).unwrap();
         let (builder, _) = interleave_counts_streaming(reader).unwrap();
         assert_eq!(builder.build(), interleave_counts(&trace).build());
+    }
+
+    #[test]
+    fn max_stamp_reexecution_does_not_overflow() {
+        // Regression: the old recency index scanned `(prev + 1, 0)..`,
+        // which overflowed (release-checked panic) when a branch stamped
+        // u64::MAX re-executed. Ties at the maximum stamp must simply not
+        // interleave.
+        let mut t = TraceBuilder::new("max");
+        t.record(0xa, true, u64::MAX - 1)
+            .record(0xb, true, u64::MAX)
+            .record(0xb, true, u64::MAX) // prev == u64::MAX re-executes
+            .record(0xa, true, u64::MAX); // A sees B (MAX > MAX-1)
+        let trace = t.finish();
+        let g = interleave_counts(&trace).build();
+        assert_eq!(g.edge_weight(0, 1), Some(1), "only A's revisit detects");
+        assert_eq!(
+            weights(&interleave_counts(&trace)),
+            weights(&interleave_counts_naive(&trace))
+        );
+    }
+
+    #[test]
+    fn streaming_push_handles_max_stamp_reexecution() {
+        let mut engine = StreamingInterleave::new();
+        for (pc, t) in [(0xa, u64::MAX), (0xb, u64::MAX), (0xa, u64::MAX)] {
+            engine.push(&bwsa_trace::BranchRecord::from_raw(pc, true, t));
+        }
+        let (builder, _) = engine.finish();
+        assert_eq!(builder.edge_count(), 0, "equal stamps never interleave");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod merge;
 pub mod parallel;
 pub mod phases;
 pub mod pipeline;
+mod recency;
 pub mod report;
 pub mod session;
 pub mod supervise;

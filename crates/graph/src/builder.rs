@@ -1,7 +1,14 @@
 //! Accumulating builder for [`ConflictGraph`].
 
 use crate::{ConflictGraph, GraphError};
-use std::collections::HashMap;
+
+/// Sentinel for an empty table bucket. `u64::MAX` packs the pair
+/// `(u32::MAX, u32::MAX)` — a self-loop, which [`GraphBuilder::try_add_edge`]
+/// rejects — so it can never collide with a stored key.
+const EMPTY: u64 = u64::MAX;
+
+/// Multiplicative (Fibonacci) hash constant: `2^64 / φ`, odd.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Accumulates weighted undirected edges, then compiles them into an
 /// immutable CSR [`ConflictGraph`].
@@ -9,6 +16,14 @@ use std::collections::HashMap;
 /// Adding the same edge repeatedly sums the weights, which is exactly what
 /// the interleaving analysis needs: each detection event contributes one
 /// increment to the pair's interleave counter.
+///
+/// Internally the edge map is an open-addressed flat table keyed by the
+/// packed canonical pair `(min << 32) | max`, with Fibonacci hashing,
+/// power-of-two capacity, and linear probing — one cache line per lookup
+/// on the interleave hot path instead of a `HashMap`'s SipHash plus
+/// bucket indirection. Iteration order is arbitrary either way;
+/// [`GraphBuilder::build`] sorts adjacency lists and checkpoint code
+/// sorts [`GraphBuilder::edges`], so no output changes.
 ///
 /// # Example
 ///
@@ -24,7 +39,26 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
     nodes: u32,
-    edges: HashMap<(u32, u32), u64>,
+    /// Packed edge keys, [`EMPTY`] for free buckets. Length is zero or a
+    /// power of two.
+    keys: Vec<u64>,
+    /// Accumulated weight per occupied bucket, parallel to `keys`.
+    weights: Vec<u64>,
+    /// Occupied bucket count.
+    len: usize,
+    /// `64 - log2(capacity)`: the Fibonacci hash shift.
+    shift: u32,
+}
+
+#[inline]
+fn pack(a: u32, b: u32) -> u64 {
+    debug_assert!(a < b);
+    (u64::from(a) << 32) | u64::from(b)
+}
+
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
 }
 
 impl GraphBuilder {
@@ -32,8 +66,19 @@ impl GraphBuilder {
     pub fn new(nodes: u32) -> Self {
         GraphBuilder {
             nodes,
-            edges: HashMap::new(),
+            ..Self::default()
         }
+    }
+
+    /// Creates a builder pre-sized to hold about `edges` distinct edges
+    /// without rehashing.
+    pub fn with_capacity(nodes: u32, edges: usize) -> Self {
+        let mut builder = Self::new(nodes);
+        if edges > 0 {
+            // Size so `edges` entries stay under the 7/8 load ceiling.
+            builder.rehash((edges * 8 / 7 + 1).next_power_of_two().max(16));
+        }
+        builder
     }
 
     /// Number of nodes the graph will have.
@@ -43,7 +88,7 @@ impl GraphBuilder {
 
     /// Number of distinct edges accumulated so far.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.len
     }
 
     /// Grows the node count (never shrinks).
@@ -82,17 +127,71 @@ impl GraphBuilder {
                 });
             }
         }
-        let key = if a < b { (a, b) } else { (b, a) };
-        *self.edges.entry(key).or_insert(0) += weight;
+        self.accumulate(pack(a.min(b), a.max(b)), weight);
         Ok(())
+    }
+
+    /// Adds `weight` under `key`, growing the table as needed.
+    #[inline]
+    fn accumulate(&mut self, key: u64, weight: u64) {
+        // Keep the load factor at or below 7/8 so probe chains stay short.
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.rehash((self.keys.len() * 2).max(16));
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (key.wrapping_mul(FIB) >> self.shift) as usize;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                self.weights[i] += weight;
+                return;
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.weights[i] = weight;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Re-buckets every occupied entry into a table of `capacity` slots
+    /// (a power of two, strictly larger than `len / (7/8)`).
+    #[cold]
+    fn rehash(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; capacity]);
+        let old_weights = std::mem::take(&mut self.weights);
+        self.weights = vec![0; capacity];
+        self.shift = 64 - capacity.trailing_zeros();
+        let mask = capacity - 1;
+        for (key, weight) in old_keys.into_iter().zip(old_weights) {
+            if key == EMPTY {
+                continue;
+            }
+            let mut i = (key.wrapping_mul(FIB) >> self.shift) as usize;
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.weights[i] = weight;
+        }
     }
 
     /// Iterates the accumulated edges as `(a, b, weight)` with `a < b`, in
     /// arbitrary order. Checkpointing code sorts the result to get a
     /// deterministic serialisation; casual consumers should usually
     /// [`GraphBuilder::build`] instead.
-    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
-        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + Clone + '_ {
+        self.keys
+            .iter()
+            .zip(&self.weights)
+            .filter(|&(&k, _)| k != EMPTY)
+            .map(|(&k, &w)| {
+                let (a, b) = unpack(k);
+                (a, b, w)
+            })
     }
 
     /// Merges every edge of another builder into this one, summing weights.
@@ -100,18 +199,26 @@ impl GraphBuilder {
     /// This is the graph-level primitive behind the paper's §5.2 cumulative
     /// profiles: conflict graphs from several profiling runs are merged
     /// "until the resulting graph indicates that most part of the program
-    /// has been exercised".
+    /// has been exercised". It is also the shard-delta combine of the
+    /// parallel engine, so it takes the fast path: packed keys move
+    /// straight between tables with no unpack/repack or validation.
     pub fn merge(&mut self, other: &GraphBuilder) -> &mut Self {
         self.nodes = self.nodes.max(other.nodes);
-        for (&(a, b), &w) in &other.edges {
-            *self.edges.entry((a, b)).or_insert(0) += w;
+        let combined = self.len + other.len;
+        if combined > 0 && self.keys.len() * 7 < combined * 8 {
+            self.rehash((combined * 8 / 7 + 1).next_power_of_two().max(16));
+        }
+        for (&key, &weight) in other.keys.iter().zip(&other.weights) {
+            if key != EMPTY {
+                self.accumulate(key, weight);
+            }
         }
         self
     }
 
     /// Compiles the accumulated edges into an immutable CSR graph.
     pub fn build(&self) -> ConflictGraph {
-        ConflictGraph::from_edge_map(self.nodes, &self.edges)
+        ConflictGraph::from_edge_iter(self.nodes, self.edges())
     }
 }
 
@@ -181,5 +288,53 @@ mod tests {
         let g = GraphBuilder::new(0).build();
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn table_grows_through_many_distinct_edges() {
+        // Push well past several rehash thresholds and verify nothing is
+        // lost or double-counted.
+        let n = 200u32;
+        let mut b = GraphBuilder::new(n);
+        let mut expected = std::collections::HashMap::new();
+        for a in 0..n {
+            for c in (a + 1)..n.min(a + 9) {
+                let w = u64::from(a * 31 + c);
+                b.add_edge(a, c, w);
+                *expected.entry((a, c)).or_insert(0u64) += w;
+            }
+        }
+        assert_eq!(b.edge_count(), expected.len());
+        let mut got: Vec<_> = b.edges().collect();
+        got.sort_unstable();
+        let mut want: Vec<_> = expected.iter().map(|(&(a, c), &w)| (a, c, w)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn with_capacity_avoids_rehash_and_matches_plain() {
+        let mut sized = GraphBuilder::with_capacity(50, 1000);
+        let table_before = sized.keys.len();
+        let mut plain = GraphBuilder::new(50);
+        for i in 0..1000u32 {
+            let (a, b) = (i % 50, (i * 7 + 1) % 50);
+            if a != b {
+                sized.add_edge(a, b, u64::from(i) + 1);
+                plain.add_edge(a, b, u64::from(i) + 1);
+            }
+        }
+        assert_eq!(sized.keys.len(), table_before, "no rehash occurred");
+        assert_eq!(sized.build(), plain.build());
+    }
+
+    #[test]
+    fn extreme_node_ids_round_trip() {
+        // u32::MAX - 1 and u32::MAX pack adjacent to the EMPTY sentinel;
+        // make sure neither collides with it.
+        let mut b = GraphBuilder::new(u32::MAX);
+        b.add_edge(u32::MAX - 1, 0, 9);
+        let edges: Vec<_> = b.edges().collect();
+        assert_eq!(edges, vec![(0, u32::MAX - 1, 9)]);
     }
 }

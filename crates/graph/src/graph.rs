@@ -35,9 +35,18 @@ pub struct ConflictGraph {
 
 impl ConflictGraph {
     pub(crate) fn from_edge_map(nodes: u32, edges: &HashMap<(u32, u32), u64>) -> Self {
+        Self::from_edge_iter(nodes, edges.iter().map(|(&(a, b), &w)| (a, b, w)))
+    }
+
+    /// Builds the CSR form from any restartable `(a, b, weight)` edge
+    /// source with `a < b` — two passes: degree count, then fill.
+    pub(crate) fn from_edge_iter<I>(nodes: u32, edges: I) -> Self
+    where
+        I: Iterator<Item = (u32, u32, u64)> + Clone,
+    {
         let n = nodes as usize;
         let mut degree = vec![0usize; n];
-        for &(a, b) in edges.keys() {
+        for (a, b, _) in edges.clone() {
             degree[a as usize] += 1;
             degree[b as usize] += 1;
         }
@@ -51,7 +60,7 @@ impl ConflictGraph {
         let mut neighbors = vec![0u32; acc];
         let mut weights = vec![0u64; acc];
         let mut cursor = offsets[..n].to_vec();
-        for (&(a, b), &w) in edges {
+        for (a, b, w) in edges {
             let ca = cursor[a as usize];
             neighbors[ca] = b;
             weights[ca] = w;

@@ -1,5 +1,7 @@
 //! Property-based tests for the graph crate.
 
+#![recursion_limit = "256"]
+
 use bwsa_graph::{clique, coloring, components, GraphBuilder};
 use proptest::prelude::*;
 
@@ -123,5 +125,64 @@ proptest! {
                 prop_assert!(comps.connected(w[0], w[1]));
             }
         }
+    }
+}
+
+/// One batch of weighted-edge insertions.
+type EdgeOps = Vec<(u32, u32, u64)>;
+
+/// Edit scripts for the accumulator equivalence test: interleaved
+/// add-edge and merge operations.
+fn arb_ops() -> impl Strategy<Value = (u32, EdgeOps, EdgeOps)> {
+    (
+        2u32..40,
+        prop::collection::vec((0u32..40, 0u32..40, 1u64..1000), 0..300),
+        prop::collection::vec((0u32..40, 0u32..40, 1u64..1000), 0..300),
+    )
+}
+
+proptest! {
+    /// The open-addressed flat table must track a plain `HashMap`
+    /// accumulator operation for operation: same distinct-edge count,
+    /// same `(a, b, weight)` multiset, same built CSR graph — through
+    /// growth, `with_capacity` pre-sizing, and `merge`.
+    #[test]
+    fn flat_table_matches_hashmap_reference(ops in arb_ops()) {
+        use std::collections::HashMap;
+        let (n, first, second) = ops;
+        let n = 40u32.max(n);
+        let mut reference: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut plain = GraphBuilder::new(n);
+        let mut sized = GraphBuilder::with_capacity(n, first.len());
+        for &(a, b, w) in &first {
+            if a != b {
+                let key = (a.min(b), a.max(b));
+                *reference.entry(key).or_insert(0) += w;
+                plain.add_edge(a, b, w);
+                sized.add_edge(a, b, w);
+            }
+        }
+        // Merge a second builder in, mirroring it on the reference.
+        let mut other = GraphBuilder::new(n);
+        for &(a, b, w) in &second {
+            if a != b {
+                let key = (a.min(b), a.max(b));
+                *reference.entry(key).or_insert(0) += w;
+                other.add_edge(a, b, w);
+            }
+        }
+        plain.merge(&other);
+        sized.merge(&other);
+
+        let mut want: Vec<(u32, u32, u64)> =
+            reference.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+        want.sort_unstable();
+        for builder in [&plain, &sized] {
+            prop_assert_eq!(builder.edge_count(), reference.len());
+            let mut got: Vec<_> = builder.edges().collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want);
+        }
+        prop_assert_eq!(plain.build(), sized.build());
     }
 }

@@ -57,6 +57,10 @@ impl BranchPredictor for Bimodal {
     fn update(&mut self, pc: Pc, _id: BranchId, outcome: Direction) {
         self.table.update(pc.word_index(), outcome);
     }
+
+    fn observe(&mut self, pc: Pc, _id: BranchId, outcome: Direction) -> Direction {
+        self.table.observe(pc.word_index(), outcome)
+    }
 }
 
 impl Checkpointable for Bimodal {

@@ -65,6 +65,14 @@ impl BranchPredictor for Gshare {
         self.pht.update(self.index(pc), outcome);
         self.history.push(outcome);
     }
+
+    fn observe(&mut self, pc: Pc, _id: BranchId, outcome: Direction) -> Direction {
+        // The global history is untouched between predict and update, so
+        // the xor index is the same for both — compute it once.
+        let predicted = self.pht.observe(self.index(pc), outcome);
+        self.history.push(outcome);
+        predicted
+    }
 }
 
 impl Checkpointable for Gshare {

@@ -89,9 +89,9 @@ pub use pag::Pag;
 pub use pap::Pap;
 pub use predictor::BranchPredictor;
 pub use sim::{
-    simulate, simulate_detailed, simulate_observed, simulate_resumable, DetailedSimResult,
-    PipelineModel, SimCheckpoint, SimResult, CHECKPOINT_KIND_SIM, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION,
+    simulate, simulate_detailed, simulate_detailed_into, simulate_observed, simulate_resumable,
+    DetailedSimResult, PipelineModel, SimCheckpoint, SimResult, CHECKPOINT_KIND_SIM,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use staticpred::StaticPredictor;
 pub use sweep::{sweep, sweep_observed, SweepCell};

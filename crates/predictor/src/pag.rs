@@ -105,6 +105,20 @@ impl Pag {
     pub fn indexer(&self) -> &BhtIndexer {
         &self.indexer
     }
+
+    /// Interference bookkeeping shared by `update` and `observe`.
+    #[inline]
+    fn note_user(&mut self, entry: usize, id: BranchId) {
+        const FREE: u32 = u32::MAX;
+        if entry >= self.last_user.len() {
+            self.last_user.resize(entry + 1, FREE);
+        }
+        let prev = self.last_user[entry];
+        if prev != FREE && prev != id.as_u32() {
+            self.interference_events += 1;
+        }
+        self.last_user[entry] = id.as_u32();
+    }
 }
 
 impl BranchPredictor for Pag {
@@ -122,15 +136,17 @@ impl BranchPredictor for Pag {
         let history = self.bht.history(entry);
         self.pht.update(history, outcome);
         self.bht.record(entry, outcome);
-        const FREE: u32 = u32::MAX;
-        if entry >= self.last_user.len() {
-            self.last_user.resize(entry + 1, FREE);
-        }
-        let prev = self.last_user[entry];
-        if prev != FREE && prev != id.as_u32() {
-            self.interference_events += 1;
-        }
-        self.last_user[entry] = id.as_u32();
+        self.note_user(entry, id);
+    }
+
+    fn observe(&mut self, pc: Pc, id: BranchId, outcome: Direction) -> Direction {
+        // predict + update share the entry index and the pre-update
+        // history; compute each once.
+        let entry = self.indexer.index(pc, id);
+        let history = self.bht.observe(entry, outcome);
+        let predicted = self.pht.observe(history, outcome);
+        self.note_user(entry, id);
+        predicted
     }
 
     fn interference_events(&self) -> Option<u64> {

@@ -23,6 +23,20 @@ pub trait BranchPredictor {
     /// Trains the predictor with the resolved outcome.
     fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction);
 
+    /// Predicts *and* trains in one step — the trace-driven simulation
+    /// hot path, where the outcome is already known when the prediction
+    /// is requested.
+    ///
+    /// Must be observably identical to [`BranchPredictor::predict`]
+    /// followed by [`BranchPredictor::update`]; the default does exactly
+    /// that. Schemes whose predict/update share table lookups (index
+    /// computation, history reads) override it to do each lookup once.
+    fn observe(&mut self, pc: Pc, id: BranchId, outcome: Direction) -> Direction {
+        let predicted = self.predict(pc, id);
+        self.update(pc, id, outcome);
+        predicted
+    }
+
     /// Number of interference events (history register switches between
     /// distinct branches sharing a table entry) observed so far, for
     /// schemes that track them. The default is `None`: most predictors
@@ -43,6 +57,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn update(&mut self, pc: Pc, id: BranchId, outcome: Direction) {
         (**self).update(pc, id, outcome)
+    }
+
+    fn observe(&mut self, pc: Pc, id: BranchId, outcome: Direction) -> Direction {
+        (**self).observe(pc, id, outcome)
     }
 
     fn interference_events(&self) -> Option<u64> {

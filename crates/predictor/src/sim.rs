@@ -150,11 +150,10 @@ pub fn simulate<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -
     bwsa_resilience::failpoint!("predictor.simulate");
     let mut mispredictions = 0u64;
     for (id, rec) in trace.indexed_records() {
-        let predicted = predictor.predict(rec.pc, id);
+        let predicted = predictor.observe(rec.pc, id, rec.direction);
         if predicted != rec.direction {
             mispredictions += 1;
         }
-        predictor.update(rec.pc, id, rec.direction);
     }
     SimResult {
         predictor: predictor.name(),
@@ -193,28 +192,48 @@ pub fn simulate_detailed<P: BranchPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
 ) -> DetailedSimResult {
+    let mut misses = Vec::new();
+    let mut executions = Vec::new();
+    let summary = simulate_detailed_into(predictor, trace, &mut misses, &mut executions);
+    DetailedSimResult {
+        summary,
+        misses,
+        executions,
+    }
+}
+
+/// [`simulate_detailed`] writing its per-branch counts into caller-owned
+/// buffers, so a sweep running many cells can reuse the same two
+/// allocations instead of paying a pair of fresh `Vec`s per cell.
+///
+/// The buffers are cleared and resized to the trace's static branch
+/// count; on return `misses[id]` / `executions[id]` hold exactly what
+/// [`simulate_detailed`] would have produced.
+pub fn simulate_detailed_into<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    misses: &mut Vec<u64>,
+    executions: &mut Vec<u64>,
+) -> SimResult {
     let n = trace.static_branch_count();
-    let mut misses = vec![0u64; n];
-    let mut executions = vec![0u64; n];
+    misses.clear();
+    misses.resize(n, 0);
+    executions.clear();
+    executions.resize(n, 0);
     let mut mispredictions = 0u64;
     for (id, rec) in trace.indexed_records() {
-        let predicted = predictor.predict(rec.pc, id);
+        let predicted = predictor.observe(rec.pc, id, rec.direction);
         executions[id.index()] += 1;
         if predicted != rec.direction {
             mispredictions += 1;
             misses[id.index()] += 1;
         }
-        predictor.update(rec.pc, id, rec.direction);
     }
-    DetailedSimResult {
-        summary: SimResult {
-            predictor: predictor.name(),
-            trace: trace.meta().name.clone(),
-            total: trace.len() as u64,
-            mispredictions,
-        },
-        misses,
-        executions,
+    SimResult {
+        predictor: predictor.name(),
+        trace: trace.meta().name.clone(),
+        total: trace.len() as u64,
+        mispredictions,
     }
 }
 
@@ -379,11 +398,10 @@ where
     }
     let every = checkpoint_every.filter(|&n| n > 0);
     for (id, rec) in trace.indexed_records().skip(consumed as usize) {
-        let predicted = predictor.predict(rec.pc, id);
+        let predicted = predictor.observe(rec.pc, id, rec.direction);
         if predicted != rec.direction {
             mispredictions += 1;
         }
-        predictor.update(rec.pc, id, rec.direction);
         consumed += 1;
         if let Some(n) = every {
             if consumed.is_multiple_of(n) && consumed < total {
@@ -659,6 +677,66 @@ mod tests {
         assert!(!metrics
             .counters
             .contains_key("predictor.interference_events"));
+    }
+
+    /// The fused `observe` loop must be observably identical to the
+    /// split predict-then-update loop for every scheme that overrides it.
+    #[test]
+    fn fused_observe_matches_split_predict_update() {
+        let trace = busy_trace(5000);
+        let mut schemes: Vec<(Box<dyn BranchPredictor>, Box<dyn BranchPredictor>)> = vec![
+            (
+                Box::new(crate::Pag::paper_baseline()),
+                Box::new(crate::Pag::paper_baseline()),
+            ),
+            (
+                Box::new(crate::Pag::interference_free()),
+                Box::new(crate::Pag::interference_free()),
+            ),
+            (
+                Box::new(crate::Gshare::new(10)),
+                Box::new(crate::Gshare::new(10)),
+            ),
+            (
+                Box::new(crate::Bimodal::new(64)),
+                Box::new(crate::Bimodal::new(64)),
+            ),
+        ];
+        for (split, fused) in &mut schemes {
+            let mut split_misses = 0u64;
+            for (id, rec) in trace.indexed_records() {
+                if split.predict(rec.pc, id) != rec.direction {
+                    split_misses += 1;
+                }
+                split.update(rec.pc, id, rec.direction);
+            }
+            let r = simulate(&mut *fused, &trace);
+            assert_eq!(r.mispredictions, split_misses, "{}", r.predictor);
+            assert_eq!(
+                split.interference_events(),
+                fused.interference_events(),
+                "{}",
+                r.predictor
+            );
+        }
+    }
+
+    #[test]
+    fn detailed_into_reuses_dirty_buffers() {
+        let trace = busy_trace(2000);
+        let fresh = simulate_detailed(&mut crate::Pag::paper_baseline(), &trace);
+        // Deliberately dirty, wrong-sized buffers from a previous "cell".
+        let mut misses = vec![u64::MAX; 3];
+        let mut executions = vec![7u64; 99];
+        let summary = simulate_detailed_into(
+            &mut crate::Pag::paper_baseline(),
+            &trace,
+            &mut misses,
+            &mut executions,
+        );
+        assert_eq!(summary, fresh.summary);
+        assert_eq!(misses, fresh.misses);
+        assert_eq!(executions, fresh.executions);
     }
 
     #[test]

@@ -92,6 +92,23 @@ impl BranchHistoryTable {
         self.entries[index].push(outcome);
     }
 
+    /// Reads the history value at `index` and shifts `outcome` in — one
+    /// bounds check and one `ensure` instead of the two a
+    /// [`BranchHistoryTable::history`] / [`BranchHistoryTable::record`]
+    /// pair costs on the simulation hot path. Returns the *pre-update*
+    /// history value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for a fixed-size table.
+    pub fn observe(&mut self, index: usize, outcome: Direction) -> u64 {
+        self.ensure(index);
+        let entry = &mut self.entries[index];
+        let history = entry.value();
+        entry.push(outcome);
+        history
+    }
+
     /// The current history value of every entry, in index order — the save
     /// half of checkpointing.
     pub fn snapshot(&self) -> Vec<u64> {
@@ -130,6 +147,11 @@ impl BranchHistoryTable {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PatternHistoryTable {
     counters: Vec<SaturatingCounter>,
+    /// `size - 1` when `size` is a power of two (the common `2^history`
+    /// configuration), letting the pattern fold be a mask instead of a
+    /// 64-bit division; `0` otherwise (a 1-entry table masks to 0 too,
+    /// which is exactly right).
+    mask: u64,
 }
 
 impl PatternHistoryTable {
@@ -151,6 +173,23 @@ impl PatternHistoryTable {
         assert!(size > 0, "PHT size must be positive");
         PatternHistoryTable {
             counters: vec![SaturatingCounter::new(bits); size],
+            mask: if size.is_power_of_two() {
+                size as u64 - 1
+            } else {
+                0
+            },
+        }
+    }
+
+    /// The counter index for `pattern`: a mask for power-of-two tables, a
+    /// modulo otherwise. Always in range, so callers may index without a
+    /// second bounds check.
+    #[inline]
+    fn slot(&self, pattern: u64) -> usize {
+        if self.mask != 0 || self.counters.len() == 1 {
+            (pattern & self.mask) as usize
+        } else {
+            (pattern % self.counters.len() as u64) as usize
         }
     }
 
@@ -168,18 +207,29 @@ impl PatternHistoryTable {
     /// The prediction of the counter for `pattern` (taken modulo the
     /// table size).
     pub fn predict(&self, pattern: u64) -> Direction {
-        self.counters[(pattern % self.counters.len() as u64) as usize].predict()
+        self.counters[self.slot(pattern)].predict()
     }
 
     /// Trains the counter for `pattern` with an outcome.
     pub fn update(&mut self, pattern: u64, outcome: Direction) {
-        let i = (pattern % self.counters.len() as u64) as usize;
+        let i = self.slot(pattern);
         self.counters[i].update(outcome);
+    }
+
+    /// Reads the prediction for `pattern` and trains the same counter
+    /// with `outcome` — one index fold and one bounds check for the
+    /// predict/update pair every simulated branch performs.
+    pub fn observe(&mut self, pattern: u64, outcome: Direction) -> Direction {
+        let i = self.slot(pattern);
+        let counter = &mut self.counters[i];
+        let predicted = counter.predict();
+        counter.update(outcome);
+        predicted
     }
 
     /// Read access to the counter for `pattern`.
     pub fn counter(&self, pattern: u64) -> &SaturatingCounter {
-        &self.counters[(pattern % self.counters.len() as u64) as usize]
+        &self.counters[self.slot(pattern)]
     }
 
     /// The raw value of every counter, in index order — the save half of

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_hotpath.json: the hot-path wall-time benchmark over
+# pinned-seed synthetic workloads at three trace sizes, flat engines vs
+# the frozen legacy replicas. Always a release build — the hotpath binary
+# itself refuses to write a report from a debug build.
+#
+# Usage: scripts/bench.sh [--quick] [--iters N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bwsa-bench --bin hotpath
+target/release/hotpath --out BENCH_hotpath.json "$@"
+target/release/hotpath --validate BENCH_hotpath.json

@@ -25,6 +25,10 @@ cargo test -q --test parallel_prop -p bwsa-core
 cargo test -q --test golden_regression
 cargo test -q --test cli_jobs
 
+echo "==> hot-path engine equivalence (ring vs naive oracle, flat table vs HashMap)"
+cargo test -q --test hotpath_prop -p bwsa-core
+cargo test -q --test prop -p bwsa-graph
+
 echo "==> observability: instrumented == uninstrumented + report schema"
 cargo test -q --test observed_equivalence -p bwsa-core
 cargo test -q --test run_report
@@ -47,5 +51,10 @@ bwsa="target/release/bwsa"
 
 echo "==> bench smoke (single iteration, parallel sweep)"
 cargo run --release -p bwsa-bench --bin experiments_all -- --quick --bench compress --jobs 2 > /dev/null
+
+echo "==> hotpath bench smoke (tiny trace, JSON parses, throughput positive)"
+cargo run --release -p bwsa-bench --bin hotpath -- \
+    --quick --iters 1 --out "$report_tmp/hotpath.json" 2> /dev/null
+cargo run --release -p bwsa-bench --bin hotpath -- --validate "$report_tmp/hotpath.json"
 
 echo "==> all checks passed"
