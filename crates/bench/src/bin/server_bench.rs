@@ -1,0 +1,362 @@
+//! Daemon throughput and overload benchmark: an in-process `bwsa-server`
+//! on a Unix socket, hammered by concurrent tenant clients.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin server_bench -- \
+//!     [--clients N] [--requests N] [--quick] [--out FILE]
+//! cargo run --release -p bwsa-bench --bin server_bench -- --validate FILE
+//! ```
+//!
+//! Two phases, each against its own daemon:
+//!
+//! * **throughput** — `--clients` connections each send `--requests`
+//!   analyze requests of a pinned-seed BWSS2 payload; reports aggregate
+//!   requests/sec and per-request p50/p99 latency. Every response must
+//!   be `Ok` — a single typed error fails the run.
+//! * **overload** — a daemon squeezed to one worker with a zero shed
+//!   watermark, its only slot held from outside. Every request sheds
+//!   with a jittered retry-after hint (counted, hints summarised); then
+//!   the slot is released and each client retries until served, proving
+//!   the shed → retry-after → served ladder round-trips.
+//!
+//! `--out` writes `BENCH_server.json` (schema `bwsa-bench-server/1`) and
+//! refuses to run in a debug build. `--validate` re-parses a written
+//! report and checks the invariants (the CI smoke step).
+
+use bwsa_obs::json::Json;
+use bwsa_server::server::ServerConfig;
+use bwsa_server::{AdmissionConfig, Client, Response, Server, ServerHandle};
+use bwsa_trace::stream::StreamWriter;
+use bwsa_workload::suite::{Benchmark, InputSet};
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    quick: bool,
+    out: Option<String>,
+    validate: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 4,
+        requests: 25,
+        quick: false,
+        out: None,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                args.clients = v.parse().map_err(|_| format!("bad --clients {v:?}"))?;
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                args.requests = v.parse().map_err(|_| format!("bad --requests {v:?}"))?;
+            }
+            "--quick" => args.quick = true,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--validate" => args.validate = Some(it.next().ok_or("--validate needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Pinned-seed BWSS2 payload: the compress workload at benchmark scale.
+fn payload(quick: bool) -> Vec<u8> {
+    let scale = if quick { 0.002 } else { 0.05 };
+    let trace = Benchmark::Compress.generate_scaled(InputSet::A, scale);
+    let mut bytes = Vec::new();
+    let mut writer = StreamWriter::new(&mut bytes, &trace.meta().name).expect("encode payload");
+    for record in trace.records() {
+        writer.push(*record).expect("encode payload");
+    }
+    writer
+        .finish(trace.meta().total_instructions)
+        .expect("encode payload");
+    bytes
+}
+
+fn spawn_daemon(tag: &str, tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut socket = std::env::temp_dir();
+    socket.push(format!("bwsa-bench-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut config = ServerConfig::new(socket);
+    tweak(&mut config);
+    Server::bind(config).expect("bind bench daemon").spawn()
+}
+
+fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {
+    let idx = (sorted_ns.len() * pct / 100).min(sorted_ns.len() - 1);
+    sorted_ns[idx]
+}
+
+/// Phase 1: aggregate throughput and latency under healthy load.
+fn bench_throughput(args: &Args, bytes: &[u8]) -> Json {
+    let handle = spawn_daemon("throughput", |_| {});
+    let socket = handle.socket().to_path_buf();
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let socket = socket.clone();
+            let bytes = bytes.to_vec();
+            let requests = args.requests;
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    Client::connect(&socket, &format!("bench-{c}")).map_err(|e| e.to_string())?;
+                let mut latencies = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let sent = Instant::now();
+                    match client
+                        .analyze(bytes.clone(), None)
+                        .map_err(|e| e.to_string())?
+                    {
+                        Response::Ok(_) => {
+                            latencies.push(sent.elapsed().as_nanos().max(1) as u64);
+                        }
+                        Response::Error { code, message, .. } => {
+                            return Err(format!("unexpected {code}: {message}"));
+                        }
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0usize;
+    for worker in workers {
+        match worker.join().expect("bench client panicked") {
+            Ok(mut ns) => latencies.append(&mut ns),
+            Err(message) => {
+                eprintln!("[throughput] client failed: {message}");
+                errors += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    handle.begin_shutdown();
+    handle.join().expect("bench daemon failed to drain");
+    assert!(
+        !latencies.is_empty(),
+        "no request succeeded; cannot report latency percentiles"
+    );
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let requests_per_sec = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "[throughput] {total} requests over {} clients in {:.3}s: {:.1} req/s",
+        args.clients,
+        elapsed.as_secs_f64(),
+        requests_per_sec
+    );
+    Json::object([
+        ("clients", Json::from(args.clients as u64)),
+        ("requests", Json::from(total)),
+        ("errors", Json::from(errors as u64)),
+        ("elapsed_ns", Json::from(elapsed.as_nanos().max(1) as u64)),
+        ("requests_per_sec", Json::from(requests_per_sec)),
+        ("p50_ns", Json::from(percentile(&latencies, 50))),
+        ("p99_ns", Json::from(percentile(&latencies, 99))),
+    ])
+}
+
+/// Phase 2: deterministic overload — the daemon's only worker slot is
+/// held, so every request sheds; releasing it lets retries through.
+fn bench_overload(args: &Args, bytes: &[u8]) -> Json {
+    let handle = spawn_daemon("overload", |c| {
+        c.admission = AdmissionConfig {
+            workers: 1,
+            shed_watermark: 0,
+            jitter_seed: 0xbe9c4,
+        };
+    });
+    let slot = handle.admission().enter().expect("hold the worker slot");
+    let socket = handle.socket().to_path_buf();
+
+    let mut hints_ms: Vec<u64> = Vec::new();
+    let mut clients: Vec<Client> = Vec::new();
+    for c in 0..args.clients {
+        let mut client =
+            Client::connect(&socket, &format!("burst-{c}")).expect("connect overload client");
+        for _ in 0..args.requests {
+            match client
+                .analyze(bytes.to_vec(), None)
+                .expect("overload request")
+            {
+                Response::Error {
+                    retry_after_ms: Some(ms),
+                    ..
+                } => hints_ms.push(ms),
+                other => panic!("expected a shed with a retry-after hint, got {other:?}"),
+            }
+        }
+        clients.push(client);
+    }
+    let shed = handle.admission().shed_total();
+
+    // Release the slot: every client's retry (honouring a capped hint)
+    // must eventually be served.
+    drop(slot);
+    let mut recovered = 0u64;
+    for client in &mut clients {
+        let mut attempts = 0;
+        loop {
+            match client.analyze(bytes.to_vec(), None).expect("retry request") {
+                Response::Ok(_) => {
+                    recovered += 1;
+                    break;
+                }
+                Response::Error { retry_after_ms, .. } => {
+                    attempts += 1;
+                    assert!(attempts < 50, "retry never admitted");
+                    let wait = retry_after_ms.unwrap_or(5).min(50);
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+            }
+        }
+    }
+    handle.begin_shutdown();
+    handle.join().expect("overload daemon failed to drain");
+
+    hints_ms.sort_unstable();
+    eprintln!(
+        "[overload] {shed} shed with hints {}..{}ms, {recovered} recovered after release",
+        hints_ms.first().copied().unwrap_or(0),
+        hints_ms.last().copied().unwrap_or(0)
+    );
+    Json::object([
+        ("offered", Json::from((args.clients * args.requests) as u64)),
+        ("shed", Json::from(shed)),
+        (
+            "retry_hint_ms_min",
+            Json::from(hints_ms.first().copied().unwrap_or(0)),
+        ),
+        (
+            "retry_hint_ms_max",
+            Json::from(hints_ms.last().copied().unwrap_or(0)),
+        ),
+        ("recovered", Json::from(recovered)),
+    ])
+}
+
+/// Validates a previously written report's schema and invariants.
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bwsa-bench-server/1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let throughput = doc.get("throughput").ok_or("missing throughput phase")?;
+    let u = |node: &Json, field: &str| -> Result<u64, String> {
+        node.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing {field}"))
+    };
+    if u(throughput, "requests")? == 0 {
+        return Err("throughput.requests must be positive".into());
+    }
+    if u(throughput, "errors")? != 0 {
+        return Err("throughput phase saw request errors".into());
+    }
+    let ok_rate = matches!(
+        throughput.get("requests_per_sec"),
+        Some(Json::Float(r)) if *r > 0.0
+    );
+    if !ok_rate {
+        return Err("throughput.requests_per_sec must be positive".into());
+    }
+    let p50 = u(throughput, "p50_ns")?;
+    let p99 = u(throughput, "p99_ns")?;
+    if p50 == 0 || p99 < p50 {
+        return Err(format!("bad latency percentiles: p50={p50} p99={p99}"));
+    }
+    let overload = doc.get("overload").ok_or("missing overload phase")?;
+    let offered = u(overload, "offered")?;
+    if u(overload, "shed")? != offered {
+        return Err("overload must shed every offered request".into());
+    }
+    if u(overload, "retry_hint_ms_max")? == 0 {
+        return Err("shed responses must carry real retry-after hints".into());
+    }
+    if u(overload, "recovered")? == 0 {
+        return Err("no client recovered after the overload cleared".into());
+    }
+    println!("{path}: ok");
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: server_bench [--clients N] [--requests N] [--quick] \
+                 [--out FILE] | --validate FILE"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.validate {
+        if let Err(msg) = validate(path) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.out.is_some() && cfg!(debug_assertions) {
+        eprintln!(
+            "error: refusing to write a benchmark report from a debug build; \
+             rerun with --release"
+        );
+        std::process::exit(2);
+    }
+    let args = if args.quick {
+        Args {
+            requests: args.requests.min(5),
+            ..args
+        }
+    } else {
+        args
+    };
+    let bytes = payload(args.quick);
+    eprintln!(
+        "[payload] {} bytes, {} clients x {} requests",
+        bytes.len(),
+        args.clients,
+        args.requests
+    );
+    let throughput = bench_throughput(&args, &bytes);
+    let overload = bench_overload(&args, &bytes);
+    let doc = Json::object([
+        ("schema", Json::from("bwsa-bench-server/1")),
+        ("quick", Json::from(args.quick)),
+        ("payload_bytes", Json::from(bytes.len() as u64)),
+        ("throughput", throughput),
+        ("overload", overload),
+    ]);
+    let text = doc.to_pretty_string();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

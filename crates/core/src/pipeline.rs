@@ -185,6 +185,50 @@ impl AnalysisPipeline {
 }
 
 impl Analysis {
+    /// The analysis products as an ordered JSON object: the Table 2
+    /// working-set report, classification counts, and conflict-graph
+    /// shape.
+    ///
+    /// This is the **one canonical rendering** shared by every remote
+    /// consumer — the `bwsa-server` analyze response builds exactly this
+    /// object, so a served result can be compared byte-for-byte against
+    /// a local [`Session`](crate::Session) run of the same trace.
+    pub fn summary_json(&self) -> bwsa_obs::json::Json {
+        use bwsa_obs::json::Json;
+        let r = &self.working_sets.report;
+        let (taken, not_taken, mixed) = self.classification.counts();
+        Json::object([
+            (
+                "working_sets",
+                Json::object([
+                    ("total_sets", Json::UInt(r.total_sets as u64)),
+                    ("max_size", Json::UInt(r.max_size as u64)),
+                    ("avg_static_size", Json::Float(r.avg_static_size)),
+                    ("avg_dynamic_size", Json::Float(r.avg_dynamic_size)),
+                ]),
+            ),
+            (
+                "classification",
+                Json::object([
+                    ("biased_taken", Json::UInt(taken as u64)),
+                    ("biased_not_taken", Json::UInt(not_taken as u64)),
+                    ("mixed", Json::UInt(mixed as u64)),
+                ]),
+            ),
+            (
+                "conflict_graph",
+                Json::object([
+                    (
+                        "edges_kept",
+                        Json::UInt(self.conflict.graph.edge_count() as u64),
+                    ),
+                    ("raw_edges", Json::UInt(self.conflict.raw_edge_count as u64)),
+                    ("nodes", Json::UInt(self.conflict.graph.node_count() as u64)),
+                ]),
+            ),
+        ])
+    }
+
     /// Branch allocation into a `table_size`-entry BHT, plain (§5.1) or
     /// classified (§5.2) according to `classified`.
     ///
@@ -348,6 +392,41 @@ mod tests {
             }
         }
         t.finish()
+    }
+
+    #[test]
+    fn summary_json_is_stable_and_parses() {
+        let analysis = AnalysisPipeline::new().run_observed(&phased_trace(), &Obs::noop());
+        let doc = analysis.summary_json();
+        let ws = doc.get("working_sets").unwrap();
+        assert_eq!(
+            ws.get("total_sets").and_then(bwsa_obs::json::Json::as_u64),
+            Some(analysis.working_sets.report.total_sets as u64)
+        );
+        let (t, n, m) = analysis.classification.counts();
+        let cls = doc.get("classification").unwrap();
+        assert_eq!(
+            cls.get("biased_taken")
+                .and_then(bwsa_obs::json::Json::as_u64),
+            Some(t as u64)
+        );
+        assert_eq!(
+            cls.get("biased_not_taken")
+                .and_then(bwsa_obs::json::Json::as_u64),
+            Some(n as u64)
+        );
+        assert_eq!(
+            cls.get("mixed").and_then(bwsa_obs::json::Json::as_u64),
+            Some(m as u64)
+        );
+        // Equal analyses render identically: the server-vs-local
+        // bit-identity comparison rests on this.
+        let again = AnalysisPipeline::new().run_observed(&phased_trace(), &Obs::noop());
+        assert_eq!(
+            again.summary_json().to_pretty_string(),
+            doc.to_pretty_string()
+        );
+        bwsa_obs::json::Json::parse(&doc.to_pretty_string()).unwrap();
     }
 
     #[test]

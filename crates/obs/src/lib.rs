@@ -83,6 +83,36 @@ impl Metrics {
     pub fn stage(&self, name: &str) -> Option<&StageTiming> {
         self.stages.iter().find(|s| s.name == name)
     }
+
+    /// This snapshot as an ordered JSON object — the live-metrics payload
+    /// a long-running service returns from its `status` endpoint, with
+    /// the same stage/counter names a [`RunReport`] would carry.
+    pub fn to_json(&self) -> json::Json {
+        use json::Json;
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::object([
+                    ("name", Json::from(s.name.clone())),
+                    (
+                        "wall_nanos",
+                        Json::UInt(s.wall_nanos.min(u128::from(u64::MAX)) as u64),
+                    ),
+                    ("count", Json::UInt(s.count)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+            .collect();
+        Json::object([
+            ("stages", Json::Array(stages)),
+            ("counters", Json::Object(counters)),
+        ])
+    }
 }
 
 #[derive(Debug, Default)]
@@ -242,6 +272,38 @@ mod tests {
         let _span = obs.span("stage");
         assert!(!obs.is_recording());
         assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_renders_as_json() {
+        let obs = Obs::recording();
+        obs.span("dispatch").finish();
+        obs.add("server.requests", 4);
+        obs.add("server.tenant.alice.requests", 3);
+        let doc = obs.snapshot().unwrap().to_json();
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("server.requests").and_then(json::Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            counters
+                .get("server.tenant.alice.requests")
+                .and_then(json::Json::as_u64),
+            Some(3)
+        );
+        match doc.get("stages") {
+            Some(json::Json::Array(stages)) => {
+                assert_eq!(
+                    stages[0].get("name").and_then(json::Json::as_str),
+                    Some("dispatch")
+                );
+                assert_eq!(stages[0].get("count").and_then(json::Json::as_u64), Some(1));
+            }
+            other => panic!("stages missing: {other:?}"),
+        }
+        // The rendering parses back: the status endpoint is real JSON.
+        json::Json::parse(&doc.to_pretty_string()).unwrap();
     }
 
     #[test]

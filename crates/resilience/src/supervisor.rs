@@ -144,6 +144,7 @@ pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, ResilienceError> {
 /// next sleep, doubling from `base` up to `cap`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Backoff {
+    base: Duration,
     next: Duration,
     cap: Duration,
 }
@@ -152,6 +153,7 @@ impl Backoff {
     /// A backoff starting at `base` and capped at `64 * base`.
     pub fn new(base: Duration) -> Self {
         Backoff {
+            base,
             next: base,
             cap: base.saturating_mul(64),
         }
@@ -160,6 +162,7 @@ impl Backoff {
     /// A backoff starting at `base`, never exceeding `cap`.
     pub fn with_cap(base: Duration, cap: Duration) -> Self {
         Backoff {
+            base: base.min(cap),
             next: base.min(cap),
             cap,
         }
@@ -170,6 +173,29 @@ impl Backoff {
         let current = self.next;
         self.next = self.next.saturating_mul(2).min(self.cap);
         current
+    }
+
+    /// A decorrelated-jitter delay: uniform in `[base, 3 * previous]`,
+    /// capped, where "previous" is whatever this call last returned.
+    ///
+    /// Jitter spreads retry storms: clients that failed together retry
+    /// apart. The randomness comes from the caller's [`crate::DetRng`],
+    /// so a fixed seed replays the exact same delay sequence — chaos
+    /// tests and retry-after hints stay deterministic.
+    pub fn delay_jittered(&mut self, rng: &mut crate::DetRng) -> Duration {
+        let base = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev = self.next.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let hi = prev.saturating_mul(3).max(base.saturating_add(1));
+        let nanos = base + rng.below(hi - base);
+        let current = Duration::from_nanos(nanos).min(self.cap).max(self.base);
+        self.next = current;
+        current
+    }
+
+    /// Forgets accumulated growth: the next delay starts from `base`
+    /// again. Admission ladders call this when pressure clears.
+    pub fn reset(&mut self) {
+        self.next = self.base;
     }
 }
 
@@ -239,5 +265,52 @@ mod tests {
         assert_eq!(b.delay(), Duration::from_millis(20));
         assert_eq!(b.delay(), Duration::from_millis(35));
         assert_eq!(b.delay(), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jittered_delays_stay_within_base_and_cap() {
+        let base = Duration::from_millis(5);
+        let cap = Duration::from_millis(200);
+        let mut b = Backoff::with_cap(base, cap);
+        let mut rng = crate::DetRng::new(99);
+        for _ in 0..500 {
+            let d = b.delay_jittered(&mut rng);
+            assert!(d >= base, "delay {d:?} under base");
+            assert!(d <= cap, "delay {d:?} over cap");
+        }
+    }
+
+    #[test]
+    fn jittered_delays_are_deterministic_per_seed_and_actually_jitter() {
+        let mk = || Backoff::with_cap(Duration::from_millis(10), Duration::from_secs(1));
+        let seq = |seed: u64| {
+            let mut b = mk();
+            let mut rng = crate::DetRng::new(seed);
+            (0..20)
+                .map(|_| b.delay_jittered(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7), "equal seeds must replay equal delays");
+        assert_ne!(seq(7), seq(8), "different seeds must diverge");
+        let s = seq(7);
+        assert!(
+            s.windows(2).any(|w| w[0] != w[1]),
+            "a jittered sequence must vary: {s:?}"
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_resets_to_base_pressure() {
+        let base = Duration::from_millis(10);
+        let mut b = Backoff::with_cap(base, Duration::from_secs(5));
+        let mut rng = crate::DetRng::new(1);
+        // Let it grow, then reset: the next delay is again bounded by
+        // the first-call window [base, 3*base).
+        for _ in 0..50 {
+            b.delay_jittered(&mut rng);
+        }
+        b.reset();
+        let d = b.delay_jittered(&mut rng);
+        assert!(d < base * 3, "after reset the window restarts: {d:?}");
     }
 }

@@ -16,11 +16,20 @@
 //! Disarmed, [`observe`] costs one relaxed atomic load.
 
 use crate::supervisor::DeadlineExceeded;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// How many threads currently hold a local (per-thread) deadline; lets
+/// [`observe`] skip the thread-local read entirely when nobody does.
+static LOCAL_ARMED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
 
 fn deadline_cell() -> &'static Mutex<Option<Instant>> {
     static CELL: OnceLock<Mutex<Option<Instant>>> = OnceLock::new();
@@ -64,6 +73,41 @@ impl Drop for WatchdogGuard {
     }
 }
 
+/// Arms a deadline **for the calling thread only**; returns a guard that
+/// disarms it when dropped (including during an unwind).
+///
+/// Where [`arm`] is process-wide (one supervisor, many workers), a local
+/// deadline isolates concurrent supervised tasks from each other: a
+/// multi-tenant server gives every request thread its own budget without
+/// the requests clobbering one shared deadline. Cancellation points
+/// ([`observe`]) check the local deadline first, then the global one.
+///
+/// Local deadlines do not nest — arming while a local deadline is armed
+/// on this thread replaces it, and the guard clears it entirely.
+#[must_use = "the local deadline is disarmed when the guard drops"]
+pub fn arm_local(deadline: Instant) -> LocalWatchdogGuard {
+    let replaced = LOCAL_DEADLINE.with(|c| c.replace(Some(deadline)));
+    if replaced.is_none() {
+        LOCAL_ARMED.fetch_add(1, Ordering::SeqCst);
+    }
+    LocalWatchdogGuard { _private: () }
+}
+
+/// Disarms the calling thread's local deadline on drop; returned by
+/// [`arm_local`].
+#[derive(Debug)]
+pub struct LocalWatchdogGuard {
+    _private: (),
+}
+
+impl Drop for LocalWatchdogGuard {
+    fn drop(&mut self) {
+        if LOCAL_DEADLINE.with(|c| c.replace(None)).is_some() {
+            LOCAL_ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Time left before the armed deadline; `None` when disarmed, zero when
 /// already past.
 pub fn remaining() -> Option<Duration> {
@@ -77,8 +121,21 @@ pub fn remaining() -> Option<Duration> {
 /// deadline has passed. Every failpoint site calls this.
 #[inline]
 pub fn observe(site: &str) {
+    if LOCAL_ARMED.load(Ordering::Relaxed) > 0 {
+        observe_local(site);
+    }
     if ARMED.load(Ordering::Relaxed) {
         observe_armed(site);
+    }
+}
+
+#[cold]
+fn observe_local(site: &str) {
+    let expired = LOCAL_DEADLINE.with(|c| matches!(c.get(), Some(d) if Instant::now() >= d));
+    if expired {
+        std::panic::panic_any(DeadlineExceeded {
+            site: site.to_string(),
+        });
     }
 }
 
@@ -150,6 +207,51 @@ mod tests {
         assert!(remaining().is_some_and(|d| d > Duration::from_secs(30)));
         drop(guard);
         assert_eq!(remaining(), None);
+    }
+
+    #[test]
+    fn local_deadlines_are_per_thread() {
+        let _serial = serial();
+        disarm();
+        // This thread's local deadline is already past…
+        let result = catch(|| {
+            let _guard = arm_local(Instant::now() - Duration::from_millis(1));
+            observe("server.dispatch");
+        });
+        assert!(matches!(result, Err(ResilienceError::Timeout { .. })));
+        assert_eq!(
+            LOCAL_ARMED.load(Ordering::SeqCst),
+            0,
+            "guard disarmed on unwind"
+        );
+        // …while another thread with its own healthy budget is untouched,
+        // even while this thread holds an expired local deadline.
+        let _expired = arm_local(Instant::now() - Duration::from_millis(1));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = arm_local(Instant::now() + Duration::from_secs(60));
+                observe("server.dispatch"); // must not unwind
+            })
+            .join()
+            .expect("the sibling thread's deadline is its own");
+            s.spawn(|| {
+                observe("server.dispatch"); // no local deadline at all
+            })
+            .join()
+            .expect("threads without a local deadline are unaffected");
+        });
+    }
+
+    #[test]
+    fn rearming_a_local_deadline_replaces_it() {
+        let _serial = serial();
+        disarm();
+        let _first = arm_local(Instant::now() - Duration::from_millis(1));
+        let second = arm_local(Instant::now() + Duration::from_secs(60));
+        observe("server.dispatch"); // replaced deadline is in the future
+        drop(second);
+        assert_eq!(LOCAL_ARMED.load(Ordering::SeqCst), 0);
+        observe("server.dispatch"); // fully disarmed, no TLS re-read
     }
 
     #[test]

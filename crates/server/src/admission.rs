@@ -1,0 +1,301 @@
+//! Bounded admission in front of the worker slots — the overload ladder.
+//!
+//! Every request passes through [`Admission::enter`]:
+//!
+//! 1. A worker slot is free → admitted immediately.
+//! 2. Slots are busy but the wait queue is below the **shed watermark**
+//!    → the caller blocks on a condvar (backpressure: overload becomes
+//!    latency first).
+//! 3. The queue has reached the watermark → the caller is rejected *now*
+//!    with a deterministic jittered `retry-after` hint (decorrelated
+//!    jitter from [`bwsa_resilience::Backoff::delay_jittered`]), so the
+//!    queue never grows without bound and retries from shed clients
+//!    spread out instead of stampeding back in lockstep.
+//! 4. The daemon is draining → typed [`AdmissionError::ShuttingDown`].
+//!
+//! Admission slots are RAII: the [`AdmissionGuard`] frees its slot and
+//! wakes one waiter on drop, on every exit path.
+
+use bwsa_resilience::{Backoff, DetRng};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Sizing for the admission stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Concurrent requests executing (worker slots).
+    pub workers: u32,
+    /// Callers allowed to wait once the slots are full; at this depth
+    /// new arrivals are shed instead of queued.
+    pub shed_watermark: u32,
+    /// Seed for the deterministic retry-after jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            workers: 4,
+            shed_watermark: 16,
+            jitter_seed: 0x62_77_73_61, // "bwsa"
+        }
+    }
+}
+
+/// Why admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The wait queue hit the shed watermark; retry after the hint.
+    Shed {
+        /// Suggested client-side wait before retrying.
+        retry_after: Duration,
+    },
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Shed { retry_after } => {
+                write!(f, "overloaded; retry after {retry_after:?}")
+            }
+            AdmissionError::ShuttingDown => f.write_str("daemon is draining"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Debug)]
+struct State {
+    active: u32,
+    waiting: u32,
+    draining: bool,
+    /// Drives the retry-after hints: under sustained shedding the hints
+    /// stretch (decorrelated jitter); [`Backoff::reset`] snaps them back
+    /// once a request is admitted again.
+    backoff: Backoff,
+    rng: DetRng,
+}
+
+/// The admission stage. Cheap to share via `Arc`.
+#[derive(Debug)]
+pub struct Admission {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    freed: Condvar,
+    shed_total: AtomicU64,
+    admitted_total: AtomicU64,
+}
+
+impl Admission {
+    /// Base retry-after under light shedding; jitter grows it toward the
+    /// cap while shedding persists.
+    const RETRY_BASE: Duration = Duration::from_millis(25);
+    /// Ceiling for the retry-after hint.
+    const RETRY_CAP: Duration = Duration::from_millis(2_000);
+
+    /// An admission stage sized by `config`.
+    pub fn new(config: AdmissionConfig) -> Arc<Self> {
+        Arc::new(Admission {
+            config,
+            state: Mutex::new(State {
+                active: 0,
+                waiting: 0,
+                draining: false,
+                backoff: Backoff::with_cap(Self::RETRY_BASE, Self::RETRY_CAP),
+                rng: DetRng::new(config.jitter_seed),
+            }),
+            freed: Condvar::new(),
+            shed_total: AtomicU64::new(0),
+            admitted_total: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration this stage was built with.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Blocks until a worker slot is free, or fails typed per the
+    /// overload ladder (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Shed`] past the watermark,
+    /// [`AdmissionError::ShuttingDown`] while draining.
+    pub fn enter(self: &Arc<Self>) -> Result<AdmissionGuard, AdmissionError> {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        loop {
+            if state.draining {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            if state.active < self.config.workers {
+                state.active += 1;
+                state.backoff.reset();
+                self.admitted_total.fetch_add(1, Ordering::Relaxed);
+                return Ok(AdmissionGuard {
+                    admission: Arc::clone(self),
+                });
+            }
+            if state.waiting >= self.config.shed_watermark {
+                self.shed_total.fetch_add(1, Ordering::Relaxed);
+                let State {
+                    ref mut backoff,
+                    ref mut rng,
+                    ..
+                } = *state;
+                let retry_after = backoff.delay_jittered(rng);
+                return Err(AdmissionError::Shed { retry_after });
+            }
+            state.waiting += 1;
+            state = self.freed.wait(state).expect("admission state poisoned");
+            state.waiting -= 1;
+        }
+    }
+
+    /// Flips the drain flag: current waiters and future callers get
+    /// [`AdmissionError::ShuttingDown`]; in-flight guards finish.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        state.draining = true;
+        self.freed.notify_all();
+    }
+
+    /// Blocks until every admitted request has released its slot.
+    /// Call after [`Admission::begin_shutdown`].
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        while state.active > 0 {
+            state = self.freed.wait(state).expect("admission state poisoned");
+        }
+    }
+
+    /// Requests shed at the watermark so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted through a worker slot so far.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total.load(Ordering::Relaxed)
+    }
+
+    /// Current `(active, waiting)` occupancy.
+    pub fn occupancy(&self) -> (u32, u32) {
+        let state = self.state.lock().expect("admission state poisoned");
+        (state.active, state.waiting)
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        state.active = state.active.saturating_sub(1);
+        // Wake everyone: one waiter will take the slot, the rest re-queue;
+        // drain() also listens on this condvar for active reaching zero.
+        self.freed.notify_all();
+    }
+}
+
+/// RAII worker slot; dropping it frees the slot and wakes a waiter.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    admission: Arc<Admission>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn config(workers: u32, watermark: u32) -> AdmissionConfig {
+        AdmissionConfig {
+            workers,
+            shed_watermark: watermark,
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn slots_admit_then_shed_at_the_watermark() {
+        let admission = Admission::new(config(1, 0));
+        let guard = admission.enter().unwrap();
+        // Watermark 0: with the slot busy, arrivals shed immediately.
+        match admission.enter() {
+            Err(AdmissionError::Shed { retry_after }) => {
+                assert!(retry_after >= Admission::RETRY_BASE);
+                assert!(retry_after <= Admission::RETRY_CAP);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(admission.shed_total(), 1);
+        drop(guard);
+        let _again = admission.enter().unwrap();
+        assert_eq!(admission.admitted_total(), 2);
+    }
+
+    #[test]
+    fn waiters_get_the_slot_when_it_frees() {
+        let admission = Admission::new(config(1, 4));
+        let guard = admission.enter().unwrap();
+        let handle = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                let _slot = admission.enter().unwrap();
+            })
+        };
+        // Give the waiter time to block, then free the slot.
+        while admission.occupancy().1 == 0 {
+            thread::yield_now();
+        }
+        drop(guard);
+        handle.join().unwrap();
+        assert_eq!(admission.occupancy(), (0, 0));
+        assert_eq!(admission.shed_total(), 0);
+    }
+
+    #[test]
+    fn retry_hints_stretch_under_sustained_shedding() {
+        let admission = Admission::new(config(1, 0));
+        let _slot = admission.enter().unwrap();
+        let mut hints = Vec::new();
+        for _ in 0..6 {
+            match admission.enter() {
+                Err(AdmissionError::Shed { retry_after }) => hints.push(retry_after),
+                other => panic!("expected shed, got {other:?}"),
+            }
+        }
+        assert!(
+            hints.last().unwrap() > hints.first().unwrap(),
+            "hints should stretch: {hints:?}"
+        );
+        assert!(hints.iter().all(|h| *h <= Admission::RETRY_CAP));
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drain_waits_for_active() {
+        let admission = Admission::new(config(2, 4));
+        let guard = admission.enter().unwrap();
+        admission.begin_shutdown();
+        assert!(matches!(
+            admission.enter(),
+            Err(AdmissionError::ShuttingDown)
+        ));
+        let drainer = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || admission.drain())
+        };
+        drop(guard);
+        drainer.join().unwrap();
+        assert_eq!(admission.occupancy(), (0, 0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-tenant quota accounting.
+//!
+//! The ledger charges a tenant at admission (one request slot plus the
+//! request's payload bytes) and releases the exact same charge when the
+//! RAII [`QuotaGuard`] drops — on success, on a typed error, on a
+//! contained panic, anywhere. That Drop-based symmetry is what the
+//! property test leans on: after any interleaving of completed, failed,
+//! and shed requests, in-flight totals return to zero.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Limits applied to every tenant (uniform policy; the ledger keys usage
+/// by tenant name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuotas {
+    /// Maximum concurrently admitted requests per tenant.
+    pub max_concurrent: u32,
+    /// Maximum total in-flight request payload bytes per tenant.
+    pub max_in_flight_bytes: u64,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_concurrent: 4,
+            max_in_flight_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Why a tenant's admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuotaError {
+    /// The tenant already has `max_concurrent` requests in flight.
+    Concurrency {
+        /// The configured per-tenant concurrency cap.
+        limit: u32,
+    },
+    /// Admitting this payload would exceed the tenant's byte budget.
+    Bytes {
+        /// Bytes the tenant already has in flight.
+        in_flight: u64,
+        /// Bytes this request would add.
+        requested: u64,
+        /// The configured per-tenant byte cap.
+        limit: u64,
+    },
+    /// A single request larger than the whole budget can never be
+    /// admitted; refusing it up front beats letting it starve forever.
+    Oversize {
+        /// Bytes this request carries.
+        requested: u64,
+        /// The configured per-tenant byte cap.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaError::Concurrency { limit } => {
+                write!(f, "tenant concurrency quota exhausted (limit {limit})")
+            }
+            QuotaError::Bytes {
+                in_flight,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "tenant byte quota exhausted ({in_flight} in flight + {requested} requested > {limit})"
+            ),
+            QuotaError::Oversize { requested, limit } => write!(
+                f,
+                "request of {requested} bytes exceeds the whole tenant budget of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Usage {
+    requests: u32,
+    bytes: u64,
+}
+
+/// Thread-safe per-tenant usage ledger. See the module docs.
+#[derive(Debug)]
+pub struct QuotaLedger {
+    quotas: TenantQuotas,
+    usage: Mutex<BTreeMap<String, Usage>>,
+}
+
+impl QuotaLedger {
+    /// A ledger enforcing `quotas` for every tenant.
+    pub fn new(quotas: TenantQuotas) -> Arc<Self> {
+        Arc::new(QuotaLedger {
+            quotas,
+            usage: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The uniform per-tenant limits this ledger enforces.
+    pub fn quotas(&self) -> TenantQuotas {
+        self.quotas
+    }
+
+    /// Tries to charge `tenant` one request slot and `bytes` payload
+    /// bytes. On success the returned guard holds the charge until drop.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`QuotaError`] naming the exhausted dimension; the ledger
+    /// is left unchanged.
+    pub fn try_admit(self: &Arc<Self>, tenant: &str, bytes: u64) -> Result<QuotaGuard, QuotaError> {
+        if bytes > self.quotas.max_in_flight_bytes {
+            return Err(QuotaError::Oversize {
+                requested: bytes,
+                limit: self.quotas.max_in_flight_bytes,
+            });
+        }
+        let mut usage = self.usage.lock().expect("quota ledger poisoned");
+        let entry = usage.entry(tenant.to_owned()).or_default();
+        if entry.requests >= self.quotas.max_concurrent {
+            return Err(QuotaError::Concurrency {
+                limit: self.quotas.max_concurrent,
+            });
+        }
+        if entry.bytes.saturating_add(bytes) > self.quotas.max_in_flight_bytes {
+            return Err(QuotaError::Bytes {
+                in_flight: entry.bytes,
+                requested: bytes,
+                limit: self.quotas.max_in_flight_bytes,
+            });
+        }
+        entry.requests += 1;
+        entry.bytes += bytes;
+        Ok(QuotaGuard {
+            ledger: Arc::clone(self),
+            tenant: tenant.to_owned(),
+            bytes,
+        })
+    }
+
+    /// Total `(requests, bytes)` currently in flight across all tenants.
+    pub fn in_flight(&self) -> (u64, u64) {
+        let usage = self.usage.lock().expect("quota ledger poisoned");
+        usage
+            .values()
+            .fold((0, 0), |(r, b), u| (r + u64::from(u.requests), b + u.bytes))
+    }
+
+    /// Per-tenant `(requests, bytes)` snapshot, sorted by tenant name.
+    pub fn tenant_snapshot(&self) -> Vec<(String, u32, u64)> {
+        let usage = self.usage.lock().expect("quota ledger poisoned");
+        usage
+            .iter()
+            .map(|(t, u)| (t.clone(), u.requests, u.bytes))
+            .collect()
+    }
+
+    fn release(&self, tenant: &str, bytes: u64) {
+        let mut usage = self.usage.lock().expect("quota ledger poisoned");
+        if let Some(entry) = usage.get_mut(tenant) {
+            entry.requests = entry.requests.saturating_sub(1);
+            entry.bytes = entry.bytes.saturating_sub(bytes);
+            if entry.requests == 0 && entry.bytes == 0 {
+                usage.remove(tenant);
+            }
+        }
+    }
+}
+
+/// RAII receipt for one admitted request; dropping it releases exactly
+/// the charge [`QuotaLedger::try_admit`] took.
+#[derive(Debug)]
+pub struct QuotaGuard {
+    ledger: Arc<QuotaLedger>,
+    tenant: String,
+    bytes: u64,
+}
+
+impl Drop for QuotaGuard {
+    fn drop(&mut self) {
+        self.ledger.release(&self.tenant, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_charges_and_drop_releases() {
+        let ledger = QuotaLedger::new(TenantQuotas {
+            max_concurrent: 2,
+            max_in_flight_bytes: 100,
+        });
+        let a = ledger.try_admit("t", 40).unwrap();
+        let b = ledger.try_admit("t", 40).unwrap();
+        assert_eq!(ledger.in_flight(), (2, 80));
+        assert!(matches!(
+            ledger.try_admit("t", 10),
+            Err(QuotaError::Concurrency { limit: 2 })
+        ));
+        drop(a);
+        assert!(matches!(
+            ledger.try_admit("t", 70),
+            Err(QuotaError::Bytes { .. })
+        ));
+        let c = ledger.try_admit("t", 10).unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(ledger.in_flight(), (0, 0));
+        assert!(ledger.tenant_snapshot().is_empty());
+    }
+
+    #[test]
+    fn tenants_are_isolated_from_each_other() {
+        let ledger = QuotaLedger::new(TenantQuotas {
+            max_concurrent: 1,
+            max_in_flight_bytes: 50,
+        });
+        let _a = ledger.try_admit("alice", 50).unwrap();
+        // Alice is saturated on both axes; Bob is untouched.
+        assert!(ledger.try_admit("alice", 1).is_err());
+        let _b = ledger.try_admit("bob", 50).unwrap();
+        let snap = ledger.tenant_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], ("alice".into(), 1, 50));
+        assert_eq!(snap[1], ("bob".into(), 1, 50));
+    }
+
+    #[test]
+    fn impossible_requests_are_refused_up_front() {
+        let ledger = QuotaLedger::new(TenantQuotas {
+            max_concurrent: 8,
+            max_in_flight_bytes: 10,
+        });
+        assert!(matches!(
+            ledger.try_admit("t", 11),
+            Err(QuotaError::Oversize {
+                requested: 11,
+                limit: 10
+            })
+        ));
+        assert_eq!(ledger.in_flight(), (0, 0));
+    }
+}

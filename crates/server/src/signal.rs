@@ -1,0 +1,94 @@
+//! Minimal SIGINT/SIGTERM hook for graceful drain.
+//!
+//! The standard library exposes no signal API, and the workspace builds
+//! without external crates, so this module carries the one `unsafe`
+//! block in the crate: a direct FFI call to libc's `signal(2)` (libc is
+//! linked by every Rust binary already). The handler is as
+//! async-signal-safe as they come — it performs a single relaxed atomic
+//! store and returns; the server's accept loop polls
+//! [`ShutdownFlag::requested`] and runs the actual drain on a normal
+//! thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// The process-wide "a drain signal arrived" bit. Process-global because
+/// signal dispositions are process-global.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::Relaxed);
+}
+
+#[allow(unsafe_code)]
+mod ffi {
+    unsafe extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs `handler` for `signum` via libc `signal(2)`.
+    pub fn install(signum: i32, handler: extern "C" fn(i32)) {
+        // SAFETY: `signal` is the C standard library's own entry point;
+        // the handler only performs an atomic store (async-signal-safe).
+        unsafe {
+            signal(signum, handler as usize);
+        }
+    }
+}
+
+/// A cheap cloneable view of "has shutdown been requested?".
+///
+/// Combines the process signal bit with a per-server software bit so a
+/// `shutdown` protocol request and SIGTERM share one drain path.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    soft: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh flag (unset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown in software (e.g. the `shutdown` request).
+    pub fn request(&self) {
+        self.soft.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once either a signal or a software request arrived.
+    pub fn requested(&self) -> bool {
+        self.soft.load(Ordering::Relaxed) || SIGNALLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Routes SIGINT (ctrl-c) and SIGTERM into the shared signal bit.
+/// Idempotent; call once from `bwsa serve`.
+pub fn install_handlers() {
+    ffi::install(SIGINT, on_signal);
+    ffi::install(SIGTERM, on_signal);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_requests_flip_only_their_flag() {
+        let a = ShutdownFlag::new();
+        let b = ShutdownFlag::new();
+        assert!(!a.requested());
+        a.request();
+        assert!(a.requested());
+        assert!(a.clone().requested(), "clones share the bit");
+        assert!(!b.requested(), "flags are independent");
+    }
+
+    // install_handlers + raising a real signal is exercised by the CLI
+    // smoke test in scripts/check.sh (SIGTERM → drain → exit 0); raising
+    // signals inside the test harness would race other tests in this
+    // process.
+}

@@ -1,0 +1,107 @@
+//! Property tests for the daemon's accounting invariants: after **any**
+//! mix of completed, failed (panicking), and refused requests, the
+//! quota ledger and the admission stage both return to zero — no slot or
+//! byte is ever leaked on any exit path.
+
+use bwsa_resilience::supervisor::catch;
+use bwsa_server::{Admission, AdmissionConfig, QuotaLedger, TenantQuotas};
+use proptest::prelude::*;
+
+const MAX_CONCURRENT: u32 = 3;
+const MAX_BYTES: u64 = 1_000;
+
+fn ledger() -> std::sync::Arc<QuotaLedger> {
+    QuotaLedger::new(TenantQuotas {
+        max_concurrent: MAX_CONCURRENT,
+        max_in_flight_bytes: MAX_BYTES,
+    })
+}
+
+proptest! {
+    /// Admit/refuse/drop in arbitrary interleavings; caps hold at every
+    /// step and the ledger drains to exactly zero.
+    #[test]
+    fn ledger_returns_to_zero_after_any_mix(
+        ops in prop::collection::vec((0u8..4, 0u64..600, any::<bool>()), 0..120),
+    ) {
+        let ledger = ledger();
+        let mut held = Vec::new();
+        for (t, bytes, drop_one) in ops {
+            let tenant = format!("tenant-{t}");
+            if let Ok(guard) = ledger.try_admit(&tenant, bytes) {
+                held.push(guard);
+            }
+            // The caps are invariants, not just final-state properties.
+            for (_, requests, in_flight) in ledger.tenant_snapshot() {
+                prop_assert!(requests <= MAX_CONCURRENT);
+                prop_assert!(in_flight <= MAX_BYTES);
+            }
+            if drop_one && !held.is_empty() {
+                held.remove(held.len() / 2);
+            }
+        }
+        drop(held);
+        prop_assert_eq!(ledger.in_flight(), (0, 0));
+        prop_assert!(ledger.tenant_snapshot().is_empty());
+    }
+
+    /// Requests that *panic* mid-flight release their charge during the
+    /// unwind — the containment boundary cannot leak quota.
+    #[test]
+    fn panicking_requests_release_their_charge(
+        bytes in prop::collection::vec(1u64..300, 1..24),
+    ) {
+        let ledger = ledger();
+        for (i, b) in bytes.iter().enumerate() {
+            let outcome = catch(|| {
+                let _guard = ledger.try_admit("victim", *b);
+                if i % 2 == 0 {
+                    panic!("injected mid-request failure");
+                }
+            });
+            prop_assert_eq!(outcome.is_err(), i % 2 == 0);
+        }
+        prop_assert_eq!(ledger.in_flight(), (0, 0));
+    }
+
+    /// The admission stage's occupancy drains to zero after any mix of
+    /// admitted, shed, and panicked entries.
+    #[test]
+    fn admission_occupancy_returns_to_zero(
+        ops in prop::collection::vec((any::<bool>(), any::<bool>()), 0..80),
+    ) {
+        let admission = Admission::new(AdmissionConfig {
+            workers: 2,
+            shed_watermark: 0,
+            jitter_seed: 11,
+        });
+        let mut held = Vec::new();
+        let mut shed = 0u64;
+        for (drop_one, fail) in ops {
+            if fail {
+                // A panicking holder still frees its slot on unwind.
+                let outcome = catch(|| {
+                    if let Ok(_slot) = admission.enter() {
+                        panic!("holder died");
+                    }
+                });
+                if outcome.is_ok() {
+                    shed += 1;
+                }
+            } else {
+                match admission.enter() {
+                    Ok(slot) => held.push(slot),
+                    Err(_) => shed += 1,
+                }
+            }
+            let (active, _) = admission.occupancy();
+            prop_assert!(active <= 2);
+            if drop_one && !held.is_empty() {
+                held.remove(0);
+            }
+        }
+        drop(held);
+        prop_assert_eq!(admission.occupancy(), (0, 0));
+        prop_assert_eq!(admission.shed_total(), shed);
+    }
+}

@@ -1,0 +1,376 @@
+//! End-to-end daemon tests over a real Unix-domain socket: served
+//! results are bit-identical to direct [`Session`] runs, failures are
+//! typed frames on their own request, quotas and overload shed are
+//! deterministic, and drain leaves nothing behind.
+
+use bwsa_core::Session;
+use bwsa_obs::json::Json;
+use bwsa_server::server::ServerConfig;
+use bwsa_server::{AdmissionConfig, QuotaError};
+use bwsa_server::{
+    Client, ErrorCode, Frame, QuotaLedger, Response, Server, ServerHandle, TenantQuotas,
+};
+use bwsa_trace::stream::StreamWriter;
+use bwsa_trace::{BranchRecord, Trace};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A fresh socket path unique to this test.
+fn socket_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bwsa-it-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Deterministic BWSS2 bytes, `n` records.
+fn trace_bytes(name: &str, n: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut writer = StreamWriter::new(&mut buf, name).unwrap();
+    let mut lcg: u64 = 5;
+    for i in 0..n {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        writer
+            .push(BranchRecord::from_raw(
+                0x4000 + (lcg >> 44) % 11 * 4,
+                (lcg >> 21) & 1 == 1,
+                i + 1,
+            ))
+            .unwrap();
+    }
+    writer.finish(n).unwrap();
+    buf
+}
+
+/// Materialises BWSS2 bytes exactly the way the server does.
+fn trace_of(bytes: &[u8]) -> Trace {
+    let mut reader = bwsa_trace::stream::StreamReader::new(bytes).unwrap();
+    let mut trace = Trace::new(reader.name().to_owned());
+    for item in reader.by_ref() {
+        trace.push(item.unwrap()).unwrap();
+    }
+    if let Some(total) = reader.total_instructions() {
+        trace.meta_mut().total_instructions = total;
+    }
+    trace
+}
+
+fn spawn_server(tag: &str, tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig::new(socket_path(tag));
+    tweak(&mut config);
+    Server::bind(config).unwrap().spawn()
+}
+
+fn expect_ok(response: Response) -> String {
+    match response {
+        Response::Ok(json) => json,
+        Response::Error { code, message, .. } => {
+            panic!("expected Ok, got {code}: {message}")
+        }
+    }
+}
+
+#[test]
+fn served_analysis_is_bit_identical_to_a_direct_session_run() {
+    let handle = spawn_server("identical", |_| {});
+    let bytes = trace_bytes("identical", 900);
+
+    let mut client = Client::connect(handle.socket(), "acme").unwrap();
+    let served = expect_ok(client.analyze(bytes.clone(), None).unwrap());
+
+    let trace = trace_of(&bytes);
+    let direct = Session::new(&trace)
+        .run()
+        .unwrap()
+        .summary_json()
+        .to_pretty_string();
+    assert_eq!(
+        served, direct,
+        "served result must be byte-for-byte the direct run"
+    );
+
+    // Allocation responses carry the same allocation the Session computes.
+    let alloc = expect_ok(client.allocate(bytes, None, 16, true).unwrap());
+    let doc = Json::parse(&alloc).unwrap();
+    assert_eq!(doc.get("table_size").and_then(Json::as_u64), Some(16));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn served_report_is_a_versioned_run_report_with_resilience() {
+    let handle = spawn_server("report", |_| {});
+    let bytes = trace_bytes("report", 700);
+
+    let mut client = Client::connect(handle.socket(), "acme").unwrap();
+    let served = expect_ok(client.report(bytes, Some(95)).unwrap());
+    let doc = Json::parse(&served).unwrap();
+    assert!(
+        doc.get("run_report_version")
+            .and_then(Json::as_u64)
+            .is_some(),
+        "report must carry its schema version: {served}"
+    );
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("serve"));
+    let resilience = doc
+        .get("resilience")
+        .expect("supervised server runs record a resilience summary");
+    assert!(
+        matches!(resilience.get("supervised"), Some(Json::Bool(true))),
+        "served report must record supervision: {served}"
+    );
+    assert!(
+        doc.get("stages").is_some(),
+        "report must carry stage timings: {served}"
+    );
+    // Per-request recording observer: the report covers exactly this run,
+    // so the trace shape matches the upload, not cumulative daemon state.
+    assert_eq!(
+        doc.get("trace")
+            .and_then(|t| t.get("records"))
+            .and_then(Json::as_u64),
+        Some(700)
+    );
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn ping_status_and_per_tenant_counters() {
+    let handle = spawn_server("status", |_| {});
+    let mut alice = Client::connect(handle.socket(), "alice").unwrap();
+    assert!(matches!(alice.ping().unwrap(), Response::Ok(_)));
+
+    let bytes = trace_bytes("status", 300);
+    expect_ok(alice.analyze(bytes, None).unwrap());
+
+    let status = expect_ok(alice.status().unwrap());
+    let doc = Json::parse(&status).unwrap();
+    let counters = doc.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    assert!(
+        counters
+            .get("server.tenant.alice.requests")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 2,
+        "per-tenant request counter missing from {status}"
+    );
+    assert_eq!(
+        counters
+            .get("server.tenant.alice.ok")
+            .and_then(Json::as_u64),
+        Some(2),
+        "ping + analyze should both have succeeded"
+    );
+    assert_eq!(
+        doc.get("server").and_then(|s| s.get("draining")).cloned(),
+        Some(Json::Bool(false))
+    );
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn poisoned_payloads_fail_typed_and_the_connection_survives() {
+    let handle = spawn_server("poison", |_| {});
+    let mut client = Client::connect(handle.socket(), "t").unwrap();
+
+    // Garbage trace bytes: typed Malformed, same request, same connection.
+    match client
+        .analyze(b"this is not a BWSS2 stream".to_vec(), None)
+        .unwrap()
+    {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert!(message.contains("bad trace payload"), "{message}");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    // An unknown request kind is typed too.
+    match client
+        .request_raw(Frame {
+            request_id: 77,
+            kind: 0x6f,
+            tenant: "t".into(),
+            body: Vec::new(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    // The daemon and this very connection still work.
+    let healthy = expect_ok(client.analyze(trace_bytes("poison", 200), None).unwrap());
+    assert!(healthy.contains("working_sets"));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn quota_exhaustion_is_a_typed_refusal_that_charges_nothing() {
+    let handle = spawn_server("quota", |c| {
+        c.quotas = TenantQuotas {
+            max_concurrent: 4,
+            max_in_flight_bytes: 64,
+        };
+    });
+    let mut client = Client::connect(handle.socket(), "greedy").unwrap();
+    let big = trace_bytes("quota", 400);
+    assert!(big.len() > 64);
+    match client.analyze(big, None).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Quota),
+        other => panic!("expected quota refusal, got {other:?}"),
+    }
+    assert_eq!(
+        handle.quota().in_flight(),
+        (0, 0),
+        "refusal must charge nothing"
+    );
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn overload_sheds_with_a_retry_after_hint() {
+    let handle = spawn_server("overload", |c| {
+        c.admission = AdmissionConfig {
+            workers: 1,
+            shed_watermark: 0,
+            jitter_seed: 3,
+        };
+    });
+    // Occupy the daemon's only worker slot from outside: deterministic
+    // overload with no timing games.
+    let slot = handle.admission().enter().unwrap();
+
+    let mut client = Client::connect(handle.socket(), "burst").unwrap();
+    match client.analyze(trace_bytes("overload", 150), None).unwrap() {
+        Response::Error {
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::Overload);
+            let hint = retry_after_ms.expect("shed responses carry a retry-after hint");
+            assert!(hint >= 1, "hint should be a real wait: {hint}ms");
+        }
+        other => panic!("expected overload shed, got {other:?}"),
+    }
+    assert_eq!(handle.admission().shed_total(), 1);
+
+    // Quota charges from the shed request were rolled back.
+    assert_eq!(handle.quota().in_flight(), (0, 0));
+
+    // Once the slot frees, the same client is served normally.
+    drop(slot);
+    expect_ok(client.analyze(trace_bytes("overload", 150), None).unwrap());
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_request_drains_cleanly_and_removes_the_socket() {
+    let handle = spawn_server("drain", |_| {});
+    let socket = handle.socket().to_path_buf();
+    let mut client = Client::connect(&socket, "op").unwrap();
+    let ack = expect_ok(client.shutdown().unwrap());
+    assert!(ack.contains("draining"));
+
+    handle.join().unwrap();
+    assert!(!socket.exists(), "drain must remove the socket file");
+    assert!(
+        Client::connect(&socket, "late").is_err(),
+        "late connections must be refused after drain"
+    );
+}
+
+#[test]
+fn concurrent_tenants_are_isolated() {
+    let handle = spawn_server("concurrent", |_| {});
+    let socket = handle.socket().to_path_buf();
+    let bytes = trace_bytes("concurrent", 700);
+    let expected = {
+        let trace = trace_of(&bytes);
+        Session::new(&trace)
+            .run()
+            .unwrap()
+            .summary_json()
+            .to_pretty_string()
+    };
+
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let socket = socket.clone();
+            let bytes = bytes.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket, &format!("tenant-{i}")).unwrap();
+                for _ in 0..3 {
+                    let served = match client.analyze(bytes.clone(), None).unwrap() {
+                        Response::Ok(json) => json,
+                        Response::Error { code, message, .. } => {
+                            panic!("tenant-{i} failed: {code}: {message}")
+                        }
+                    };
+                    assert_eq!(served, expected);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    assert_eq!(handle.quota().in_flight(), (0, 0));
+    assert_eq!(handle.admission().occupancy(), (0, 0));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn expired_request_deadlines_are_typed_per_request() {
+    let handle = spawn_server("deadline", |c| {
+        c.request_deadline = Some(Duration::from_nanos(1));
+    });
+    let mut client = Client::connect(handle.socket(), "slow").unwrap();
+    match client.analyze(trace_bytes("deadline", 400), None).unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Analysis);
+            assert!(
+                message.contains("deadline"),
+                "deadline expiry should be named: {message}"
+            );
+        }
+        other => panic!("expected a deadline failure, got {other:?}"),
+    }
+    // The daemon survives; the deadline was this request's alone.
+    assert!(matches!(client.ping().unwrap(), Response::Ok(_)));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn oversize_quota_error_names_the_limit() {
+    let ledger = QuotaLedger::new(TenantQuotas {
+        max_concurrent: 1,
+        max_in_flight_bytes: 8,
+    });
+    match ledger.try_admit("t", 9) {
+        Err(QuotaError::Oversize { requested, limit }) => {
+            assert_eq!((requested, limit), (9, 8));
+        }
+        other => panic!("expected oversize, got {other:?}"),
+    }
+}

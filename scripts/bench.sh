@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_hotpath.json: the hot-path wall-time benchmark over
-# pinned-seed synthetic workloads at three trace sizes, flat engines vs
-# the frozen legacy replicas. Always a release build — the hotpath binary
-# itself refuses to write a report from a debug build.
+# Regenerates the checked-in benchmark reports:
+#
+#   BENCH_hotpath.json — hot-path wall-time over pinned-seed synthetic
+#       workloads at three trace sizes, flat engines vs frozen legacy
+#       replicas.
+#   BENCH_server.json  — daemon throughput (req/sec, p50/p99 latency)
+#       and deterministic overload shedding with retry-after recovery.
+#
+# Always a release build — both binaries refuse to write a report from a
+# debug build. Each report is validated right after it is written.
 #
 # Usage: scripts/bench.sh [--quick] [--iters N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p bwsa-bench --bin hotpath
+# server_bench only understands --quick; hotpath takes everything.
+server_quick=""
+for arg in "$@"; do
+    [ "$arg" = "--quick" ] && server_quick="--quick"
+done
+
+cargo build --release -p bwsa-bench --bin hotpath --bin server_bench
 target/release/hotpath --out BENCH_hotpath.json "$@"
 target/release/hotpath --validate BENCH_hotpath.json
+target/release/server_bench --out BENCH_server.json $server_quick
+target/release/server_bench --validate BENCH_server.json

@@ -17,7 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> clippy: no unwrap on library fallible paths"
 cargo clippy -p bwsa-resilience -p bwsa-trace -p bwsa-graph -p bwsa-predictor \
-    -p bwsa-workload -p bwsa-obs -p bwsa-core --lib \
+    -p bwsa-workload -p bwsa-obs -p bwsa-core -p bwsa-server --lib \
     -- -D warnings -D clippy::unwrap_used
 
 echo "==> parallel/serial equivalence + golden fixtures"
@@ -38,6 +38,10 @@ cargo test -q --test chaos
 cargo test -q --test stream_prop -p bwsa-trace
 cargo test -q --test prop -p bwsa-workload
 
+echo "==> server: end-to-end daemon suite + zero-leak accounting properties"
+cargo test -q --test server_integration -p bwsa-server
+cargo test -q --test quota_prop -p bwsa-server
+
 echo "==> run report smoke (--report json validates against the golden schema)"
 report_tmp="$(mktemp -d)"
 trap 'rm -rf "$report_tmp"' EXIT
@@ -56,5 +60,39 @@ echo "==> hotpath bench smoke (tiny trace, JSON parses, throughput positive)"
 cargo run --release -p bwsa-bench --bin hotpath -- \
     --quick --iters 1 --out "$report_tmp/hotpath.json" 2> /dev/null
 cargo run --release -p bwsa-bench --bin hotpath -- --validate "$report_tmp/hotpath.json"
+
+echo "==> server smoke (daemon up, healthy + poisoned request, clean drain)"
+sock="$report_tmp/bwsa.sock"
+"$bwsa" generate compress --scale 0.01 -o "$report_tmp/smoke.bwst" > /dev/null
+"$bwsa" serve "$sock" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ] || { echo "daemon socket never appeared"; exit 1; }
+"$bwsa" client "$sock" analyze "$report_tmp/smoke.bwst" --tenant smoke > /dev/null
+# A served RunReport must validate against this build's golden schema.
+"$bwsa" client "$sock" report "$report_tmp/smoke.bwst" --tenant smoke \
+    > "$report_tmp/served-report.json"
+"$bwsa" validate-report "$report_tmp/served-report.json"
+# A poisoned payload (valid magic, garbage body) must be a typed
+# refusal (exit 1) answered by the daemon — which must survive it.
+printf 'BWSS\377\377\377\377 this is not a stream' > "$report_tmp/poison.bwss"
+if "$bwsa" client "$sock" analyze "$report_tmp/poison.bwss" \
+    > /dev/null 2> "$report_tmp/poison.err"; then
+    echo "poisoned request unexpectedly succeeded"; exit 1
+else
+    rc=$?
+    [ "$rc" -eq 1 ] || { echo "poisoned request: expected exit 1, got $rc"; exit 1; }
+fi
+grep -q "server refused" "$report_tmp/poison.err"
+"$bwsa" client "$sock" ping > /dev/null
+"$bwsa" client "$sock" status > /dev/null
+"$bwsa" client "$sock" shutdown > /dev/null
+wait "$serve_pid" || { echo "daemon did not exit 0 on drain"; exit 1; }
+[ ! -e "$sock" ] || { echo "socket file left behind after drain"; exit 1; }
+
+echo "==> server bench smoke (throughput + overload phases, schema validates)"
+cargo run --release -p bwsa-bench --bin server_bench -- \
+    --quick --clients 2 --requests 3 --out "$report_tmp/server.json" 2> /dev/null
+cargo run --release -p bwsa-bench --bin server_bench -- --validate "$report_tmp/server.json"
 
 echo "==> all checks passed"

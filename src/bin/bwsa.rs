@@ -36,6 +36,19 @@
 //! bwsa validate-report <report.json>
 //!     Check a previously emitted run report against this build's schema
 //!     fixture and version.
+//!
+//! bwsa serve <socket> [--workers N] [--queue N] [--max-concurrent N]
+//!            [--max-bytes-mb N] [--deadline-seconds S] [--retries N]
+//!            [--max-rss-mb N] [--seed N]
+//!     Run the fault-isolated multi-tenant analysis daemon on a
+//!     Unix-domain socket until SIGTERM / ctrl-c / a shutdown request,
+//!     then drain gracefully and exit 0. Bind failures exit 2.
+//!
+//! bwsa client <socket> <ping|analyze|allocate|report|status|shutdown> [<trace>]
+//!             [--tenant NAME] [--threshold N] [--table N] [--classify]
+//!     One request against a running daemon; typed server-side errors
+//!     exit 1 with the server's message (and retry-after hint on
+//!     overload).
 //! ```
 //!
 //! `analyze`, `allocate`, and `simulate` additionally accept
@@ -70,6 +83,8 @@ use bwsa::predictor::{
     StaticPredictor, SweepCell,
 };
 use bwsa::resilience::{failpoint, supervisor, watchdog};
+use bwsa::server::server::ServerConfig;
+use bwsa::server::{signal, AdmissionConfig, Client, Response, Server, TenantQuotas};
 use bwsa::trace::codec::crc32;
 use bwsa::trace::stream::{
     RecoveryPolicy, SalvageReport, StreamReader, StreamWriter, DEFAULT_CHUNK_RECORDS,
@@ -139,6 +154,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("validate-report") => cmd_validate_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | None => {
             println!("{}", USAGE);
             Ok(())
@@ -163,6 +180,11 @@ subcommands:
            [--report json|text] [--metrics FILE]
   dot      <trace> [--threshold N] [--salvage]
   validate-report <report.json>
+  serve    <socket> [--workers N] [--queue N] [--max-concurrent N]
+           [--max-bytes-mb N] [--deadline-seconds S] [--retries N]
+           [--max-rss-mb N] [--seed N]
+  client   <socket> <ping|analyze|allocate|report|status|shutdown> [<trace>]
+           [--tenant NAME] [--threshold N] [--table N] [--classify]
   help
 
 trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
@@ -191,6 +213,26 @@ result digests, supervision outcome) as the only stdout output;
 --metrics FILE writes the JSON report to FILE without changing stdout.
 `validate-report` checks an emitted report against this build's schema
 and version.
+
+`serve` runs the long-lived multi-tenant analysis daemon on a Unix-domain
+socket: every request is supervised and fault-isolated (a poisoned trace
+answers with a typed error frame, never a crashed daemon), per-tenant
+quotas bound concurrency (--max-concurrent) and in-flight bytes
+(--max-bytes-mb), and past the admission queue's shed watermark
+(--queue) requests are rejected with a deterministic jittered
+retry-after hint instead of queueing without bound. SIGTERM / ctrl-c /
+a `client shutdown` request drains gracefully: in-flight requests
+finish, the socket file is removed, and the daemon exits 0. A bind
+failure — like any malformed flag — exits 2.
+
+`client` speaks the daemon's BWSF frame protocol: ping, analyze, and
+allocate print the server's JSON response; report prints the versioned
+RunReport of that request's own supervised run (it validates with
+`validate-report`); status prints live metrics with per-tenant counters;
+shutdown asks for a drain. A typed server-side
+error prints to stderr and exits 1 (an overload rejection includes the
+server's retry-after hint). BWST trace files are re-encoded to BWSS2 on
+the fly before upload.
 
 env: BWSA_FAILPOINTS=site=action;... arms deterministic fault injection
 for chaos testing (actions: panic, error(msg), delay(ms), off; prefix
@@ -1198,6 +1240,233 @@ fn cmd_validate_report(args: &[String]) -> Result<(), CliError> {
     }
     println!("{path}: valid run report (version {version})");
     Ok(())
+}
+
+/// `bwsa serve <socket> [...]` — run the multi-tenant analysis daemon
+/// until a drain signal, then exit 0. Malformed flags and bind failures
+/// are both invocation errors (exit 2); request-level failures never
+/// reach this function — they are answered as typed error frames.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let p = parse(
+        args,
+        &[
+            "workers",
+            "queue",
+            "max-concurrent",
+            "max-bytes-mb",
+            "deadline-seconds",
+            "retries",
+            "max-rss-mb",
+            "seed",
+        ],
+        &[],
+    )?;
+    let socket = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("serve needs a socket path"))?;
+    if p.positionals.len() > 1 {
+        return Err(usage_err(format!(
+            "unexpected argument {:?}",
+            p.positionals[1]
+        )));
+    }
+    let positive_u32 = |name: &str, default: u32| -> Result<u32, CliError> {
+        match p.value(name) {
+            None => Ok(default),
+            Some(v) => {
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad --{name} {v:?}")))?;
+                if n == 0 {
+                    return Err(usage_err(format!("--{name} must be positive")));
+                }
+                Ok(n)
+            }
+        }
+    };
+    let mut config = ServerConfig::new(socket);
+    config.admission = AdmissionConfig {
+        workers: positive_u32("workers", 4)?,
+        shed_watermark: match p.value("queue") {
+            None => 16,
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage_err(format!("bad --queue {v:?}")))?,
+        },
+        jitter_seed: match p.value("seed") {
+            None => AdmissionConfig::default().jitter_seed,
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage_err(format!("bad --seed {v:?}")))?,
+        },
+    };
+    config.quotas = TenantQuotas {
+        max_concurrent: positive_u32("max-concurrent", 4)?,
+        max_in_flight_bytes: match p.value("max-bytes-mb") {
+            None => TenantQuotas::default().max_in_flight_bytes,
+            Some(v) => {
+                let mb: u64 = v
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad --max-bytes-mb {v:?}")))?;
+                if mb == 0 {
+                    return Err(usage_err("--max-bytes-mb must be positive"));
+                }
+                mb * 1024 * 1024
+            }
+        },
+    };
+    config.request_deadline = match p.value("deadline-seconds") {
+        None => Some(Duration::from_secs(60)),
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| usage_err(format!("bad --deadline-seconds {v:?}")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(usage_err("--deadline-seconds must be positive"));
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    if let Some(v) = p.value("retries") {
+        config.supervisor.retries = v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --retries {v:?}")))?;
+    }
+    if let Some(v) = p.value("max-rss-mb") {
+        let mb: u64 = v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --max-rss-mb {v:?}")))?;
+        if mb == 0 {
+            return Err(usage_err("--max-rss-mb must be positive"));
+        }
+        config.supervisor.max_rss_bytes = Some(mb * 1024 * 1024);
+    }
+    // Per-request deadlines use the thread-local watchdog; the
+    // supervisor's process-global deadline stays off so concurrent
+    // requests cannot clobber each other.
+    config.supervisor.max_wall = None;
+
+    // An unusable socket is an invocation error, same class as a
+    // malformed flag: nothing was served yet, exit 2.
+    let server = Server::bind(config).map_err(|e| usage_err(e.to_string()))?;
+    signal::install_handlers();
+    eprintln!(
+        "bwsa-server: listening on {socket} (SIGTERM or `bwsa client {socket} shutdown` to drain)"
+    );
+    server.run().map_err(|e| runtime_err(e.to_string()))?;
+    eprintln!("bwsa-server: drained cleanly");
+    Ok(())
+}
+
+/// `bwsa client <socket> <action> [...]` — one request against a running
+/// daemon. Server-side typed errors print to stderr and exit 1.
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &["tenant", "threshold", "table"], &["classify"])?;
+    let socket = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("client needs a socket path"))?;
+    let action = p.positionals.get(1).ok_or_else(|| {
+        usage_err("client needs an action: ping|analyze|allocate|report|status|shutdown")
+    })?;
+    let tenant = p.value("tenant").unwrap_or("cli");
+    let threshold = match p.value("threshold") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| usage_err(format!("bad threshold {v:?}")))?,
+        ),
+    };
+    let mut client = Client::connect(socket, tenant).map_err(|e| runtime_err(e.to_string()))?;
+    let response = match action.as_str() {
+        "ping" => client.ping(),
+        "status" => client.status(),
+        "shutdown" => client.shutdown(),
+        "analyze" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| usage_err("client analyze needs a trace file"))?;
+            client.analyze(trace_upload_bytes(path)?, threshold)
+        }
+        "report" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| usage_err("client report needs a trace file"))?;
+            client.report(trace_upload_bytes(path)?, threshold)
+        }
+        "allocate" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| usage_err("client allocate needs a trace file"))?;
+            let table: u64 = match p.value("table") {
+                None => 1024,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad --table {v:?}")))?,
+            };
+            client.allocate(
+                trace_upload_bytes(path)?,
+                threshold,
+                table,
+                p.has("classify"),
+            )
+        }
+        other => {
+            return Err(usage_err(format!(
+                "unknown client action {other:?} (ping|analyze|allocate|report|status|shutdown)"
+            )))
+        }
+    };
+    match response.map_err(|e| runtime_err(e.to_string()))? {
+        Response::Ok(json) => {
+            print!("{json}");
+            Ok(())
+        }
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => {
+            let hint = retry_after_ms
+                .map(|ms| format!(" (retry after {ms}ms)"))
+                .unwrap_or_default();
+            Err(runtime_err(format!(
+                "server refused ({code}): {message}{hint}"
+            )))
+        }
+    }
+}
+
+/// Reads a trace file into the BWSS2 bytes the daemon expects, re-encoding
+/// BWST binaries on the fly.
+fn trace_upload_bytes(path: &str) -> Result<Vec<u8>, CliError> {
+    match detect_format(path)? {
+        TraceFormat::Bwss => {
+            std::fs::read(path).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))
+        }
+        TraceFormat::Bwst => {
+            let file =
+                File::open(path).map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+            let trace = trace_io::read_binary(BufReader::new(file))
+                .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+            let mut bytes = Vec::new();
+            let mut writer = StreamWriter::new(&mut bytes, &trace.meta().name)
+                .map_err(|e| runtime_err(format!("cannot encode {path}: {e}")))?;
+            for record in trace.records() {
+                writer
+                    .push(*record)
+                    .map_err(|e| runtime_err(format!("cannot encode {path}: {e}")))?;
+            }
+            writer
+                .finish(trace.meta().total_instructions)
+                .map_err(|e| runtime_err(format!("cannot encode {path}: {e}")))?;
+            Ok(bytes)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@
 //! * [`resilience`] — failpoints, the deterministic fault model, the
 //!   cooperative watchdog, and the supervision primitives behind
 //!   [`core::Session::with_supervisor`].
+//! * [`server`] — the fault-isolated multi-tenant analysis daemon:
+//!   BWSS2 over a length-prefixed socket protocol, per-tenant quotas,
+//!   admission backpressure, and graceful drain (`bwsa serve`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use bwsa_graph as graph;
 pub use bwsa_obs as obs;
 pub use bwsa_predictor as predictor;
 pub use bwsa_resilience as resilience;
+pub use bwsa_server as server;
 pub use bwsa_trace as trace;
 pub use bwsa_workload as workload;
 

@@ -22,10 +22,17 @@ use bwsa::obs::json::Json;
 use bwsa::obs::Obs;
 use bwsa::predictor::{simulate, sweep, Pag, SimCheckpoint, SweepCell};
 use bwsa::resilience::{failpoint, supervisor};
+use bwsa::server::frame::{read_frame, DEFAULT_MAX_FRAME_BYTES};
+use bwsa::server::server::ServerConfig;
+use bwsa::server::{
+    failpoints as server_failpoints, Client, ErrorCode, Response, Server, ServerHandle,
+};
 use bwsa::trace::stream::{StreamReader, StreamWriter};
 use bwsa::trace::{Trace, TraceBuilder};
 use std::num::NonZeroUsize;
-use std::sync::{Mutex, MutexGuard};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
@@ -243,10 +250,13 @@ fn assert_contained(harness: &Harness, site: &'static str, spec: &str, baseline:
 #[test]
 fn the_failpoint_catalog_spans_the_required_surface() {
     // The chaos contract is only as strong as its coverage: at least a
-    // dozen sites, in all four instrumented crates.
-    let sites = all_sites();
-    assert!(sites.len() >= 12, "only {} sites registered", sites.len());
-    for prefix in ["trace.", "graph.", "predictor.", "core."] {
+    // dozen sites, in all five instrumented crates. (The server's sites
+    // need a running daemon, so they get their own sweep below rather
+    // than a `drive` arm.)
+    let mut sites = all_sites();
+    sites.extend_from_slice(server_failpoints::SITES);
+    assert!(sites.len() >= 15, "only {} sites registered", sites.len());
+    for prefix in ["trace.", "graph.", "predictor.", "core.", "server."] {
         assert!(
             sites.iter().any(|s| s.starts_with(prefix)),
             "no failpoint site in {prefix}*"
@@ -399,4 +409,171 @@ fn a_stalled_stage_is_cut_short_by_the_deadline() {
         summary.faults.iter().any(|f| f.contains("deadline")),
         "summary: {summary:?}"
     );
+}
+
+// ──────────────────────── server chaos sweep ────────────────────────
+//
+// The daemon hosts three more sites: accept, frame-parse, dispatch. Its
+// containment contract is stronger than the library's — an injected
+// fault must become a typed **error frame** on the affected request
+// alone, the daemon must keep serving, a healthy request answered
+// around the fault must be bit-identical to a direct `Session` run, and
+// the drain afterwards must be clean. Zero daemon crashes, ever.
+
+/// A fresh daemon on a socket unique to this test process and tag.
+fn spawn_daemon(tag: &str) -> ServerHandle {
+    let mut socket = std::env::temp_dir();
+    socket.push(format!("bwsa-chaos-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    Server::bind(ServerConfig::new(socket)).unwrap().spawn()
+}
+
+/// What the daemon must answer for [`Harness::new`]'s BWSS2 payload:
+/// the bytes parsed exactly as the server parses them, run through a
+/// plain `Session`, rendered as the canonical summary JSON.
+fn served_baseline(bwss: &[u8]) -> String {
+    let mut reader = StreamReader::new(bwss).unwrap();
+    let mut trace = Trace::new(reader.name().to_owned());
+    for item in reader.by_ref() {
+        trace.push(item.unwrap()).unwrap();
+    }
+    if let Some(total) = reader.total_instructions() {
+        trace.meta_mut().total_instructions = total;
+    }
+    Session::new(&trace)
+        .run()
+        .unwrap()
+        .summary_json()
+        .to_pretty_string()
+}
+
+fn expect_served(response: Response, baseline: &str, context: &str) {
+    match response {
+        Response::Ok(json) => assert_eq!(json, baseline, "{context}: response drifted"),
+        other => panic!("{context}: expected a served result, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_server_site_is_contained_in_every_mode() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    let baseline = served_baseline(&harness.bwss);
+
+    for (s, &site) in server_failpoints::SITES.iter().enumerate() {
+        for (m, mode) in ["panic(server chaos)", "error(server chaos)", "delay(10)"]
+            .iter()
+            .enumerate()
+        {
+            let faulting = m < 2;
+            let context = format!("{site}=1*{mode}");
+            let handle = spawn_daemon(&format!("sweep-{s}-{m}"));
+            // The healthy witness connects before the fault is armed so
+            // an accept-site fault cannot land on it. `connect` returns
+            // when the kernel queues the connection, not when the accept
+            // loop processes it — the ping round-trip is what proves the
+            // witness's accept already happened.
+            let mut witness = Client::connect(handle.socket(), "witness").unwrap();
+            assert!(matches!(witness.ping().unwrap(), Response::Ok(_)));
+
+            let guard = failpoint::scoped(&format!("{site}=1*{mode}")).unwrap();
+            if site == server_failpoints::ACCEPT && faulting {
+                // The fault fires at accept, before any request exists:
+                // the daemon answers with an unsolicited typed Fault
+                // frame on request id 0 and drops that connection.
+                let mut probe = UnixStream::connect(handle.socket()).unwrap();
+                probe
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let reply = read_frame(&mut probe, DEFAULT_MAX_FRAME_BYTES).unwrap();
+                assert_eq!(reply.request_id, 0, "{context}");
+                match Response::from_frame(&reply).unwrap() {
+                    Response::Error { code, message, .. } => {
+                        assert_eq!(code, ErrorCode::Fault, "{context}");
+                        assert!(message.contains("contained"), "{context}: {message}");
+                    }
+                    other => panic!("{context}: expected a typed error frame, got {other:?}"),
+                }
+            } else {
+                let mut probe = Client::connect(handle.socket(), "probe").unwrap();
+                match probe.analyze(harness.bwss.clone(), None).unwrap() {
+                    Response::Ok(json) => {
+                        assert!(!faulting, "{context}: the fault was silently swallowed");
+                        assert_eq!(
+                            json, baseline,
+                            "{context}: delay must not change the result"
+                        );
+                    }
+                    Response::Error { code, message, .. } => {
+                        assert!(
+                            faulting,
+                            "{context}: spurious failure in delay mode: {message}"
+                        );
+                        assert_eq!(code, ErrorCode::Fault, "{context}");
+                        assert!(message.contains("contained"), "{context}: {message}");
+                    }
+                }
+            }
+            assert!(failpoint::hits(site) > 0, "{context}: never traversed");
+            drop(guard);
+
+            // The daemon survived: the witness connection, opened before
+            // the fault, is served bit-identically…
+            expect_served(
+                witness.analyze(harness.bwss.clone(), None).unwrap(),
+                &baseline,
+                &context,
+            );
+            // …and the drain afterwards is clean.
+            handle.begin_shutdown();
+            handle.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn a_stalled_server_request_does_not_block_a_concurrent_tenant() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    let baseline = served_baseline(&harness.bwss);
+    let handle = spawn_daemon("stall");
+
+    let _guard =
+        failpoint::scoped(&format!("{}=1*delay(400)", server_failpoints::DISPATCH)).unwrap();
+    let stalled_done = Arc::new(AtomicBool::new(false));
+    let stalled = {
+        let socket = handle.socket().to_path_buf();
+        let bytes = harness.bwss.clone();
+        let expected = baseline.clone();
+        let done = Arc::clone(&stalled_done);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&socket, "stalled").unwrap();
+            let response = client.analyze(bytes, None).unwrap();
+            done.store(true, Ordering::SeqCst);
+            expect_served(response, &expected, "stalled tenant");
+        })
+    };
+    // The hit counter bumps before the injected sleep starts, so this
+    // spin exits while the stalled request sits inside its delay — and
+    // the one-shot spec is already consumed, so the healthy tenant
+    // cannot absorb it instead.
+    while failpoint::hits(server_failpoints::DISPATCH) == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut healthy = Client::connect(handle.socket(), "healthy").unwrap();
+    expect_served(
+        healthy.analyze(harness.bwss.clone(), None).unwrap(),
+        &baseline,
+        "concurrent tenant",
+    );
+    assert!(
+        !stalled_done.load(Ordering::SeqCst),
+        "the healthy request must complete while the other tenant is still stalled"
+    );
+    stalled.join().unwrap();
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
 }
