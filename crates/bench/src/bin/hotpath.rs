@@ -17,8 +17,15 @@
 //!   [`bwsa_core::StreamingInterleave`] + build (flat only).
 //! * `analysis_parallel` — the full sharded pipeline at 2 workers
 //!   (flat only).
+//! * `analysis_windowed` — the online [`bwsa_core::WindowedAnalysis`]
+//!   engine at a 4096-branch reset interval (flat only); its checksum is
+//!   the final folded conflict-graph weight, which `--validate` checks
+//!   against `analysis_parallel` — same answer, different engine.
 //! * `pag_simulate` — the paper-baseline PAg over the trace: the fused
 //!   `observe` loop vs the legacy split predict/update loop.
+//!
+//! Each size also carries a `windowed` object (window count, re-colors,
+//! mean stability, phase changes) from the timed windowed run.
 //!
 //! `--out` writes `BENCH_hotpath.json` (schema `bwsa-bench-hotpath/1`)
 //! and refuses to run in a debug build — unoptimised timings must never
@@ -27,7 +34,10 @@
 //! smoke step).
 
 use bwsa_bench::legacy;
-use bwsa_core::{analyze_parallel, AnalysisPipeline, ParallelConfig, StreamingInterleave};
+use bwsa_core::{
+    analyze_parallel, AnalysisPipeline, ParallelConfig, StreamingInterleave, WindowConfig,
+    WindowedAnalysis,
+};
 use bwsa_obs::json::Json;
 use bwsa_predictor::{simulate, BranchPredictor, Pag};
 use bwsa_trace::Trace;
@@ -211,6 +221,34 @@ fn bench_size(name: &str, bench: Benchmark, scale: f64, args: &Args) -> Json {
             }),
         );
     }
+    // Online windowed engine at a 4096-branch reset interval (shrunk
+    // under --quick so small smoke traces still flush several windows).
+    // Checksum is the folded conflict-graph weight: identical work to
+    // analysis_parallel, so --validate cross-checks the two engines.
+    let mut windowed_stats: Option<Json> = None;
+    if args.engine.runs_flat() {
+        let interval = if args.quick { 256 } else { 4096 };
+        let config = WindowConfig::branches(interval).expect("nonzero interval");
+        push(
+            "analysis_windowed",
+            "flat",
+            measure(args.iters, branches, || {
+                let mut engine = WindowedAnalysis::new(config, AnalysisPipeline::new());
+                for (id, rec) in trace.indexed_records() {
+                    engine.push(id.as_u32(), rec.time.get(), rec.is_taken());
+                }
+                let result = engine.finish();
+                windowed_stats = Some(Json::object([
+                    ("interval", Json::from(interval)),
+                    ("windows", Json::from(result.windows.len() as u64)),
+                    ("recolors", Json::from(result.recolors)),
+                    ("mean_stability", Json::from(result.mean_stability)),
+                    ("phase_changes", Json::from(result.phase_changes)),
+                ]));
+                result.analysis.conflict.graph.total_weight()
+            }),
+        );
+    }
     if args.engine.runs_legacy() {
         push(
             "pag_simulate",
@@ -233,6 +271,9 @@ fn bench_size(name: &str, bench: Benchmark, scale: f64, args: &Args) -> Json {
             Json::Array(measurements.clone()),
         ),
     ];
+    if let Some(stats) = windowed_stats {
+        fields.push(("windowed".to_string(), stats));
+    }
     // With both engines present, report legacy/flat speedups.
     if args.engine == Engine::Both {
         for metric in ["analysis_serial", "pag_simulate"] {
@@ -294,6 +335,49 @@ fn validate(path: &str) -> Result<(), String> {
                 return Err(format!("{sname}/{label}: throughput must be positive"));
             }
             checked += 1;
+        }
+        // Cross-engine checksum discipline: the windowed fold and the
+        // sharded parallel engine both end at the folded conflict-graph
+        // weight, so their checksums must be identical.
+        let checksum_of = |metric: &str| {
+            measurements
+                .iter()
+                .find(|m| m.get("name").and_then(Json::as_str) == Some(metric))
+                .and_then(|m| m.get("checksum"))
+                .and_then(Json::as_u64)
+        };
+        if let (Some(windowed), Some(parallel)) = (
+            checksum_of("analysis_windowed"),
+            checksum_of("analysis_parallel"),
+        ) {
+            if windowed != parallel {
+                return Err(format!(
+                    "{sname}: windowed checksum {windowed} != parallel checksum {parallel}"
+                ));
+            }
+            let stats = size
+                .get("windowed")
+                .ok_or_else(|| format!("{sname}: missing windowed stats object"))?;
+            let windows = stats
+                .get("windows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{sname}: windowed.windows missing"))?;
+            let recolors = stats
+                .get("recolors")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{sname}: windowed.recolors missing"))?;
+            if recolors > windows {
+                return Err(format!(
+                    "{sname}: {recolors} recolors exceed {windows} windows"
+                ));
+            }
+            let ok_stability = matches!(
+                stats.get("mean_stability"),
+                Some(Json::Float(s)) if (0.0..=1.0).contains(s)
+            );
+            if !ok_stability {
+                return Err(format!("{sname}: mean_stability must be within [0, 1]"));
+            }
         }
     }
     println!("{path}: ok ({checked} measurements)");

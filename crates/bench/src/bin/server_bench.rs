@@ -124,6 +124,9 @@ fn bench_throughput(args: &Args, bytes: &[u8]) -> Json {
                         Response::Error { code, message, .. } => {
                             return Err(format!("unexpected {code}: {message}"));
                         }
+                        Response::Window(json) => {
+                            return Err(format!("window frame on an analyze request: {json}"));
+                        }
                     }
                 }
                 Ok(latencies)
@@ -220,6 +223,9 @@ fn bench_overload(args: &Args, bytes: &[u8]) -> Json {
                     assert!(attempts < 50, "retry never admitted");
                     let wait = retry_after_ms.unwrap_or(5).min(50);
                     std::thread::sleep(Duration::from_millis(wait));
+                }
+                Response::Window(json) => {
+                    panic!("window frame on an analyze request: {json}")
                 }
             }
         }

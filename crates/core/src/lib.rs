@@ -67,6 +67,7 @@ mod recency;
 pub mod report;
 pub mod session;
 pub mod supervise;
+pub mod window;
 pub mod working_set;
 
 /// Failpoint sites this crate hosts (see [`bwsa_resilience::failpoint`]).
@@ -91,6 +92,12 @@ pub mod failpoints {
     pub const CHECKPOINT_SAVE: &str = "core.checkpoint_save";
     /// Fires when a [`crate::StreamingAnalysis`] checkpoint is restored.
     pub const CHECKPOINT_RESTORE: &str = "core.checkpoint_restore";
+    /// Fires when a [`crate::WindowedAnalysis`] window flushes.
+    pub const WINDOW_FLUSH: &str = "core.window_flush";
+    /// Fires before a flushed window merges into the cumulative state.
+    pub const WINDOW_MERGE: &str = "core.window_merge";
+    /// Fires before the incremental re-coloring of the cumulative graph.
+    pub const RECOLOR: &str = "core.recolor";
     /// Every site in this crate, for chaos-sweep enumeration.
     pub const SITES: &[&str] = &[
         PROFILE,
@@ -103,6 +110,9 @@ pub mod failpoints {
         SHARD_MERGE,
         CHECKPOINT_SAVE,
         CHECKPOINT_RESTORE,
+        WINDOW_FLUSH,
+        WINDOW_MERGE,
+        RECOLOR,
     ];
 }
 
@@ -119,4 +129,7 @@ pub use parallel::{
 pub use pipeline::{Analysis, AnalysisPipeline};
 pub use session::{Classified, Execution, Session};
 pub use supervise::{Downgrade, ResilienceSummary, SupervisorConfig};
+pub use window::{
+    RecolorStats, WindowConfig, WindowSummary, WindowUnit, WindowedAnalysis, WindowedResult,
+};
 pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};

@@ -42,8 +42,9 @@ use crate::error::Error;
 use crate::parallel::{analyze_parallel_observed, ParallelConfig};
 use crate::pipeline::{Analysis, AnalysisPipeline};
 use crate::supervise::{self, ResilienceSummary, SupervisorConfig};
+use crate::window::{WindowConfig, WindowedAnalysis, WindowedResult};
 use bwsa_obs::json::Json;
-use bwsa_obs::report::{DowngradeReport, ResilienceReport};
+use bwsa_obs::report::{DowngradeReport, ResilienceReport, WindowsReport};
 use bwsa_obs::{Metrics, Obs, RunReport};
 use bwsa_trace::Trace;
 use std::sync::OnceLock;
@@ -80,9 +81,11 @@ pub struct Session<'t> {
     pipeline: AnalysisPipeline,
     execution: Execution,
     supervisor: Option<SupervisorConfig>,
+    windowing: Option<WindowConfig>,
     obs: Obs,
     analysis: OnceLock<Analysis>,
     resilience: OnceLock<ResilienceSummary>,
+    windowed: OnceLock<WindowedResult>,
 }
 
 impl<'t> Session<'t> {
@@ -94,9 +97,11 @@ impl<'t> Session<'t> {
             pipeline: AnalysisPipeline::default(),
             execution: Execution::Serial,
             supervisor: None,
+            windowing: None,
             obs: Obs::noop(),
             analysis: OnceLock::new(),
             resilience: OnceLock::new(),
+            windowed: OnceLock::new(),
         }
     }
 
@@ -119,6 +124,15 @@ impl<'t> Session<'t> {
     /// recorded in [`Session::resilience_summary`] and in run reports.
     pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
         self.supervisor = Some(config);
+        self
+    }
+
+    /// Enables online windowed analysis: [`Session::windowed`] replays
+    /// the trace through a [`WindowedAnalysis`] at `config`'s reset
+    /// interval, emitting per-window summaries whose fold is bit-identical
+    /// to [`Session::run`]'s whole-trace answer.
+    pub fn with_windowing(mut self, config: WindowConfig) -> Self {
+        self.windowing = Some(config);
         self
     }
 
@@ -185,6 +199,39 @@ impl<'t> Session<'t> {
         // A concurrent caller may have won the race; either value is
         // identical, so return whichever landed.
         Ok(self.analysis.get_or_init(|| analysis))
+    }
+
+    /// Runs the online windowed analysis configured by
+    /// [`Session::with_windowing`], or returns the cached result of an
+    /// earlier call. The windowed path is its own serial replay of the
+    /// trace — it does not consume or populate [`Session::run`]'s cache —
+    /// but its folded [`WindowedResult::analysis`] is bit-identical to
+    /// what [`Session::run`] computes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] when no windowing is configured or the pipeline
+    /// configuration fails [`AnalysisPipeline::validate`].
+    pub fn windowed(&self) -> Result<&WindowedResult, Error> {
+        if let Some(result) = self.windowed.get() {
+            return Ok(result);
+        }
+        let config = self.windowing.ok_or_else(|| {
+            Error::from(crate::CoreError::config(
+                "windowed() needs with_windowing(WindowConfig)",
+            ))
+        })?;
+        self.pipeline.validate()?;
+        let mut engine =
+            WindowedAnalysis::new(config, self.pipeline).with_observer(self.obs.clone());
+        {
+            let _span = self.obs.span("windowed_analysis");
+            for (id, record) in self.trace.indexed_records() {
+                engine.push(id.as_u32(), record.time.get(), record.is_taken());
+            }
+        }
+        let result = engine.finish();
+        Ok(self.windowed.get_or_init(|| result))
     }
 
     /// What a supervised run survived — attempts, retries, downgrades,
@@ -271,6 +318,20 @@ impl<'t> Session<'t> {
             ("execution", Json::from(mode)),
             ("jobs", Json::UInt(jobs)),
             ("shards", shards),
+            (
+                "window_interval",
+                match &self.windowing {
+                    Some(w) => Json::UInt(w.interval()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "window_unit",
+                match &self.windowing {
+                    Some(w) => Json::from(w.unit().label()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -304,6 +365,18 @@ impl<'t> Session<'t> {
                     })
                     .collect(),
                 faults: summary.faults.clone(),
+            });
+        }
+        if let Some(windowed) = self.windowed.get() {
+            report.set_windows(WindowsReport {
+                enabled: true,
+                interval: windowed.config.interval(),
+                unit: windowed.config.unit().label().to_owned(),
+                count: windowed.windows.len() as u64,
+                records: windowed.records,
+                recolors: windowed.recolors,
+                mean_stability: windowed.mean_stability,
+                phase_changes: windowed.phase_changes,
             });
         }
         Some(report)

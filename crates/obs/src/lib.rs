@@ -38,7 +38,9 @@ pub mod json;
 pub mod report;
 pub mod rss;
 
-pub use report::{DowngradeReport, ResilienceReport, RunReport, StageReport, RUN_REPORT_VERSION};
+pub use report::{
+    DowngradeReport, ResilienceReport, RunReport, StageReport, WindowsReport, RUN_REPORT_VERSION,
+};
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;

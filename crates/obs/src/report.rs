@@ -18,8 +18,9 @@ use crate::Metrics;
 /// Version of the `RunReport` JSON shape. Bump on any schema change.
 ///
 /// v2 added the always-present `resilience` section (supervision
-/// attempts, retries, downgrades, faults).
-pub const RUN_REPORT_VERSION: u64 = 2;
+/// attempts, retries, downgrades, faults). v3 added the always-present
+/// `windows` section (online windowed-analysis summary).
+pub const RUN_REPORT_VERSION: u64 = 3;
 
 /// One pipeline stage's timing row in a report.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +75,47 @@ impl Default for ResilienceReport {
     }
 }
 
+/// The windowed-analysis section of a report: what an online run emitted.
+///
+/// Always present in the JSON (v3) so consumers can rely on the shape; a
+/// run without `--window` reports the trivial summary — disabled, zero
+/// windows, unit `"none"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowsReport {
+    /// Whether the run performed windowed analysis.
+    pub enabled: bool,
+    /// The reset interval (0 when disabled).
+    pub interval: u64,
+    /// What the interval counts: `"branches"`, `"instructions"`, or
+    /// `"none"` when disabled.
+    pub unit: String,
+    /// Windows emitted.
+    pub count: u64,
+    /// Dynamic records the windowed pass consumed.
+    pub records: u64,
+    /// Times the incremental re-colorer actually ran.
+    pub recolors: u64,
+    /// Mean re-coloring stability across windows (1.0 with no windows).
+    pub mean_stability: f64,
+    /// Windows flagged as phase changes.
+    pub phase_changes: u64,
+}
+
+impl Default for WindowsReport {
+    fn default() -> Self {
+        WindowsReport {
+            enabled: false,
+            interval: 0,
+            unit: "none".to_owned(),
+            count: 0,
+            records: 0,
+            recolors: 0,
+            mean_stability: 1.0,
+            phase_changes: 0,
+        }
+    }
+}
+
 /// A complete, self-describing record of one instrumented run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -99,6 +141,9 @@ pub struct RunReport {
     pub digests: Vec<(String, String)>,
     /// Supervision outcome; the trivial default for unsupervised runs.
     pub resilience: ResilienceReport,
+    /// Windowed-analysis outcome; the trivial default for whole-trace
+    /// runs.
+    pub windows: WindowsReport,
 }
 
 impl RunReport {
@@ -139,6 +184,7 @@ impl RunReport {
             peak_rss_bytes: metrics.counters.get("process.peak_rss_bytes").copied(),
             digests: Vec::new(),
             resilience: ResilienceReport::default(),
+            windows: WindowsReport::default(),
         }
     }
 
@@ -150,6 +196,11 @@ impl RunReport {
     /// Replaces the supervision section (set by supervised sessions).
     pub fn set_resilience(&mut self, resilience: ResilienceReport) {
         self.resilience = resilience;
+    }
+
+    /// Replaces the windowed-analysis section (set by windowed sessions).
+    pub fn set_windows(&mut self, windows: WindowsReport) {
+        self.windows = windows;
     }
 
     /// The report as a JSON document (see [`RunReport::to_json_string`]
@@ -237,6 +288,19 @@ impl RunReport {
                 ]),
             ),
             (
+                "windows",
+                Json::object([
+                    ("enabled", Json::Bool(self.windows.enabled)),
+                    ("interval", Json::UInt(self.windows.interval)),
+                    ("unit", Json::from(self.windows.unit.clone())),
+                    ("count", Json::UInt(self.windows.count)),
+                    ("records", Json::UInt(self.windows.records)),
+                    ("recolors", Json::UInt(self.windows.recolors)),
+                    ("mean_stability", Json::Float(self.windows.mean_stability)),
+                    ("phase_changes", Json::UInt(self.windows.phase_changes)),
+                ]),
+            ),
+            (
                 "digests",
                 Json::Object(
                     self.digests
@@ -293,6 +357,18 @@ impl RunReport {
             for d in &self.resilience.downgrades {
                 let _ = writeln!(out, "  downgraded {} -> {}: {}", d.from, d.to, d.reason);
             }
+        }
+        if self.windows.enabled {
+            let _ = writeln!(
+                out,
+                "windows: {} x {} {} ({} recolors, mean stability {:.3}, {} phase changes)",
+                self.windows.count,
+                self.windows.interval,
+                self.windows.unit,
+                self.windows.recolors,
+                self.windows.mean_stability,
+                self.windows.phase_changes
+            );
         }
         for (k, v) in &self.digests {
             let _ = writeln!(out, "digest {k}: {v}");
@@ -438,6 +514,41 @@ mod tests {
         assert!(text.contains("interleave"));
         assert!(text.contains("core.interleave_pairs"));
         assert!(text.contains("peak rss"));
+    }
+
+    #[test]
+    fn windows_section_is_always_present_and_roundtrips() {
+        let plain = sample_report();
+        let doc = Json::parse(&plain.to_json_string()).unwrap();
+        let windows = doc.get("windows").expect("always present");
+        assert_eq!(windows.get("enabled"), Some(&Json::Bool(false)));
+        assert_eq!(windows.get("unit").and_then(Json::as_str), Some("none"));
+        assert_eq!(windows.get("count").and_then(Json::as_u64), Some(0));
+        assert!(!plain.to_text().contains("windows:"));
+
+        let mut windowed = sample_report();
+        windowed.set_windows(WindowsReport {
+            enabled: true,
+            interval: 4096,
+            unit: "branches".into(),
+            count: 12,
+            records: 49152,
+            recolors: 5,
+            mean_stability: 0.875,
+            phase_changes: 2,
+        });
+        let doc = Json::parse(&windowed.to_json_string()).unwrap();
+        let section = doc.get("windows").unwrap();
+        assert_eq!(section.get("interval").and_then(Json::as_u64), Some(4096));
+        assert_eq!(section.get("recolors").and_then(Json::as_u64), Some(5));
+        // The enabled/disabled sections have the same schema shape.
+        assert_eq!(
+            schema_shape(&windowed.to_json()),
+            schema_shape(&plain.to_json())
+        );
+        let text = windowed.to_text();
+        assert!(text.contains("windows: 12 x 4096 branches"), "{text}");
+        assert!(text.contains("mean stability 0.875"), "{text}");
     }
 
     #[test]

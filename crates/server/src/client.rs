@@ -169,6 +169,52 @@ impl Client {
         self.request(Request::Report { threshold, trace })
     }
 
+    /// Uploads BWSS2 bytes for windowed analysis, invoking `on_window`
+    /// with each window-summary JSON document as it arrives, and returns
+    /// the terminal response — for a healthy subscription, `Response::Ok`
+    /// holding the same whole-trace summary [`Client::analyze`] would
+    /// answer for this trace.
+    ///
+    /// `window` is the reset interval, counted in instructions when
+    /// `instructions` is `true`, dynamic branches otherwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; a typed server-side error (possibly after
+    /// some windows were already delivered) is `Ok(Response::Error)`.
+    pub fn subscribe(
+        &mut self,
+        trace: Vec<u8>,
+        threshold: Option<u64>,
+        window: u64,
+        instructions: bool,
+        mut on_window: impl FnMut(&str),
+    ) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let out = Request::Subscribe {
+            threshold,
+            window,
+            instructions,
+            trace,
+        }
+        .into_frame(id, &self.tenant);
+        frame::write_frame(&mut self.stream, &out)?;
+        loop {
+            let reply = frame::read_frame(&mut self.stream, self.max_frame_bytes)?;
+            if reply.request_id != id {
+                return Err(ClientError::IdMismatch {
+                    sent: id,
+                    received: reply.request_id,
+                });
+            }
+            match Response::from_frame(&reply)? {
+                Response::Window(json) => on_window(&json),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
     /// Live metrics and per-tenant counters.
     ///
     /// # Errors

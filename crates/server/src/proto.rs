@@ -22,10 +22,16 @@ pub mod kind {
     pub const REQ_SHUTDOWN: u8 = 5;
     /// Analyze and answer with the versioned RunReport document.
     pub const REQ_REPORT: u8 = 6;
+    /// Windowed analysis subscription: stream per-window summaries as
+    /// they flush, then the whole-trace result.
+    pub const REQ_SUBSCRIBE: u8 = 7;
     /// Success response; body is a JSON document.
     pub const RESP_OK: u8 = 0x80;
     /// Failure response; body is code + retry-after + message.
     pub const RESP_ERROR: u8 = 0x81;
+    /// One window summary of a subscription; body is a JSON document.
+    /// Zero or more of these precede the terminal `RESP_OK`/`RESP_ERROR`.
+    pub const RESP_WINDOW: u8 = 0x82;
 }
 
 /// A decoded request.
@@ -59,6 +65,20 @@ pub enum Request {
         /// BWSS2 stream bytes.
         trace: Vec<u8>,
     },
+    /// Windowed analysis of an uploaded BWSS2 trace: the server answers
+    /// with one [`Response::Window`] frame per flushed window, then the
+    /// terminal [`Response::Ok`] carrying the whole-trace summary (the
+    /// same document `Analyze` would return for this trace).
+    Subscribe {
+        /// Bias threshold in percent (`None` = pipeline default).
+        threshold: Option<u64>,
+        /// Window reset interval (dynamic branches or instructions).
+        window: u64,
+        /// Count `window` in instructions instead of dynamic branches.
+        instructions: bool,
+        /// BWSS2 stream bytes.
+        trace: Vec<u8>,
+    },
     /// Live metrics and per-tenant counters.
     Status,
     /// Graceful drain request.
@@ -70,6 +90,9 @@ pub enum Request {
 pub enum Response {
     /// Success; the payload is a JSON document.
     Ok(String),
+    /// One window summary of a subscription (JSON). Never terminal: the
+    /// server always follows with more windows, an `Ok`, or an `Error`.
+    Window(String),
     /// Typed failure on this request.
     Error {
         /// Failure class.
@@ -172,6 +195,7 @@ impl Request {
             Request::Analyze { .. } => kind::REQ_ANALYZE,
             Request::Allocate { .. } => kind::REQ_ALLOCATE,
             Request::Report { .. } => kind::REQ_REPORT,
+            Request::Subscribe { .. } => kind::REQ_SUBSCRIBE,
             Request::Status => kind::REQ_STATUS,
             Request::Shutdown => kind::REQ_SHUTDOWN,
         }
@@ -197,6 +221,19 @@ impl Request {
                 b.extend_from_slice(&threshold.unwrap_or(0).to_le_bytes());
                 b.extend_from_slice(&table.to_le_bytes());
                 b.push(u8::from(*classified));
+                b.extend_from_slice(trace);
+                b
+            }
+            Request::Subscribe {
+                threshold,
+                window,
+                instructions,
+                trace,
+            } => {
+                let mut b = Vec::with_capacity(17 + trace.len());
+                b.extend_from_slice(&threshold.unwrap_or(0).to_le_bytes());
+                b.extend_from_slice(&window.to_le_bytes());
+                b.push(u8::from(*instructions));
                 b.extend_from_slice(trace);
                 b
             }
@@ -246,6 +283,19 @@ impl Request {
                     trace: body[17..].to_vec(),
                 })
             }
+            kind::REQ_SUBSCRIBE => {
+                if body.len() < 17 {
+                    return Err(ProtoError::Short { kind: frame.kind });
+                }
+                let threshold = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+                let window = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+                Ok(Request::Subscribe {
+                    threshold: (threshold != 0).then_some(threshold),
+                    window,
+                    instructions: body[16] != 0,
+                    trace: body[17..].to_vec(),
+                })
+            }
             other => Err(ProtoError::UnknownKind(other)),
         }
     }
@@ -258,6 +308,12 @@ impl Response {
             Response::Ok(json) => Frame {
                 request_id,
                 kind: kind::RESP_OK,
+                tenant: tenant.to_owned(),
+                body: json.into_bytes(),
+            },
+            Response::Window(json) => Frame {
+                request_id,
+                kind: kind::RESP_WINDOW,
                 tenant: tenant.to_owned(),
                 body: json.into_bytes(),
             },
@@ -289,6 +345,9 @@ impl Response {
     pub fn from_frame(frame: &Frame) -> Result<Self, ProtoError> {
         match frame.kind {
             kind::RESP_OK => Ok(Response::Ok(
+                String::from_utf8(frame.body.clone()).map_err(|_| ProtoError::BadUtf8)?,
+            )),
+            kind::RESP_WINDOW => Ok(Response::Window(
                 String::from_utf8(frame.body.clone()).map_err(|_| ProtoError::BadUtf8)?,
             )),
             kind::RESP_ERROR => {
@@ -344,6 +403,18 @@ mod tests {
                 threshold: None,
                 trace: Vec::new(),
             },
+            Request::Subscribe {
+                threshold: Some(80),
+                window: 4096,
+                instructions: false,
+                trace: vec![7; 16],
+            },
+            Request::Subscribe {
+                threshold: None,
+                window: 1,
+                instructions: true,
+                trace: Vec::new(),
+            },
         ];
         for (i, req) in cases.into_iter().enumerate() {
             let frame = req.clone().into_frame(i as u64, "acme");
@@ -357,6 +428,7 @@ mod tests {
     fn responses_roundtrip_including_retry_hints() {
         for resp in [
             Response::Ok("{\"x\":1}".into()),
+            Response::Window("{\"index\":0}".into()),
             Response::Error {
                 code: ErrorCode::Overload,
                 message: "queue full".into(),
@@ -383,6 +455,16 @@ mod tests {
         };
         assert!(matches!(
             Request::from_frame(&short),
+            Err(ProtoError::Short { .. })
+        ));
+        let short_subscribe = Frame {
+            request_id: 1,
+            kind: kind::REQ_SUBSCRIBE,
+            tenant: String::new(),
+            body: vec![0; 16],
+        };
+        assert!(matches!(
+            Request::from_frame(&short_subscribe),
             Err(ProtoError::Short { .. })
         ));
         let unknown = Frame {

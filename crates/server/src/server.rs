@@ -27,6 +27,7 @@ use crate::quota::{QuotaLedger, TenantQuotas};
 use crate::signal::ShutdownFlag;
 use bwsa_core::{
     AnalysisPipeline, Classified, ConflictConfig, Execution, Session, SupervisorConfig,
+    WindowConfig,
 };
 use bwsa_obs::json::Json;
 use bwsa_obs::Obs;
@@ -339,7 +340,14 @@ fn serve_connection(stream: UnixStream, ctx: &Arc<Ctx>) {
             Ok(request_frame) => {
                 let id = request_frame.request_id;
                 let tenant = request_frame.tenant.clone();
-                let response = handle_frame(request_frame, ctx);
+                // A subscription is the one multi-frame exchange: its
+                // window frames are written from inside the handler, so
+                // it cannot go through the single-response path.
+                let response = if request_frame.kind == crate::proto::kind::REQ_SUBSCRIBE {
+                    handle_subscription(request_frame, ctx, &mut writer)
+                } else {
+                    handle_frame(request_frame, ctx)
+                };
                 let closing = ctx.shutdown.requested();
                 respond_best_effort(&mut writer, id, &tenant, response);
                 if closing {
@@ -394,7 +402,9 @@ fn handle_frame(frame: Frame, ctx: &Arc<Ctx>) -> Response {
         },
     };
     match &response {
-        Response::Ok(_) => {
+        // Single-response handlers never answer with a Window frame;
+        // counting one as ok keeps the arm total if that ever changes.
+        Response::Ok(_) | Response::Window(_) => {
             ctx.obs.add("server.responses_ok", 1);
             if !tenant.is_empty() {
                 ctx.obs.add(&format!("server.tenant.{tenant}.ok"), 1);
@@ -454,6 +464,196 @@ fn dispatch(frame: Frame, ctx: &Arc<Ctx>) -> Response {
         Request::Report { threshold, trace } => {
             analysis_request(ctx, &frame.tenant, threshold, &trace, Action::Report)
         }
+        // Subscriptions are routed by kind byte in `serve_connection`
+        // before dispatch; reaching here means a caller bypassed that.
+        Request::Subscribe { .. } => Response::Error {
+            code: ErrorCode::Malformed,
+            message: "subscribe requires a streaming connection".to_owned(),
+            retry_after_ms: None,
+        },
+    }
+}
+
+/// The multi-frame `subscribe` exchange: counters and containment mirror
+/// [`handle_frame`], but each flushed window goes to `writer` as a
+/// [`Response::Window`] frame before the terminal response (returned to
+/// the caller, which writes it like any other).
+fn handle_subscription(frame: Frame, ctx: &Arc<Ctx>, writer: &mut UnixStream) -> Response {
+    let tenant = frame.tenant.clone();
+    ctx.obs.add("server.requests", 1);
+    ctx.obs.add("server.subscriptions", 1);
+    if !tenant.is_empty() {
+        ctx.obs.add(&format!("server.tenant.{tenant}.requests"), 1);
+    }
+    let outcome = catch(|| subscription_dispatch(frame, ctx, writer));
+    let response = match outcome {
+        Ok(response) => response,
+        Err(fault) => Response::Error {
+            code: ErrorCode::Fault,
+            message: format!("request fault contained: {fault}"),
+            retry_after_ms: None,
+        },
+    };
+    match &response {
+        Response::Ok(_) | Response::Window(_) => {
+            ctx.obs.add("server.responses_ok", 1);
+            if !tenant.is_empty() {
+                ctx.obs.add(&format!("server.tenant.{tenant}.ok"), 1);
+            }
+        }
+        Response::Error { code, .. } => {
+            ctx.obs.add("server.responses_err", 1);
+            ctx.obs.add(&format!("server.errors.{}", code.label()), 1);
+            if !tenant.is_empty() {
+                ctx.obs.add(&format!("server.tenant.{tenant}.err"), 1);
+            }
+        }
+    }
+    response
+}
+
+/// The unwindable interior of a subscription: quota → admission →
+/// deadline → windowed Session run, writing one window frame per flush
+/// and returning the terminal whole-trace summary — byte-identical to
+/// what `Analyze` answers for the same trace and threshold.
+fn subscription_dispatch(frame: Frame, ctx: &Arc<Ctx>, writer: &mut UnixStream) -> Response {
+    bwsa_resilience::failpoint!(crate::failpoints::DISPATCH);
+    let decoded = {
+        bwsa_resilience::failpoint!(crate::failpoints::FRAME_DECODE);
+        Request::from_frame(&frame)
+    };
+    let (threshold, window, instructions, trace_bytes) = match decoded {
+        Ok(Request::Subscribe {
+            threshold,
+            window,
+            instructions,
+            trace,
+        }) => (threshold, window, instructions, trace),
+        Ok(_) => {
+            return Response::Error {
+                code: ErrorCode::Malformed,
+                message: "subscription handler got a non-subscribe frame".to_owned(),
+                retry_after_ms: None,
+            }
+        }
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let _quota = match ctx.quota.try_admit(&frame.tenant, trace_bytes.len() as u64) {
+        Ok(guard) => guard,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Quota,
+                message: e.to_string(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let _slot = match ctx.admission.enter() {
+        Ok(guard) => guard,
+        Err(AdmissionError::Shed { retry_after }) => {
+            ctx.obs.add("server.requests_shed", 1);
+            return Response::Error {
+                code: ErrorCode::Overload,
+                message: "admission queue at the shed watermark".to_owned(),
+                retry_after_ms: Some(retry_after.as_millis().min(u128::from(u64::MAX)) as u64),
+            };
+        }
+        Err(AdmissionError::ShuttingDown) => {
+            return Response::Error {
+                code: ErrorCode::Shutdown,
+                message: "daemon is draining".to_owned(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let _deadline = ctx
+        .request_deadline
+        .map(|budget| watchdog::arm_local(Instant::now() + budget));
+    let outcome = catch(|| {
+        let pipeline = match pipeline_for(threshold) {
+            Ok(p) => p,
+            Err(message) => {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message,
+                    retry_after_ms: None,
+                }
+            }
+        };
+        let config = if instructions {
+            WindowConfig::instructions(window)
+        } else {
+            WindowConfig::branches(window)
+        };
+        let config = match config {
+            Ok(c) => c,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                    retry_after_ms: None,
+                }
+            }
+        };
+        let trace = match parse_trace(&trace_bytes) {
+            Ok(t) => t,
+            Err(message) => {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message,
+                    retry_after_ms: None,
+                }
+            }
+        };
+        let session = Session::new(&trace)
+            .with_pipeline(pipeline)
+            .with_execution(Execution::Serial)
+            .with_supervisor(ctx.supervisor)
+            .with_observer(ctx.obs.clone())
+            .with_windowing(config);
+        match session.windowed() {
+            Ok(windowed) => {
+                for summary in &windowed.windows {
+                    let window_frame = Response::Window(summary.to_json().to_pretty_string())
+                        .into_frame(frame.request_id, &frame.tenant);
+                    if frame::write_frame(writer, &window_frame).is_err() {
+                        return Response::Error {
+                            code: ErrorCode::Fault,
+                            message: "subscriber connection lost mid-stream".to_owned(),
+                            retry_after_ms: None,
+                        };
+                    }
+                    ctx.obs.add("server.windows_emitted", 1);
+                }
+                Response::Ok(windowed.analysis.summary_json().to_pretty_string())
+            }
+            Err(e) => Response::Error {
+                code: ErrorCode::Analysis,
+                message: e.to_string(),
+                retry_after_ms: None,
+            },
+        }
+    });
+    match outcome {
+        Ok(response) => response,
+        Err(e @ (ResilienceError::Timeout { .. } | ResilienceError::MemoryBudget { .. })) => {
+            Response::Error {
+                code: ErrorCode::Analysis,
+                message: e.to_string(),
+                retry_after_ms: None,
+            }
+        }
+        Err(e) => Response::Error {
+            code: ErrorCode::Fault,
+            message: format!("request fault contained: {e}"),
+            retry_after_ms: None,
+        },
     }
 }
 

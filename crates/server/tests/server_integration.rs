@@ -66,6 +66,7 @@ fn spawn_server(tag: &str, tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandl
 fn expect_ok(response: Response) -> String {
     match response {
         Response::Ok(json) => json,
+        Response::Window(json) => panic!("expected a terminal Ok, got a window frame: {json}"),
         Response::Error { code, message, .. } => {
             panic!("expected Ok, got {code}: {message}")
         }
@@ -318,6 +319,9 @@ fn concurrent_tenants_are_isolated() {
                 for _ in 0..3 {
                     let served = match client.analyze(bytes.clone(), None).unwrap() {
                         Response::Ok(json) => json,
+                        Response::Window(json) => {
+                            panic!("tenant-{i} got a window frame from analyze: {json}")
+                        }
                         Response::Error { code, message, .. } => {
                             panic!("tenant-{i} failed: {code}: {message}")
                         }
@@ -333,6 +337,74 @@ fn concurrent_tenants_are_isolated() {
 
     assert_eq!(handle.quota().in_flight(), (0, 0));
     assert_eq!(handle.admission().occupancy(), (0, 0));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn windowed_subscription_streams_summaries_then_the_exact_whole_trace_answer() {
+    let handle = spawn_server("subscribe", |_| {});
+    let socket = handle.socket().to_path_buf();
+    let bytes = trace_bytes("subscribe", 900);
+    let expected = {
+        let trace = trace_of(&bytes);
+        Session::new(&trace)
+            .run()
+            .unwrap()
+            .summary_json()
+            .to_pretty_string()
+    };
+
+    // A second tenant hammers whole-trace analyzes while the first
+    // streams a windowed subscription: the exchanges must not interfere.
+    let batch = {
+        let socket = socket.clone();
+        let bytes = bytes.clone();
+        let expected = expected.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&socket, "batch").unwrap();
+            for _ in 0..3 {
+                assert_eq!(
+                    expect_ok(client.analyze(bytes.clone(), None).unwrap()),
+                    expected
+                );
+            }
+        })
+    };
+
+    let mut client = Client::connect(&socket, "streamer").unwrap();
+    let mut windows: Vec<String> = Vec::new();
+    let terminal = client
+        .subscribe(bytes.clone(), None, 128, false, |json| {
+            windows.push(json.to_owned())
+        })
+        .unwrap();
+    batch.join().unwrap();
+
+    // Every window summary arrived before the terminal frame (the
+    // callback only fires on pre-terminal frames) and the terminal
+    // answer is byte-for-byte what `analyze` says for the same trace:
+    // the windows fold into the exact whole-trace result.
+    assert_eq!(expect_ok(terminal), expected);
+    assert_eq!(windows.len(), 8, "900 records at 128/window: 7 full + tail");
+    let mut folded_records = 0;
+    for (i, json) in windows.iter().enumerate() {
+        let doc = Json::parse(json).unwrap();
+        assert_eq!(doc.get("index").and_then(Json::as_u64), Some(i as u64));
+        folded_records += doc.get("records").and_then(Json::as_u64).unwrap();
+    }
+    assert_eq!(folded_records, 900);
+
+    // The streamed frames are byte-identical to a local windowed run.
+    let trace = trace_of(&bytes);
+    let session =
+        Session::new(&trace).with_windowing(bwsa_core::WindowConfig::branches(128).unwrap());
+    let local = session.windowed().unwrap();
+    assert_eq!(windows.len(), local.windows.len());
+    for (json, summary) in windows.iter().zip(&local.windows) {
+        assert_eq!(Json::parse(json).unwrap(), summary.to_json());
+    }
 
     handle.begin_shutdown();
     handle.join().unwrap();

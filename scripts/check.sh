@@ -29,6 +29,10 @@ echo "==> hot-path engine equivalence (ring vs naive oracle, flat table vs HashM
 cargo test -q --test hotpath_prop -p bwsa-core
 cargo test -q --test prop -p bwsa-graph
 
+echo "==> windowed equivalence (fold(windows) == whole trace, incremental recoloring oracle)"
+cargo test -q --test windowed_equiv -p bwsa-core
+cargo test -q --test cli_window
+
 echo "==> observability: instrumented == uninstrumented + report schema"
 cargo test -q --test observed_equivalence -p bwsa-core
 cargo test -q --test run_report
@@ -53,6 +57,22 @@ bwsa="target/release/bwsa"
     --metrics "$report_tmp/simulate.json" > /dev/null
 "$bwsa" validate-report "$report_tmp/simulate.json"
 
+echo "==> windowed analyze smoke (--window summary, sidecar JSON, v3 report validates)"
+"$bwsa" analyze "$report_tmp/pgp.bwst" --window 500 \
+    --emit-windows "$report_tmp/windows.json" > "$report_tmp/windowed.out"
+grep -q "^windows: " "$report_tmp/windowed.out"
+grep -q '"windows"' "$report_tmp/windows.json"
+"$bwsa" analyze "$report_tmp/pgp.bwst" --window 500 \
+    --metrics "$report_tmp/windowed.json" > /dev/null
+"$bwsa" validate-report "$report_tmp/windowed.json"
+# Malformed --window values are usage errors (exit 2) before any I/O.
+if "$bwsa" analyze /no/such.bwst --window 0 2> /dev/null; then
+    echo "--window 0 unexpectedly succeeded"; exit 1
+else
+    rc=$?
+    [ "$rc" -eq 2 ] || { echo "--window 0: expected exit 2, got $rc"; exit 1; }
+fi
+
 echo "==> bench smoke (single iteration, parallel sweep)"
 cargo run --release -p bwsa-bench --bin experiments_all -- --quick --bench compress --jobs 2 > /dev/null
 
@@ -69,6 +89,10 @@ serve_pid=$!
 for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
 [ -S "$sock" ] || { echo "daemon socket never appeared"; exit 1; }
 "$bwsa" client "$sock" analyze "$report_tmp/smoke.bwst" --tenant smoke > /dev/null
+# A windowed subscription streams summaries, then the whole-trace answer.
+"$bwsa" client "$sock" subscribe "$report_tmp/smoke.bwst" --tenant smoke \
+    --window 200 > "$report_tmp/subscribe.out"
+grep -q '"index"' "$report_tmp/subscribe.out"
 # A served RunReport must validate against this build's golden schema.
 "$bwsa" client "$sock" report "$report_tmp/smoke.bwst" --tenant smoke \
     > "$report_tmp/served-report.json"

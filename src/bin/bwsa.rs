@@ -72,6 +72,7 @@ use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::pipeline::{Analysis, AnalysisPipeline};
 use bwsa::core::{
     Classified, Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig,
+    WindowConfig,
 };
 use bwsa::graph::dot::{to_dot, DotOptions};
 use bwsa::obs::json::Json;
@@ -169,6 +170,7 @@ const USAGE: &str = "bwsa — branch working set analysis toolkit
 subcommands:
   generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
   analyze  <trace> [--threshold N] [--jobs N] [--salvage]
+           [--window N[i] [--emit-windows FILE]]
            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
            [--retries N] [--max-seconds S] [--max-rss-mb N]
            [--report json|text] [--metrics FILE]
@@ -183,8 +185,9 @@ subcommands:
   serve    <socket> [--workers N] [--queue N] [--max-concurrent N]
            [--max-bytes-mb N] [--deadline-seconds S] [--retries N]
            [--max-rss-mb N] [--seed N]
-  client   <socket> <ping|analyze|allocate|report|status|shutdown> [<trace>]
-           [--tenant NAME] [--threshold N] [--table N] [--classify]
+  client   <socket> <ping|analyze|subscribe|allocate|report|status|shutdown>
+           [<trace>] [--tenant NAME] [--threshold N] [--table N] [--classify]
+           [--window N[i]]
   help
 
 trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
@@ -197,6 +200,13 @@ chunks (default 64, one chunk = 4096 records); --resume continues from one.
 threads (default: all hardware threads); results are bit-identical to a
 serial run. Checkpointed streaming analysis is inherently sequential, so
 `analyze --checkpoint/--resume` rejects --jobs above 1.
+
+--window N analyzes the trace in online windows of N dynamic branches
+(Ni: N instructions), printing per-window working sets, conflict-graph
+deltas, phase-change signals, and incremental BHT re-coloring stability;
+the windows provably fold into the exact whole-trace answer. --emit-windows
+writes the per-window summaries as JSON. Windowed runs materialise the
+trace, so they reject --checkpoint/--resume.
 
 --retries/--max-seconds/--max-rss-mb run the analysis under supervision:
 failed workers are isolated and retried N times with backoff, a run over
@@ -226,7 +236,10 @@ finish, the socket file is removed, and the daemon exits 0. A bind
 failure — like any malformed flag — exits 2.
 
 `client` speaks the daemon's BWSF frame protocol: ping, analyze, and
-allocate print the server's JSON response; report prints the versioned
+allocate print the server's JSON response; subscribe streams a trace for
+windowed analysis (--window N[i]) and prints each window summary as the
+server emits it, then the whole-trace result — bit-identical to analyze
+on the same trace; report prints the versioned
 RunReport of that request's own supervised run (it validates with
 `validate-report`); status prints live metrics with per-tenant counters;
 shutdown asks for a drain. A typed server-side
@@ -694,6 +707,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
             "max-rss-mb",
             "report",
             "metrics",
+            "window",
+            "emit-windows",
         ],
         &["salvage"],
     )?;
@@ -710,10 +725,16 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let obs = spec.observer();
     let jobs = jobs_of(&p)?;
     let supervisor = supervisor_of(&p)?;
+    let windowing = window_spec(&p)?;
     let wants_checkpointing = p.value("checkpoint").is_some() || p.value("resume").is_some();
     if wants_checkpointing && jobs.is_some_and(|j| j > 1) {
         return Err(usage_err(
             "--checkpoint/--resume stream sequentially and cannot use --jobs above 1",
+        ));
+    }
+    if wants_checkpointing && windowing.is_some() {
+        return Err(usage_err(
+            "--window runs the trace in memory and cannot combine with --checkpoint/--resume",
         ));
     }
     match detect_format(path)? {
@@ -724,15 +745,17 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                 ));
             }
             let (trace, _) = load_trace(path, RecoveryPolicy::Strict, &obs)?;
-            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &spec, &obs)?;
+            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &windowing, &spec, &obs)?;
         }
         // A BWSS stream stays on the constant-memory sequential path
-        // unless --jobs explicitly asks for workers, which requires
-        // materialising the trace to shard it.
-        TraceFormat::Bwss if !wants_checkpointing && jobs.is_some_and(|j| j > 1) => {
+        // unless --jobs explicitly asks for workers or --window asks for
+        // per-window summaries, both of which materialise the trace.
+        TraceFormat::Bwss
+            if !wants_checkpointing && (jobs.is_some_and(|j| j > 1) || windowing.is_some()) =>
+        {
             let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
             warn_salvage(path, &report);
-            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &spec, &obs)?;
+            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &windowing, &spec, &obs)?;
         }
         TraceFormat::Bwss => {
             // Streaming is already the bottom of the degradation ladder;
@@ -747,6 +770,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--window N[i]` / `--emit-windows FILE` for `analyze`: the parsed
+/// window configuration plus the optional per-window JSON output path.
+/// Both are validated before any trace I/O happens.
+fn window_spec(p: &Parsed) -> Result<Option<(WindowConfig, Option<String>)>, CliError> {
+    let emit = p.value("emit-windows").map(str::to_owned);
+    match p.value("window") {
+        Some(spec) => {
+            let config = WindowConfig::parse(spec)
+                .map_err(|e| usage_err(format!("bad --window value: {e}")))?;
+            Ok(Some((config, emit)))
+        }
+        None if emit.is_some() => Err(usage_err("--emit-windows needs --window N[i]")),
+        None => Ok(None),
+    }
+}
+
 /// The in-memory `analyze` path: a [`Session`] over the sharded parallel
 /// pipeline (bit-identical to serial for any worker count) plus the
 /// report printout.
@@ -755,6 +794,7 @@ fn analyze_in_memory(
     pipeline: &AnalysisPipeline,
     jobs: Option<usize>,
     supervisor: Option<SupervisorConfig>,
+    windowing: &Option<(WindowConfig, Option<String>)>,
     spec: &ReportSpec,
     obs: &Obs,
 ) -> Result<(), CliError> {
@@ -764,6 +804,9 @@ fn analyze_in_memory(
         .with_observer(obs.clone());
     if let Some(config) = supervisor {
         session = session.with_supervisor(config);
+    }
+    if let Some((config, _)) = windowing {
+        session = session.with_windowing(*config);
     }
     let analysis = session.run().map_err(|e| runtime_err(e.to_string()))?;
     if !spec.json_only() {
@@ -775,6 +818,26 @@ fn analyze_in_memory(
             s.dynamic_taken_rate * 100.0
         );
         print_analysis(analysis, pipeline);
+    }
+    if let Some((config, emit)) = windowing {
+        // Computed before run_report so the report's v3 `windows`
+        // section reflects this run.
+        let windowed = session.windowed().map_err(|e| runtime_err(e.to_string()))?;
+        if !spec.json_only() {
+            println!(
+                "windows: {} x {} {} | {} recolors | mean stability {:.3} | {} phase changes",
+                windowed.windows.len(),
+                config.interval(),
+                config.unit().label(),
+                windowed.recolors,
+                windowed.mean_stability,
+                windowed.phase_changes
+            );
+        }
+        if let Some(path) = emit {
+            std::fs::write(path, windowed.to_json().to_pretty_string())
+                .map_err(|e| runtime_err(format!("cannot write {path}: {e}")))?;
+        }
     }
     if let Some(mut report) = session.run_report("analyze") {
         push_analysis_digests(&mut report, analysis);
@@ -1218,9 +1281,11 @@ fn cmd_validate_report(args: &[String]) -> Result<(), CliError> {
         .get("run_report_version")
         .and_then(Json::as_u64)
         .ok_or_else(|| runtime_err(format!("{path}: missing run_report_version")))?;
-    if version != RUN_REPORT_VERSION {
+    // v2 reports predate the `windows` section and remain valid: the
+    // subset shape check below never requires the missing paths.
+    if version != RUN_REPORT_VERSION && version != 2 {
         return Err(runtime_err(format!(
-            "{path}: run_report_version {version}, this build validates version {RUN_REPORT_VERSION}"
+            "{path}: run_report_version {version}, this build validates versions 2 and {RUN_REPORT_VERSION}"
         )));
     }
     // Subset check: every path in the report must be in the pinned
@@ -1362,13 +1427,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 /// `bwsa client <socket> <action> [...]` — one request against a running
 /// daemon. Server-side typed errors print to stderr and exit 1.
 fn cmd_client(args: &[String]) -> Result<(), CliError> {
-    let p = parse(args, &["tenant", "threshold", "table"], &["classify"])?;
+    let p = parse(
+        args,
+        &["tenant", "threshold", "table", "window"],
+        &["classify"],
+    )?;
     let socket = p
         .positionals
         .first()
         .ok_or_else(|| usage_err("client needs a socket path"))?;
     let action = p.positionals.get(1).ok_or_else(|| {
-        usage_err("client needs an action: ping|analyze|allocate|report|status|shutdown")
+        usage_err("client needs an action: ping|analyze|subscribe|allocate|report|status|shutdown")
     })?;
     let tenant = p.value("tenant").unwrap_or("cli");
     let threshold = match p.value("threshold") {
@@ -1397,6 +1466,24 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
                 .ok_or_else(|| usage_err("client report needs a trace file"))?;
             client.report(trace_upload_bytes(path)?, threshold)
         }
+        "subscribe" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| usage_err("client subscribe needs a trace file"))?;
+            let spec = p
+                .value("window")
+                .ok_or_else(|| usage_err("client subscribe needs --window N[i]"))?;
+            let config = WindowConfig::parse(spec)
+                .map_err(|e| usage_err(format!("bad --window value: {e}")))?;
+            client.subscribe(
+                trace_upload_bytes(path)?,
+                threshold,
+                config.interval(),
+                config.unit() == bwsa::core::WindowUnit::Instructions,
+                |json| print!("{json}"),
+            )
+        }
         "allocate" => {
             let path = p
                 .positionals
@@ -1417,12 +1504,18 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         }
         other => {
             return Err(usage_err(format!(
-                "unknown client action {other:?} (ping|analyze|allocate|report|status|shutdown)"
+                "unknown client action {other:?} (ping|analyze|subscribe|allocate|report|status|shutdown)"
             )))
         }
     };
     match response.map_err(|e| runtime_err(e.to_string()))? {
         Response::Ok(json) => {
+            print!("{json}");
+            Ok(())
+        }
+        // The client only surfaces terminal frames here; window frames
+        // were already printed by the subscribe callback.
+        Response::Window(json) => {
             print!("{json}");
             Ok(())
         }

@@ -15,7 +15,9 @@
 //! [`CHAOS_LOCK`] and scopes its spec with [`failpoint::scoped`].
 
 use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::{Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig};
+use bwsa::core::{
+    Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig, WindowConfig,
+};
 use bwsa::graph::coloring::{try_color_graph, ColoringOptions};
 use bwsa::graph::GraphBuilder;
 use bwsa::obs::json::Json;
@@ -91,6 +93,7 @@ impl Harness {
             "predictor.sweep_cell" => self.drive_sweep(),
             "predictor.checkpoint_save" => self.drive_sim_checkpoint(),
             "core.checkpoint_save" | "core.checkpoint_restore" => self.drive_analysis_checkpoint(),
+            "core.window_flush" | "core.window_merge" | "core.recolor" => self.drive_windowed(),
             // These stages only exist on the serial path; a parallel
             // ladder would succeed on its first rung without ever
             // reaching them.
@@ -136,6 +139,21 @@ impl Harness {
             }
             let analysis = streaming.finish_observed(&AnalysisPipeline::new(), &Obs::noop());
             Ok(format!("{analysis:?}"))
+        }))
+    }
+
+    /// Windowed analysis over the session entry point; covers the
+    /// window-flush, window-merge, and recolor sites. The windowed
+    /// replay is not under the supervisor's retry ladder, so a fault
+    /// here must surface as the typed boundary's error.
+    fn drive_windowed(&self) -> Result<String, String> {
+        flatten(supervisor::catch(|| {
+            let config = WindowConfig::branches(64)
+                .map_err(|e| e.to_string())?
+                .with_table_size(64);
+            let session = Session::new(&self.trace).with_windowing(config);
+            let windowed = session.windowed().map_err(|e| e.to_string())?;
+            Ok(format!("{windowed:?}"))
         }))
     }
 
@@ -316,7 +334,10 @@ fn transient_faults_are_absorbed_by_retry_and_degradation() {
     // recovers by shard retry, rung retry, or downgrade, the output must
     // be the fault-free output.
     for site in bwsa::core::failpoints::SITES {
-        if site.starts_with("core.checkpoint") {
+        if site.starts_with("core.checkpoint")
+            || site.starts_with("core.window")
+            || *site == "core.recolor"
+        {
             continue; // not on the supervised session path
         }
         let baseline = harness.drive(site).unwrap();
@@ -512,6 +533,9 @@ fn every_server_site_is_contained_in_every_mode() {
                         );
                         assert_eq!(code, ErrorCode::Fault, "{context}");
                         assert!(message.contains("contained"), "{context}: {message}");
+                    }
+                    Response::Window(json) => {
+                        panic!("{context}: analyze must not stream window frames: {json}")
                     }
                 }
             }

@@ -17,7 +17,9 @@
 
 use bwsa::obs::json::Json;
 use bwsa::obs::report::schema_shape;
-use bwsa::obs::{DowngradeReport, Obs, ResilienceReport, RunReport, RUN_REPORT_VERSION};
+use bwsa::obs::{
+    DowngradeReport, Obs, ResilienceReport, RunReport, WindowsReport, RUN_REPORT_VERSION,
+};
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
@@ -62,6 +64,18 @@ fn canonical_report() -> RunReport {
         }],
         faults: vec!["injected fault at 'core.shard_detect': golden".into()],
     });
+    // A populated windows section (v3): the windowed-analysis summary is
+    // always present, enabled or not, with a fixed shape.
+    report.set_windows(WindowsReport {
+        enabled: true,
+        interval: 50,
+        unit: "branches".into(),
+        count: 2,
+        records: 100,
+        recolors: 1,
+        mean_stability: 0.5,
+        phase_changes: 1,
+    });
     report
 }
 
@@ -87,8 +101,31 @@ fn run_report_schema_matches_golden_fixture() {
 fn schema_version_is_pinned() {
     // Bumping the version is deliberate: it invalidates old reports for
     // `bwsa validate-report` and requires regenerating the fixture.
-    // v2 added the always-present `resilience` section.
-    assert_eq!(RUN_REPORT_VERSION, 2);
+    // v2 added the always-present `resilience` section; v3 added the
+    // always-present `windows` section (online windowed analysis).
+    assert_eq!(RUN_REPORT_VERSION, 3);
+}
+
+#[test]
+fn windows_section_has_the_v3_shape() {
+    let doc = Json::parse(&canonical_report().to_json_string()).unwrap();
+    let windows = doc.get("windows").expect("v3 windows object");
+    assert_eq!(windows.get("enabled"), Some(&Json::Bool(true)));
+    assert_eq!(windows.get("interval").and_then(Json::as_u64), Some(50));
+    assert_eq!(windows.get("unit").and_then(Json::as_str), Some("branches"));
+    assert_eq!(windows.get("count").and_then(Json::as_u64), Some(2));
+    assert_eq!(windows.get("records").and_then(Json::as_u64), Some(100));
+    assert_eq!(windows.get("recolors").and_then(Json::as_u64), Some(1));
+    assert_eq!(windows.get("mean_stability"), Some(&Json::Float(0.5)));
+    assert_eq!(windows.get("phase_changes").and_then(Json::as_u64), Some(1));
+    // Disabled runs carry the same shape, so validate-report's golden
+    // check is independent of whether --window was passed.
+    let disabled = RunReport::new("analyze", "t", 0, 0, Json::Null, &Default::default());
+    let keys = |r: &Json| r.get("windows").map(schema_shape).expect("windows object");
+    assert_eq!(
+        keys(&doc),
+        keys(&Json::parse(&disabled.to_json_string()).unwrap())
+    );
 }
 
 #[test]
