@@ -1,0 +1,302 @@
+//! Corpus batch-analytics benchmark: a pinned synthetic trace corpus on
+//! disk, ingested and folded into a fleet summary at several fan-out
+//! widths.
+//!
+//! ```text
+//! cargo run --release -p bwsa-bench --bin corpus_bench -- \
+//!     [--traces N] [--jobs N] [--quick] [--out FILE]
+//! cargo run --release -p bwsa-bench --bin corpus_bench -- --validate FILE
+//! ```
+//!
+//! Two phases over the same generated corpus:
+//!
+//! * **batch** — `Corpus::open(..).session().run_all()` serial and at
+//!   `--jobs` width; reports end-to-end wall time, ingest throughput
+//!   (bytes/sec and records/sec over the summed on-disk trace sizes),
+//!   and asserts the serial and parallel summaries are byte-identical —
+//!   the fleet fold's schedule-independence contract, measured where it
+//!   is cheapest to violate.
+//! * **aggregation** — the pure fold in isolation: the batch's entry
+//!   records absorbed into a fresh accumulator and `finish`ed repeatedly;
+//!   reports mean wall time per fold, separating aggregation cost from
+//!   analysis cost.
+//!
+//! `--out` writes `BENCH_corpus.json` (schema `bwsa-bench-corpus/1`) and
+//! refuses to run in a debug build. `--validate` re-parses a written
+//! report and checks the invariants (the CI smoke step).
+
+use bwsa_corpus::{Corpus, EntryStatus, FleetAccumulator, FleetSummary};
+use bwsa_obs::json::Json;
+use bwsa_trace::stream::StreamWriter;
+use bwsa_workload::suite::{Benchmark, InputSet};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args {
+    traces: usize,
+    jobs: usize,
+    quick: bool,
+    out: Option<String>,
+    validate: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        traces: 8,
+        jobs: 4,
+        quick: false,
+        out: None,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--traces" => {
+                let v = it.next().ok_or("--traces needs a value")?;
+                args.traces = v.parse().map_err(|_| format!("bad --traces {v:?}"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
+            }
+            "--quick" => args.quick = true,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--validate" => args.validate = Some(it.next().ok_or("--validate needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.traces == 0 || args.jobs == 0 {
+        return Err("--traces and --jobs must be positive".into());
+    }
+    Ok(args)
+}
+
+/// The workload rotation the synthetic corpus draws from, with the
+/// class tag each benchmark carries in the manifest.
+const ROTATION: [(Benchmark, &str); 4] = [
+    (Benchmark::Compress, "integer"),
+    (Benchmark::Pgp, "crypto"),
+    (Benchmark::Li, "interp"),
+    (Benchmark::Perl, "interp"),
+];
+
+/// Generates the corpus on disk and returns (manifest path, summed
+/// trace bytes).
+fn build_corpus(dir: &Path, traces: usize, quick: bool) -> (PathBuf, u64) {
+    let scale = if quick { 0.005 } else { 0.05 };
+    std::fs::create_dir_all(dir).expect("create corpus dir");
+    let mut manifest = String::from("name = \"bench\"\n\n[defaults]\nthreshold = 100\n");
+    let mut bytes = 0u64;
+    for i in 0..traces {
+        let (bench, class) = ROTATION[i % ROTATION.len()];
+        // Alternate input sets so repeated benchmarks still differ.
+        let input = if (i / ROTATION.len()).is_multiple_of(2) {
+            InputSet::A
+        } else {
+            InputSet::B
+        };
+        let trace = bench.generate_scaled(input, scale);
+        let name = format!("t{i:03}.bwss");
+        let path = dir.join(&name);
+        let mut buf = Vec::new();
+        let mut writer = StreamWriter::new(&mut buf, &trace.meta().name).expect("encode trace");
+        for record in trace.records() {
+            writer.push(*record).expect("encode trace");
+        }
+        writer
+            .finish(trace.meta().total_instructions)
+            .expect("encode trace");
+        bytes += buf.len() as u64;
+        std::fs::write(&path, &buf).expect("write trace");
+        manifest.push_str(&format!(
+            "\n[[trace]]\npath = \"{name}\"\nclass = \"{class}\"\n"
+        ));
+    }
+    let manifest_path = dir.join("corpus.toml");
+    std::fs::write(&manifest_path, manifest).expect("write manifest");
+    (manifest_path, bytes)
+}
+
+fn run_at(manifest: &Path, jobs: usize) -> (FleetSummary, u64) {
+    let started = Instant::now();
+    let summary = Corpus::open(manifest)
+        .expect("open bench corpus")
+        .session()
+        .with_jobs(jobs)
+        .run_all();
+    (summary, started.elapsed().as_nanos().max(1) as u64)
+}
+
+/// Phase 1: end-to-end batch runs, serial vs fanned.
+fn bench_batch(args: &Args, manifest: &Path, corpus_bytes: u64) -> (Json, FleetSummary) {
+    let (serial, serial_ns) = run_at(manifest, 1);
+    let (parallel, parallel_ns) = run_at(manifest, args.jobs);
+    let identical = serial.to_json().to_pretty_string() == parallel.to_json().to_pretty_string();
+    assert!(
+        identical,
+        "fleet summaries diverged between jobs=1 and jobs={}",
+        args.jobs
+    );
+    assert!(
+        serial.entries.iter().all(|e| e.status == EntryStatus::Ok),
+        "a synthetic corpus entry failed: {:?}",
+        serial.entries
+    );
+    let records = serial.records;
+    let best_ns = serial_ns.min(parallel_ns);
+    let ingest_bytes_per_sec = corpus_bytes as f64 / (best_ns as f64 / 1e9);
+    let records_per_sec = records as f64 / (best_ns as f64 / 1e9);
+    eprintln!(
+        "[batch] {} traces, {} records: serial {:.3}s, jobs={} {:.3}s ({:.1} MB/s ingest)",
+        serial.entries.len(),
+        records,
+        serial_ns as f64 / 1e9,
+        args.jobs,
+        parallel_ns as f64 / 1e9,
+        ingest_bytes_per_sec / 1e6,
+    );
+    let doc = Json::object([
+        ("traces", Json::from(serial.entries.len() as u64)),
+        ("records", Json::from(records)),
+        ("corpus_bytes", Json::from(corpus_bytes)),
+        ("serial_ns", Json::from(serial_ns)),
+        ("jobs", Json::from(args.jobs as u64)),
+        ("parallel_ns", Json::from(parallel_ns)),
+        ("identical", Json::from(identical)),
+        ("ingest_bytes_per_sec", Json::from(ingest_bytes_per_sec)),
+        ("records_per_sec", Json::from(records_per_sec)),
+    ]);
+    (doc, serial)
+}
+
+/// Phase 2: the pure fold, isolated from analysis cost.
+fn bench_aggregation(summary: &FleetSummary) -> Json {
+    let iters = 200usize;
+    let started = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..iters {
+        let folded: FleetAccumulator = summary.entries.iter().cloned().collect();
+        let result = folded.finish(&summary.name);
+        checksum = checksum.wrapping_add(result.records);
+    }
+    let elapsed = started.elapsed().as_nanos().max(1) as u64;
+    let mean_ns = elapsed / iters as u64;
+    eprintln!(
+        "[aggregation] {iters} folds of {} entries: {mean_ns} ns/fold (checksum {checksum})",
+        summary.entries.len()
+    );
+    Json::object([
+        ("iters", Json::from(iters as u64)),
+        ("entries", Json::from(summary.entries.len() as u64)),
+        ("mean_fold_ns", Json::from(mean_ns.max(1))),
+    ])
+}
+
+/// Validates a previously written report's schema and invariants.
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bwsa-bench-corpus/1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let batch = doc.get("batch").ok_or("missing batch phase")?;
+    let u = |node: &Json, field: &str| -> Result<u64, String> {
+        node.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing {field}"))
+    };
+    if u(batch, "traces")? == 0 || u(batch, "records")? == 0 || u(batch, "corpus_bytes")? == 0 {
+        return Err("batch phase analyzed nothing".into());
+    }
+    if u(batch, "serial_ns")? == 0 || u(batch, "parallel_ns")? == 0 {
+        return Err("batch wall times must be positive".into());
+    }
+    if !matches!(batch.get("identical"), Some(Json::Bool(true))) {
+        return Err("serial and parallel summaries must be byte-identical".into());
+    }
+    let ok_rate = matches!(
+        batch.get("ingest_bytes_per_sec"),
+        Some(Json::Float(r)) if *r > 0.0
+    );
+    if !ok_rate {
+        return Err("batch.ingest_bytes_per_sec must be positive".into());
+    }
+    let aggregation = doc.get("aggregation").ok_or("missing aggregation phase")?;
+    if u(aggregation, "mean_fold_ns")? == 0 {
+        return Err("aggregation.mean_fold_ns must be positive".into());
+    }
+    if u(aggregation, "entries")? != u(batch, "traces")? {
+        return Err("aggregation must fold exactly the batch's entries".into());
+    }
+    println!("{path}: ok");
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: corpus_bench [--traces N] [--jobs N] [--quick] \
+                 [--out FILE] | --validate FILE"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.validate {
+        if let Err(msg) = validate(path) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.out.is_some() && cfg!(debug_assertions) {
+        eprintln!(
+            "error: refusing to write a benchmark report from a debug build; \
+             rerun with --release"
+        );
+        std::process::exit(2);
+    }
+    let args = if args.quick {
+        Args {
+            traces: args.traces.min(4),
+            ..args
+        }
+    } else {
+        args
+    };
+    let dir = std::env::temp_dir().join(format!("bwsa-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (manifest, corpus_bytes) = build_corpus(&dir, args.traces, args.quick);
+    eprintln!(
+        "[corpus] {} traces, {} bytes on disk at {}",
+        args.traces,
+        corpus_bytes,
+        dir.display()
+    );
+    let (batch, summary) = bench_batch(&args, &manifest, corpus_bytes);
+    let aggregation = bench_aggregation(&summary);
+    let _ = std::fs::remove_dir_all(&dir);
+    let doc = Json::object([
+        ("schema", Json::from("bwsa-bench-corpus/1")),
+        ("quick", Json::from(args.quick)),
+        ("batch", batch),
+        ("aggregation", aggregation),
+    ]);
+    let text = doc.to_pretty_string();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}

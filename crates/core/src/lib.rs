@@ -133,3 +133,39 @@ pub use window::{
     RecolorStats, WindowConfig, WindowSummary, WindowUnit, WindowedAnalysis, WindowedResult,
 };
 pub use working_set::{working_sets, WorkingSetDefinition, WorkingSetReport, WorkingSets};
+
+/// The blessed public surface, for one-line imports.
+///
+/// Everything a typical consumer needs: the [`Session`] builder and its
+/// configuration values, the windowing and supervision knobs, the
+/// unified [`Error`], and the observability handles ([`Obs`],
+/// [`RunReport`](bwsa_obs::RunReport)) sessions report through. The
+/// corpus layer's `Corpus` lives one crate up — `bwsa::prelude` in the
+/// facade crate re-exports this module plus the corpus types.
+///
+/// Anything *not* re-exported here (module internals like
+/// `interleave`, `merge`, `recency`, the checkpoint codec, …) is
+/// considered an internal surface: public for tooling and tests, but
+/// free to churn between minor versions. See DESIGN.md §14.
+///
+/// ```
+/// use bwsa_core::prelude::*;
+/// use bwsa_trace::TraceBuilder;
+///
+/// let mut t = TraceBuilder::new("demo");
+/// for i in 0..200u64 {
+///     t.record(0x100 + (i % 3) * 4, i % 2 == 0, i + 1);
+/// }
+/// let trace = t.finish();
+/// let session = Session::new(&trace);
+/// assert!(session.run().is_ok());
+/// ```
+pub mod prelude {
+    pub use crate::error::{CoreError, Error};
+    pub use crate::pipeline::{Analysis, AnalysisPipeline};
+    pub use crate::session::{Classified, Execution, Session};
+    pub use crate::supervise::{ResilienceSummary, SupervisorConfig};
+    pub use crate::window::{WindowConfig, WindowSummary, WindowedResult};
+    pub use crate::{allocation::AllocationConfig, conflict::ConflictConfig, ParallelConfig};
+    pub use bwsa_obs::{Obs, RunReport};
+}

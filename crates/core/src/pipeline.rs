@@ -96,16 +96,6 @@ impl AnalysisPipeline {
         Ok(())
     }
 
-    /// Runs steps 1–3 plus classification on a trace.
-    ///
-    /// Prefer [`Session::run`](crate::Session::run), which adds caching,
-    /// validation, and observability, or [`AnalysisPipeline::run_observed`]
-    /// for direct instrumented access.
-    #[deprecated(since = "0.4.0", note = "use bwsa_core::Session (or run_observed)")]
-    pub fn run(&self, trace: &Trace) -> Analysis {
-        self.run_observed(trace, &Obs::noop())
-    }
-
     /// Runs steps 1–3 plus classification on a trace, reporting stage
     /// timings and counters into `obs`.
     ///
@@ -169,19 +159,6 @@ impl AnalysisPipeline {
             classification,
         }
     }
-
-    /// Runs the pipeline with the trace sharded across worker threads.
-    ///
-    /// Prefer [`Session::run`](crate::Session::run) with
-    /// [`Execution::Parallel`](crate::Execution::Parallel), or
-    /// [`crate::parallel::analyze_parallel_observed`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use bwsa_core::Session with Execution::Parallel"
-    )]
-    pub fn run_parallel(&self, trace: &Trace, config: &crate::ParallelConfig) -> Analysis {
-        crate::parallel::analyze_parallel_observed(self, trace, config, &Obs::noop())
-    }
 }
 
 impl Analysis {
@@ -232,8 +209,8 @@ impl Analysis {
     /// Branch allocation into a `table_size`-entry BHT, plain (§5.1) or
     /// classified (§5.2) according to `classified`.
     ///
-    /// This subsumes the deprecated `allocate`/`allocate_classified`
-    /// pair; the former panicking preconditions are now errors.
+    /// This is the single allocation entry point (the pre-0.9 shim pair
+    /// is gone); bad table sizes are errors, not panics.
     ///
     /// # Errors
     ///
@@ -273,8 +250,8 @@ impl Analysis {
     /// classified) allocation to beat a conventional `baseline`-entry
     /// table, for the trace this analysis was computed from.
     ///
-    /// This subsumes the deprecated
-    /// `required_bht_size`/`required_bht_size_classified` pair.
+    /// This is the single required-size entry point (the pre-0.9 shim
+    /// pair is gone); a zero baseline is an error, not a panic.
     ///
     /// # Errors
     ///
@@ -302,69 +279,6 @@ impl Analysis {
         } else {
             required_bht_size(&self.conflict.graph, trace.table(), baseline, config)
         })
-    }
-
-    /// Branch allocation into a `table_size`-entry BHT (§5.1).
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Analysis::allocation(Classified(false), ..)"
-    )]
-    pub fn allocate(&self, table_size: usize, config: &AllocationConfig) -> Allocation {
-        allocate(&self.conflict.graph, table_size, config)
-    }
-
-    /// Classified branch allocation (§5.2).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `table_size < 3`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Analysis::allocation(Classified(true), ..)"
-    )]
-    pub fn allocate_classified(&self, table_size: usize, config: &AllocationConfig) -> Allocation {
-        allocate_classified(
-            &self.conflict.graph,
-            &self.classification,
-            table_size,
-            config,
-        )
-    }
-
-    /// The Table 3 cell: minimum BHT size for plain allocation to beat a
-    /// conventional `baseline`-entry table, for the trace this analysis
-    /// was computed from.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Analysis::required_size(Classified(false), ..)"
-    )]
-    pub fn required_bht_size(
-        &self,
-        trace: &Trace,
-        baseline: usize,
-        config: &AllocationConfig,
-    ) -> RequiredSize {
-        required_bht_size(&self.conflict.graph, trace.table(), baseline, config)
-    }
-
-    /// The Table 4 cell: minimum BHT size for classified allocation.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Analysis::required_size(Classified(true), ..)"
-    )]
-    pub fn required_bht_size_classified(
-        &self,
-        trace: &Trace,
-        baseline: usize,
-        config: &AllocationConfig,
-    ) -> RequiredSize {
-        required_bht_size_classified(
-            &self.conflict.graph,
-            &self.classification,
-            trace.table(),
-            baseline,
-            config,
-        )
     }
 }
 
@@ -452,34 +366,31 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_agree_with_the_new_primitives() {
+    fn classified_primitives_agree_with_direct_calls() {
         let trace = phased_trace();
         let analysis = AnalysisPipeline::new().run_observed(&trace, &Obs::noop());
         let cfg = AllocationConfig::default();
-        #[allow(deprecated)]
-        {
-            assert_eq!(
-                analysis.allocate(4, &cfg),
-                analysis.allocation(Classified(false), 4, &cfg).unwrap()
-            );
-            assert_eq!(
-                analysis.allocate_classified(4, &cfg),
-                analysis.allocation(Classified(true), 4, &cfg).unwrap()
-            );
-            assert_eq!(
-                analysis.required_bht_size(&trace, 1024, &cfg),
-                analysis
-                    .required_size(Classified(false), &trace, 1024, &cfg)
-                    .unwrap()
-            );
-            assert_eq!(
-                analysis.required_bht_size_classified(&trace, 1024, &cfg),
-                analysis
-                    .required_size(Classified(true), &trace, 1024, &cfg)
-                    .unwrap()
-            );
-            assert_eq!(AnalysisPipeline::new().run(&trace), analysis);
-        }
+        assert_eq!(
+            analysis.allocation(Classified(true), 4, &cfg).unwrap(),
+            crate::allocation::allocate_classified(
+                &analysis.conflict.graph,
+                &analysis.classification,
+                4,
+                &cfg,
+            )
+        );
+        assert_eq!(
+            analysis
+                .required_size(Classified(true), &trace, 1024, &cfg)
+                .unwrap(),
+            crate::allocation::required_bht_size_classified(
+                &analysis.conflict.graph,
+                &analysis.classification,
+                trace.table(),
+                1024,
+                &cfg,
+            )
+        );
     }
 
     #[test]

@@ -3,10 +3,9 @@
 //! observer, and exposes every analysis product behind a single
 //! `Result<_, Error>` surface.
 //!
-//! A [`Session`] replaces the old pairs of methods
-//! (`run`/`run_parallel`, `allocate`/`allocate_classified`,
-//! `required_bht_size`/`required_bht_size_classified`) with
-//! configuration values: [`Execution`] picks serial or sharded parallel
+//! A [`Session`] replaces the 0.4-era pairs of pipeline methods
+//! (deleted in 0.9.0) with configuration values: [`Execution`] picks
+//! serial or sharded parallel
 //! execution and [`Classified`] picks plain §5.1 or classified §5.2
 //! allocation. The analysis is computed once on first use and cached for
 //! the session's lifetime, so interleaved `allocate`/`required_bht_size`

@@ -1,0 +1,76 @@
+//! The corpus layer's typed error.
+
+use std::fmt;
+
+/// Everything that can go wrong opening a corpus manifest.
+///
+/// The first three variants are *usage* errors — the manifest itself is
+/// wrong, and rerunning without fixing it cannot succeed — and map to
+/// exit code 2 under the CLI contract. [`CorpusError::Io`] is
+/// environmental (exit 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CorpusError {
+    /// The manifest text is malformed: TOML/JSON syntax, an unknown
+    /// key, a bad field type, or an out-of-range value.
+    Manifest {
+        /// What was wrong, for humans.
+        reason: String,
+    },
+    /// Two entries resolve to the same trace file. A corpus is a *set*
+    /// of traces; a duplicate would double-count that trace in every
+    /// fleet statistic.
+    DuplicatePath {
+        /// The offending path, as written in the manifest.
+        path: String,
+    },
+    /// An entry points at a file that does not exist on disk.
+    DanglingEntry {
+        /// The resolved path that was not found.
+        path: String,
+    },
+    /// The manifest file itself could not be read.
+    Io {
+        /// The manifest path.
+        path: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+}
+
+impl CorpusError {
+    /// Shorthand for a [`CorpusError::Manifest`].
+    pub(crate) fn manifest(reason: impl Into<String>) -> Self {
+        CorpusError::Manifest {
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` for manifest-validation errors (the CLI's exit-2 class),
+    /// `false` for environmental failures (exit 1).
+    pub fn is_usage(&self) -> bool {
+        matches!(
+            self,
+            CorpusError::Manifest { .. }
+                | CorpusError::DuplicatePath { .. }
+                | CorpusError::DanglingEntry { .. }
+        )
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Manifest { reason } => write!(f, "malformed manifest: {reason}"),
+            CorpusError::DuplicatePath { path } => {
+                write!(f, "duplicate trace path in manifest: {path}")
+            }
+            CorpusError::DanglingEntry { path } => {
+                write!(f, "manifest entry points at a missing file: {path}")
+            }
+            CorpusError::Io { path, reason } => write!(f, "cannot read manifest {path}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}

@@ -1,0 +1,42 @@
+//! **bwsa-corpus** — fleet-scale corpus analytics.
+//!
+//! One trace is a user; a product is millions. This crate turns a
+//! directory tree of traces into a single versioned answer:
+//!
+//! 1. A **manifest** ([`Manifest`], TOML or JSON) names the traces and
+//!    tags each with a workload class and per-entry analysis overrides.
+//! 2. [`Corpus::open`] validates it — duplicate paths and dangling
+//!    entries are typed errors before any work starts.
+//! 3. [`Corpus::session`] configures a batch run in the same builder
+//!    idiom as `bwsa_core::Session`, and `run_all` fans one supervised
+//!    session per entry across worker threads.
+//! 4. Per-entry results fold into a [`FleetSummary`] — working-set
+//!    size distributions, allocation win per workload class, and
+//!    resilience rates — through the [`FleetAccumulator`] monoid,
+//!    whose canonical `finish` makes the summary bit-identical under
+//!    any input order or fan-out schedule.
+//!
+//! ```no_run
+//! use bwsa_corpus::Corpus;
+//!
+//! let corpus = Corpus::open("corpus.toml".as_ref())?;
+//! let summary = corpus.session().with_jobs(8).run_all();
+//! assert_eq!(summary.failed + summary.degraded + summary.ok,
+//!            summary.entries.len() as u64);
+//! # Ok::<(), bwsa_corpus::CorpusError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod fleet;
+mod manifest;
+mod run;
+
+pub use error::CorpusError;
+pub use fleet::{
+    ClassWin, EntryRecord, EntryStatus, FleetAccumulator, FleetSummary, HistogramBucket,
+    Percentiles, FLEET_SUMMARY_VERSION,
+};
+pub use manifest::{Manifest, ManifestEntry, DEFAULT_BASELINE, DEFAULT_CLASS, DEFAULT_THRESHOLD};
+pub use run::{Corpus, CorpusSession};

@@ -1,0 +1,585 @@
+//! The corpus manifest: a small TOML/JSON document describing a
+//! directory tree of traces with per-entry tags.
+//!
+//! The TOML dialect is deliberately tiny — exactly what a manifest
+//! needs and nothing more: top-level `key = value` pairs, one optional
+//! `[defaults]` table, and `[[trace]]` array-of-tables entries. Values
+//! are strings, integers, floats, and booleans; `#` starts a comment.
+//! The same document can equivalently be written as JSON (detected by a
+//! leading `{`), parsed with the workspace's dependency-free
+//! [`Json`] type.
+//!
+//! ```toml
+//! name = "nightly"
+//! root = "traces"            # entry paths resolve against this
+//!
+//! [defaults]
+//! threshold = 100            # conflict threshold (paper §4.2)
+//! baseline = 1024            # conventional BHT baseline for the win ratio
+//!
+//! [[trace]]
+//! path = "compress_a.bwss"
+//! class = "integer"
+//!
+//! [[trace]]
+//! path = "gs/page1.bwss"
+//! class = "render"
+//! threshold = 50             # per-entry override
+//! ```
+//!
+//! Validation is strict: unknown keys, duplicate trace paths, and
+//! out-of-range values are all typed [`CorpusError`]s, so a typo fails
+//! the manifest instead of silently analyzing the wrong corpus.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use bwsa_obs::json::Json;
+
+use crate::error::CorpusError;
+
+/// Default conflict threshold when neither `[defaults]` nor the entry
+/// sets one (the paper's §4.2 default).
+pub const DEFAULT_THRESHOLD: u64 = 100;
+/// Default conventional-BHT baseline for the allocation-win ratio
+/// (the paper's 1K-entry table).
+pub const DEFAULT_BASELINE: u64 = 1024;
+/// Workload-class tag for entries that declare none.
+pub const DEFAULT_CLASS: &str = "unclassified";
+
+/// One trace in the corpus, with its tags resolved against the
+/// manifest defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The path exactly as written in the manifest — the entry's unique
+    /// key, and the name fleet summaries report it under.
+    pub key: String,
+    /// The resolved on-disk path (`root`-relative paths joined).
+    pub path: PathBuf,
+    /// Workload-class tag (e.g. `"integer"`, `"render"`); aggregation
+    /// groups allocation wins by this.
+    pub class: String,
+    /// Conflict-graph threshold for this entry's analysis.
+    pub threshold: u64,
+    /// Conventional BHT baseline the allocation win is measured against.
+    pub baseline: u64,
+}
+
+/// A parsed, structurally-validated corpus manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Corpus name (defaults to the manifest file stem).
+    pub name: String,
+    /// Directory entry paths resolve against.
+    pub root: PathBuf,
+    /// The traces, in manifest order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Reads and parses a manifest file, TOML or JSON by content
+    /// sniffing.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the file cannot be read, otherwise any
+    /// parse/validation error from [`Manifest::parse`].
+    pub fn load(path: &Path) -> Result<Manifest, CorpusError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CorpusError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "corpus".to_owned());
+        Manifest::parse(&text, base, &stem)
+    }
+
+    /// Parses manifest text. `base` anchors relative `root`/entry
+    /// paths; `default_name` is used when the document sets no `name`.
+    ///
+    /// Duplicate trace paths are rejected here (a structural property of
+    /// the document); whether entries exist on disk is checked
+    /// separately by [`Manifest::check_entries_exist`].
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Manifest`] for malformed text and
+    /// [`CorpusError::DuplicatePath`] for a repeated trace path.
+    pub fn parse(text: &str, base: &Path, default_name: &str) -> Result<Manifest, CorpusError> {
+        let raw = if text.trim_start().starts_with('{') {
+            RawManifest::from_json(text)?
+        } else {
+            RawManifest::from_toml(text)?
+        };
+        raw.resolve(base, default_name)
+    }
+
+    /// Checks every entry's resolved path exists on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::DanglingEntry`] naming the first missing file.
+    pub fn check_entries_exist(&self) -> Result<(), CorpusError> {
+        for entry in &self.entries {
+            if !entry.path.is_file() {
+                return Err(CorpusError::DanglingEntry {
+                    path: entry.path.display().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A loosely-typed manifest value, the common currency of the TOML and
+/// JSON front ends.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    UInt(u64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+type Table = BTreeMap<String, Value>;
+
+/// The document before defaults are folded into entries.
+struct RawManifest {
+    top: Table,
+    defaults: Table,
+    traces: Vec<Table>,
+}
+
+fn str_of(table: &Table, key: &str) -> Result<Option<String>, CorpusError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(CorpusError::manifest(format!(
+            "key {key:?} must be a string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn uint_of(table: &Table, key: &str) -> Result<Option<u64>, CorpusError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(other) => Err(CorpusError::manifest(format!(
+            "key {key:?} must be a positive integer, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn check_keys(table: &Table, allowed: &[&str], context: &str) -> Result<(), CorpusError> {
+    for key in table.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(CorpusError::manifest(format!(
+                "unknown key {key:?} in {context} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl RawManifest {
+    fn resolve(self, base: &Path, default_name: &str) -> Result<Manifest, CorpusError> {
+        check_keys(&self.top, &["name", "root"], "manifest")?;
+        check_keys(
+            &self.defaults,
+            &["threshold", "baseline", "class"],
+            "[defaults]",
+        )?;
+        let name = str_of(&self.top, "name")?.unwrap_or_else(|| default_name.to_owned());
+        let root = match str_of(&self.top, "root")? {
+            Some(r) => base.join(r),
+            None => base.to_path_buf(),
+        };
+        let default_threshold = uint_of(&self.defaults, "threshold")?.unwrap_or(DEFAULT_THRESHOLD);
+        let default_baseline = uint_of(&self.defaults, "baseline")?.unwrap_or(DEFAULT_BASELINE);
+        let default_class =
+            str_of(&self.defaults, "class")?.unwrap_or_else(|| DEFAULT_CLASS.to_owned());
+
+        if self.traces.is_empty() {
+            return Err(CorpusError::manifest("manifest lists no trace entries"));
+        }
+        let mut entries = Vec::with_capacity(self.traces.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, table) in self.traces.iter().enumerate() {
+            check_keys(
+                table,
+                &["path", "class", "threshold", "baseline"],
+                "[[trace]]",
+            )?;
+            let key = str_of(table, "path")?.ok_or_else(|| {
+                CorpusError::manifest(format!("trace entry {} has no \"path\"", i + 1))
+            })?;
+            if key.is_empty() {
+                return Err(CorpusError::manifest(format!(
+                    "trace entry {} has an empty \"path\"",
+                    i + 1
+                )));
+            }
+            let path = root.join(&key);
+            if !seen.insert(path.clone()) {
+                return Err(CorpusError::DuplicatePath { path: key });
+            }
+            let threshold = uint_of(table, "threshold")?.unwrap_or(default_threshold);
+            let baseline = uint_of(table, "baseline")?.unwrap_or(default_baseline);
+            if threshold == 0 {
+                return Err(CorpusError::manifest(format!(
+                    "trace {key:?}: threshold must be at least 1"
+                )));
+            }
+            if baseline == 0 {
+                return Err(CorpusError::manifest(format!(
+                    "trace {key:?}: baseline must be at least 1"
+                )));
+            }
+            entries.push(ManifestEntry {
+                key,
+                path,
+                class: str_of(table, "class")?.unwrap_or_else(|| default_class.clone()),
+                threshold,
+                baseline,
+            });
+        }
+        Ok(Manifest {
+            name,
+            root,
+            entries,
+        })
+    }
+
+    /// Parses the TOML subset documented at module level.
+    fn from_toml(text: &str) -> Result<RawManifest, CorpusError> {
+        #[derive(PartialEq)]
+        enum Section {
+            Top,
+            Defaults,
+            Trace,
+        }
+        let mut raw = RawManifest {
+            top: Table::new(),
+            defaults: Table::new(),
+            traces: Vec::new(),
+        };
+        let mut section = Section::Top;
+        for (lineno, line) in text.lines().enumerate() {
+            let n = lineno + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[") {
+                let name = header.strip_suffix("]]").ok_or_else(|| {
+                    CorpusError::manifest(format!("line {n}: unterminated [[table]] header"))
+                })?;
+                if name.trim() != "trace" {
+                    return Err(CorpusError::manifest(format!(
+                        "line {n}: unknown array table [[{}]] (expected [[trace]])",
+                        name.trim()
+                    )));
+                }
+                raw.traces.push(Table::new());
+                section = Section::Trace;
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let name = header.strip_suffix(']').ok_or_else(|| {
+                    CorpusError::manifest(format!("line {n}: unterminated [table] header"))
+                })?;
+                if name.trim() != "defaults" {
+                    return Err(CorpusError::manifest(format!(
+                        "line {n}: unknown table [{}] (expected [defaults])",
+                        name.trim()
+                    )));
+                }
+                section = Section::Defaults;
+                continue;
+            }
+            let (key, rest) = line.split_once('=').ok_or_else(|| {
+                CorpusError::manifest(format!("line {n}: expected key = value, got {line:?}"))
+            })?;
+            let key = key.trim();
+            if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(CorpusError::manifest(format!("line {n}: bad key {key:?}")));
+            }
+            let value = parse_toml_value(rest.trim())
+                .map_err(|e| CorpusError::manifest(format!("line {n}: {e}")))?;
+            let table = match section {
+                Section::Top => &mut raw.top,
+                Section::Defaults => &mut raw.defaults,
+                Section::Trace => raw.traces.last_mut().expect("trace section has a table"),
+            };
+            if table.insert(key.to_owned(), value).is_some() {
+                return Err(CorpusError::manifest(format!(
+                    "line {n}: key {key:?} set twice in the same table"
+                )));
+            }
+        }
+        Ok(raw)
+    }
+
+    /// Parses the JSON spelling: `{"name": .., "root": ..,
+    /// "defaults": {..}, "traces": [{..}, ..]}`.
+    fn from_json(text: &str) -> Result<RawManifest, CorpusError> {
+        let doc = Json::parse(text).map_err(CorpusError::manifest)?;
+        let Json::Object(pairs) = &doc else {
+            return Err(CorpusError::manifest("top level must be a JSON object"));
+        };
+        let mut raw = RawManifest {
+            top: Table::new(),
+            defaults: Table::new(),
+            traces: Vec::new(),
+        };
+        for (key, value) in pairs {
+            match (key.as_str(), value) {
+                ("defaults", Json::Object(d)) => raw.defaults = json_table(d)?,
+                ("defaults", other) => {
+                    return Err(CorpusError::manifest(format!(
+                        "\"defaults\" must be an object, got {}",
+                        other.type_name()
+                    )))
+                }
+                ("traces", Json::Array(items)) => {
+                    for item in items {
+                        let Json::Object(t) = item else {
+                            return Err(CorpusError::manifest(
+                                "every \"traces\" element must be an object",
+                            ));
+                        };
+                        raw.traces.push(json_table(t)?);
+                    }
+                }
+                ("traces", other) => {
+                    return Err(CorpusError::manifest(format!(
+                        "\"traces\" must be an array, got {}",
+                        other.type_name()
+                    )))
+                }
+                (_, scalar) => {
+                    raw.top.insert(key.clone(), json_scalar(key, scalar)?);
+                }
+            }
+        }
+        Ok(raw)
+    }
+}
+
+fn json_table(pairs: &[(String, Json)]) -> Result<Table, CorpusError> {
+    let mut table = Table::new();
+    for (key, value) in pairs {
+        if table
+            .insert(key.clone(), json_scalar(key, value)?)
+            .is_some()
+        {
+            return Err(CorpusError::manifest(format!("key {key:?} set twice")));
+        }
+    }
+    Ok(table)
+}
+
+fn json_scalar(key: &str, value: &Json) -> Result<Value, CorpusError> {
+    match value {
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        Json::UInt(n) => Ok(Value::UInt(*n)),
+        Json::Float(f) => Ok(Value::Float(*f)),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        other => Err(CorpusError::manifest(format!(
+            "key {key:?} holds a {}, expected a scalar",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Parses one TOML value, tolerating a trailing `# comment`.
+fn parse_toml_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('"') {
+        // Basic string with \" \\ \n \t escapes; comment stripping is
+        // unnecessary because we stop at the closing quote.
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(format!("bad escape \\{}", other.unwrap_or(' '))),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        let tail = chars.as_str().trim();
+        if !tail.is_empty() && !tail.starts_with('#') {
+            return Err(format!("trailing garbage after string: {tail:?}"));
+        }
+        return Ok(Value::Str(out));
+    }
+    // Unquoted scalar: strip a trailing comment first.
+    let text = match text.find('#') {
+        Some(i) => text[..i].trim(),
+        None => text,
+    };
+    match text {
+        "" => Err("missing value".to_owned()),
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
+        _ => {
+            if let Ok(n) = text.parse::<u64>() {
+                Ok(Value::UInt(n))
+            } else if let Ok(f) = text.parse::<f64>() {
+                Ok(Value::Float(f))
+            } else {
+                Err(format!("cannot parse value {text:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "/corpus";
+
+    fn parse(text: &str) -> Result<Manifest, CorpusError> {
+        Manifest::parse(text, Path::new(BASE), "test")
+    }
+
+    #[test]
+    fn toml_manifest_parses_with_defaults_and_overrides() {
+        let m = parse(
+            r#"
+# A corpus of two traces.
+name = "nightly"
+root = "traces"
+
+[defaults]
+threshold = 50
+class = "integer"
+
+[[trace]]
+path = "a.bwss"
+
+[[trace]]
+path = "sub/b.bwss"
+class = "render"     # per-entry tag
+threshold = 7
+baseline = 512
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.name, "nightly");
+        assert_eq!(m.root, PathBuf::from("/corpus/traces"));
+        assert_eq!(m.entries.len(), 2);
+        let a = &m.entries[0];
+        assert_eq!(a.key, "a.bwss");
+        assert_eq!(a.path, PathBuf::from("/corpus/traces/a.bwss"));
+        assert_eq!((a.threshold, a.baseline), (50, DEFAULT_BASELINE));
+        assert_eq!(a.class, "integer");
+        let b = &m.entries[1];
+        assert_eq!((b.threshold, b.baseline), (7, 512));
+        assert_eq!(b.class, "render");
+    }
+
+    #[test]
+    fn json_manifest_is_equivalent_to_toml() {
+        let toml = parse(
+            "name = \"n\"\n[defaults]\nthreshold = 9\n[[trace]]\npath = \"t.bwss\"\nclass = \"x\"\n",
+        )
+        .unwrap();
+        let json = parse(
+            r#"{"name": "n", "defaults": {"threshold": 9},
+                "traces": [{"path": "t.bwss", "class": "x"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(toml, json);
+    }
+
+    #[test]
+    fn duplicate_trace_path_is_a_typed_error() {
+        let err =
+            parse("[[trace]]\npath = \"t.bwss\"\n[[trace]]\npath = \"t.bwss\"\n").unwrap_err();
+        assert_eq!(
+            err,
+            CorpusError::DuplicatePath {
+                path: "t.bwss".to_owned()
+            }
+        );
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn dangling_entry_is_a_typed_error() {
+        let m = parse("[[trace]]\npath = \"never-created.bwss\"\n").unwrap();
+        let err = m.check_entries_exist().unwrap_err();
+        assert!(matches!(err, CorpusError::DanglingEntry { ref path }
+            if path.ends_with("never-created.bwss")));
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        assert!(matches!(
+            parse("[[trace]]\npath = \"t\"\nthresold = 3\n"),
+            Err(CorpusError::Manifest { .. })
+        ));
+        assert!(matches!(
+            parse("[mystery]\nx = 1\n"),
+            Err(CorpusError::Manifest { .. })
+        ));
+        assert!(matches!(
+            parse(r#"{"traces": [{"path": "t"}], "surprise": {"a": 1}}"#),
+            Err(CorpusError::Manifest { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_threshold_empty_manifest_and_bad_syntax_are_rejected() {
+        for bad in [
+            "[[trace]]\npath = \"t\"\nthreshold = 0\n",
+            "name = \"empty\"\n",
+            "[[trace]]\npath : \"t\"\n",
+            "[[trace]]\npath = \"unterminated\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(CorpusError::Manifest { .. })),
+                "expected Manifest error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_tolerate_comments_and_escapes() {
+        assert_eq!(
+            parse_toml_value("\"a\\\"b\\n\"  # note").unwrap(),
+            Value::Str("a\"b\n".to_owned())
+        );
+        assert_eq!(parse_toml_value("42 # answer").unwrap(), Value::UInt(42));
+        assert_eq!(parse_toml_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_toml_value("0.5").unwrap(), Value::Float(0.5));
+        assert!(parse_toml_value("nope nope").is_err());
+    }
+}

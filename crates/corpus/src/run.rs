@@ -1,0 +1,252 @@
+//! Opening a corpus and fanning supervised [`Session`]s across it.
+//!
+//! [`Corpus::open`] validates the manifest up front (parse, duplicate
+//! paths, dangling entries) so a batch never starts against a corpus
+//! that cannot finish. [`CorpusSession::run_all`] then runs one
+//! supervised session per entry via [`parallel_map`] and folds the
+//! per-entry records into a [`FleetSummary`].
+//!
+//! Each entry gets its own degradation ladder, so one corrupt trace
+//! never sinks the batch:
+//!
+//! 1. **Ingest** reads BWSS2 streams under [`RecoveryPolicy::Salvage`]
+//!    — damaged chunks are dropped and counted, not fatal.
+//! 2. **Analysis** runs under the session supervisor (configurable via
+//!    [`CorpusSession::with_supervisor`]), inheriting the
+//!    parallel→serial→streaming ladder.
+//! 3. The whole entry is wrapped in [`supervisor::catch`]: even a
+//!    panic is contained to a `failed` row in the summary.
+
+use std::path::Path;
+
+use bwsa_core::parallel::parallel_map;
+use bwsa_core::{AnalysisPipeline, Classified, ConflictConfig, Session, SupervisorConfig};
+use bwsa_obs::Obs;
+use bwsa_resilience::supervisor;
+use bwsa_trace::stream::{RecoveryPolicy, StreamReader};
+use bwsa_trace::{io as trace_io, Trace};
+
+use crate::error::CorpusError;
+use crate::fleet::{EntryRecord, EntryStatus, FleetAccumulator, FleetSummary};
+use crate::manifest::{Manifest, ManifestEntry};
+
+/// An opened, validated corpus — the root object of the batch API.
+///
+/// ```no_run
+/// use bwsa_corpus::Corpus;
+///
+/// let summary = Corpus::open("corpus.toml".as_ref())?
+///     .session()
+///     .with_jobs(4)
+///     .run_all();
+/// println!("{}", summary.to_json().to_pretty_string());
+/// # Ok::<(), bwsa_corpus::CorpusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    manifest: Manifest,
+}
+
+impl Corpus {
+    /// Loads and fully validates a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::Io`] if the manifest cannot be read,
+    /// [`CorpusError::Manifest`]/[`CorpusError::DuplicatePath`] for
+    /// malformed documents, and [`CorpusError::DanglingEntry`] when an
+    /// entry's trace file does not exist.
+    pub fn open(manifest_path: &Path) -> Result<Corpus, CorpusError> {
+        Corpus::from_manifest(Manifest::load(manifest_path)?)
+    }
+
+    /// Wraps an already-parsed manifest, running the on-disk checks.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::DanglingEntry`] when an entry's file is missing.
+    pub fn from_manifest(manifest: Manifest) -> Result<Corpus, CorpusError> {
+        manifest.check_entries_exist()?;
+        Ok(Corpus { manifest })
+    }
+
+    /// The validated manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Starts configuring a batch run, mirroring the
+    /// [`Session`] builder idiom.
+    pub fn session(&self) -> CorpusSession<'_> {
+        CorpusSession {
+            corpus: self,
+            jobs: 1,
+            threshold: None,
+            supervisor: None,
+            obs: Obs::noop(),
+        }
+    }
+}
+
+/// A configured batch run over one [`Corpus`].
+#[derive(Debug, Clone)]
+pub struct CorpusSession<'c> {
+    corpus: &'c Corpus,
+    jobs: usize,
+    threshold: Option<u64>,
+    supervisor: Option<SupervisorConfig>,
+    obs: Obs,
+}
+
+impl CorpusSession<'_> {
+    /// Worker threads to fan entries across (clamped to at least 1).
+    /// The default is 1 — serial, the reference schedule the parallel
+    /// one is proven bit-identical to.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Overrides every entry's conflict threshold for this run.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: u64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Supervises each entry's analysis with the given retry/downgrade
+    /// policy.
+    #[must_use]
+    pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = Some(config);
+        self
+    }
+
+    /// Attaches an observer; per-entry sessions inherit clones of it,
+    /// and the batch feeds `corpus.*` counters into it.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Runs every entry and folds the results into a [`FleetSummary`].
+    ///
+    /// Infallible by design: corpus-level validation already happened
+    /// in [`Corpus::open`], and every per-entry failure mode — corrupt
+    /// file, analysis error, even a panic — is contained to that
+    /// entry's `failed` row.
+    pub fn run_all(&self) -> FleetSummary {
+        let _span = self.obs.span("corpus_run");
+        let entries = self.corpus.manifest.entries.clone();
+        let records = parallel_map(entries, self.jobs, |_i, entry| self.run_entry(&entry));
+        for r in &records {
+            self.obs.add("corpus.entries", 1);
+            match r.status {
+                EntryStatus::Ok => self.obs.add("corpus.entries_ok", 1),
+                EntryStatus::Degraded => self.obs.add("corpus.entries_degraded", 1),
+                EntryStatus::Failed => self.obs.add("corpus.entries_failed", 1),
+            }
+            self.obs.add("corpus.records", r.records);
+        }
+        records
+            .into_iter()
+            .collect::<FleetAccumulator>()
+            .finish(&self.corpus.manifest.name)
+    }
+
+    /// Runs one entry through the full ladder; never propagates an
+    /// error or a panic.
+    fn run_entry(&self, entry: &ManifestEntry) -> EntryRecord {
+        let threshold = self.threshold.unwrap_or(entry.threshold);
+        match supervisor::catch(|| self.run_entry_inner(entry, threshold)) {
+            Ok(record) => record,
+            Err(fault) => EntryRecord::failed(&entry.key, &entry.class, fault.to_string()),
+        }
+    }
+
+    fn run_entry_inner(&self, entry: &ManifestEntry, threshold: u64) -> EntryRecord {
+        let fail = |e: String| EntryRecord::failed(&entry.key, &entry.class, e);
+        let (trace, chunks_dropped) = match load_trace(&entry.path) {
+            Ok(loaded) => loaded,
+            Err(e) => return fail(e),
+        };
+        if trace.is_empty() {
+            return fail("trace holds no records".to_owned());
+        }
+        let conflict = match ConflictConfig::with_threshold(threshold) {
+            Ok(c) => c,
+            Err(e) => return fail(e.to_string()),
+        };
+        let pipeline = AnalysisPipeline {
+            conflict,
+            ..AnalysisPipeline::default()
+        };
+        let mut session = Session::new(&trace)
+            .with_pipeline(pipeline)
+            .with_observer(self.obs.clone());
+        if let Some(cfg) = self.supervisor {
+            session = session.with_supervisor(cfg);
+        }
+        let analysis = match session.run() {
+            Ok(a) => a,
+            Err(e) => return fail(e.to_string()),
+        };
+        let ws = analysis.working_sets.report;
+        let required = match session.required_bht_size(Classified(false), entry.baseline as usize) {
+            Ok(r) => r,
+            Err(e) => return fail(e.to_string()),
+        };
+        let (retries, downgrades) = match session.resilience_summary() {
+            Some(s) => (s.retries, s.downgrades.len() as u64),
+            None => (0, 0),
+        };
+        let status = if chunks_dropped > 0 || downgrades > 0 {
+            EntryStatus::Degraded
+        } else {
+            EntryStatus::Ok
+        };
+        EntryRecord {
+            key: entry.key.clone(),
+            class: entry.class.clone(),
+            status,
+            error: None,
+            records: trace.len() as u64,
+            chunks_dropped,
+            retries,
+            downgrades,
+            total_sets: ws.total_sets as u64,
+            max_set: ws.max_size as u64,
+            avg_dynamic_size: ws.avg_dynamic_size,
+            avg_static_size: ws.avg_static_size,
+            required_size: required.size as u64,
+            baseline: entry.baseline,
+        }
+    }
+}
+
+/// Loads one trace file by magic (BWST in-memory binary or BWSS2
+/// stream), salvaging damaged stream chunks. Returns the trace and the
+/// number of chunks salvage had to drop.
+fn load_trace(path: &Path) -> Result<(Trace, u64), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if bytes.starts_with(b"BWST") {
+        let trace = trace_io::decode_binary(&bytes)
+            .map_err(|e| format!("cannot decode {}: {e}", path.display()))?;
+        return Ok((trace, 0));
+    }
+    let mut reader = StreamReader::with_recovery(bytes.as_slice(), RecoveryPolicy::Salvage)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut trace = Trace::new(reader.name().to_owned());
+    for item in reader.by_ref() {
+        let record = item.map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        trace
+            .push(record)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    }
+    if let Some(total) = reader.total_instructions() {
+        trace.meta_mut().total_instructions = total;
+    }
+    Ok((trace, reader.salvage_report().chunks_dropped))
+}

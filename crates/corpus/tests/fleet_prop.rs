@@ -1,0 +1,166 @@
+//! The fleet-summary aggregation algebra, property-tested: for
+//! arbitrary entry records, the summary must be **bit-identical** (same
+//! pretty-printed JSON bytes) under
+//!
+//! * any permutation of the input order,
+//! * any parenthesization of `merge` (associativity — the serial fold
+//!   and every tree-shaped parallel fold agree), and
+//! * merging with the identity accumulator anywhere.
+//!
+//! Together these prove the schedule-independence `run_all` relies on:
+//! however `parallel_map` interleaves entries across workers, the
+//! folded `FleetSummary` is the serial one.
+
+use bwsa_corpus::{EntryRecord, EntryStatus, FleetAccumulator};
+use proptest::prelude::*;
+
+fn arb_status() -> impl Strategy<Value = EntryStatus> {
+    prop_oneof![
+        Just(EntryStatus::Ok),
+        Just(EntryStatus::Degraded),
+        Just(EntryStatus::Failed),
+    ]
+}
+
+/// Records with unique keys (the manifest loader guarantees this) and
+/// adversarial metric values, including ties across entries.
+fn arb_records() -> impl Strategy<Value = Vec<EntryRecord>> {
+    prop::collection::vec(
+        (
+            // Nested tuples keep each strategy tuple within the
+            // supported arity.
+            (
+                arb_status(),
+                0u8..4,  // few classes, to force per-class grouping
+                0u64..5, // total_sets
+            ),
+            (
+                0u64..40,  // max_set
+                0u64..200, // records
+                1u64..64,  // required_size
+            ),
+            (
+                0u64..3,     // downgrades
+                0u64..3,     // chunks_dropped
+                0.0f64..8.0, // avg_dynamic_size
+            ),
+        ),
+        0..24,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(
+                |(i, ((status, class, sets), (max_set, records, req), (down, dropped, avg)))| {
+                    let class = format!("class-{class}");
+                    if status == EntryStatus::Failed {
+                        EntryRecord::failed(&format!("t{i:03}.bwss"), &class, "injected")
+                    } else {
+                        EntryRecord {
+                            key: format!("t{i:03}.bwss"),
+                            class,
+                            status,
+                            error: None,
+                            records,
+                            chunks_dropped: dropped,
+                            retries: down,
+                            downgrades: down,
+                            total_sets: sets,
+                            max_set,
+                            avg_dynamic_size: avg,
+                            avg_static_size: avg / 2.0,
+                            required_size: req,
+                            baseline: 1024,
+                        }
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
+fn render(acc: FleetAccumulator) -> String {
+    acc.finish("prop").to_json().to_pretty_string()
+}
+
+fn serial_fold(records: &[EntryRecord]) -> FleetAccumulator {
+    let mut acc = FleetAccumulator::empty();
+    for r in records {
+        acc.absorb(r.clone());
+    }
+    acc
+}
+
+/// Folds `records` as a merge tree with the given chunk sizes, the way
+/// a parallel scheduler would combine partial results.
+fn tree_fold(records: &[EntryRecord], chunks: &[usize]) -> FleetAccumulator {
+    let mut parts: Vec<FleetAccumulator> = Vec::new();
+    let mut rest = records;
+    let mut ci = 0;
+    while !rest.is_empty() {
+        let take = chunks
+            .get(ci % chunks.len().max(1))
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, rest.len());
+        parts.push(serial_fold(&rest[..take]));
+        rest = &rest[take..];
+        ci += 1;
+    }
+    // Pairwise tree reduction (a different parenthesization than the
+    // serial left fold).
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a.merge(b)),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop().unwrap_or_else(FleetAccumulator::empty)
+}
+
+proptest! {
+    #[test]
+    fn summary_is_invariant_under_permutation(
+        records in arb_records(),
+        seed in any::<u64>(),
+    ) {
+        let baseline = render(serial_fold(&records));
+        // Deterministic Fisher–Yates driven by the seed.
+        let mut shuffled = records.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(render(serial_fold(&shuffled)), baseline);
+    }
+
+    #[test]
+    fn merge_is_associative_and_tree_folds_match_serial(
+        records in arb_records(),
+        chunks in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        let baseline = render(serial_fold(&records));
+        prop_assert_eq!(render(tree_fold(&records, &chunks)), baseline);
+    }
+
+    #[test]
+    fn empty_is_an_identity_everywhere(records in arb_records(), at in 0usize..25) {
+        let baseline = render(serial_fold(&records));
+        let cut = at.min(records.len());
+        let left = serial_fold(&records[..cut]);
+        let right = serial_fold(&records[cut..]);
+        let with_identity = FleetAccumulator::empty()
+            .merge(left)
+            .merge(FleetAccumulator::empty())
+            .merge(right)
+            .merge(FleetAccumulator::empty());
+        prop_assert_eq!(render(with_identity), baseline);
+    }
+}

@@ -215,6 +215,27 @@ impl Client {
         }
     }
 
+    /// Asks the daemon to batch-analyze a corpus manifest on *its*
+    /// filesystem (the path is server-local; nothing is uploaded) and
+    /// answer with the versioned fleet summary document. `jobs` is the
+    /// fan-out width on the server, 0 for serial.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn corpus(
+        &mut self,
+        manifest: &str,
+        threshold: Option<u64>,
+        jobs: u64,
+    ) -> Result<Response, ClientError> {
+        self.request(Request::Corpus {
+            threshold,
+            jobs,
+            manifest: manifest.to_owned(),
+        })
+    }
+
     /// Live metrics and per-tenant counters.
     ///
     /// # Errors

@@ -25,6 +25,9 @@ pub mod kind {
     /// Windowed analysis subscription: stream per-window summaries as
     /// they flush, then the whole-trace result.
     pub const REQ_SUBSCRIBE: u8 = 7;
+    /// Batch-analyze a server-local corpus manifest into a fleet
+    /// summary.
+    pub const REQ_CORPUS: u8 = 8;
     /// Success response; body is a JSON document.
     pub const RESP_OK: u8 = 0x80;
     /// Failure response; body is code + retry-after + message.
@@ -78,6 +81,19 @@ pub enum Request {
         instructions: bool,
         /// BWSS2 stream bytes.
         trace: Vec<u8>,
+    },
+    /// Batch-analyze every trace named by a corpus manifest on the
+    /// *server's* filesystem (manifests travel as paths, not uploads:
+    /// the traces they name are already server-local) and answer with
+    /// the versioned fleet summary document.
+    Corpus {
+        /// Conflict threshold override for every entry (`None` =
+        /// per-entry manifest values).
+        threshold: Option<u64>,
+        /// Worker threads to fan entries across (0 = serial).
+        jobs: u64,
+        /// Server-local manifest path (TOML or JSON).
+        manifest: String,
     },
     /// Live metrics and per-tenant counters.
     Status,
@@ -196,6 +212,7 @@ impl Request {
             Request::Allocate { .. } => kind::REQ_ALLOCATE,
             Request::Report { .. } => kind::REQ_REPORT,
             Request::Subscribe { .. } => kind::REQ_SUBSCRIBE,
+            Request::Corpus { .. } => kind::REQ_CORPUS,
             Request::Status => kind::REQ_STATUS,
             Request::Shutdown => kind::REQ_SHUTDOWN,
         }
@@ -235,6 +252,17 @@ impl Request {
                 b.extend_from_slice(&window.to_le_bytes());
                 b.push(u8::from(*instructions));
                 b.extend_from_slice(trace);
+                b
+            }
+            Request::Corpus {
+                threshold,
+                jobs,
+                manifest,
+            } => {
+                let mut b = Vec::with_capacity(16 + manifest.len());
+                b.extend_from_slice(&threshold.unwrap_or(0).to_le_bytes());
+                b.extend_from_slice(&jobs.to_le_bytes());
+                b.extend_from_slice(manifest.as_bytes());
                 b
             }
         };
@@ -294,6 +322,21 @@ impl Request {
                     window,
                     instructions: body[16] != 0,
                     trace: body[17..].to_vec(),
+                })
+            }
+            kind::REQ_CORPUS => {
+                if body.len() < 16 {
+                    return Err(ProtoError::Short { kind: frame.kind });
+                }
+                let threshold = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+                let jobs = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+                let manifest = std::str::from_utf8(&body[16..])
+                    .map_err(|_| ProtoError::BadUtf8)?
+                    .to_owned();
+                Ok(Request::Corpus {
+                    threshold: (threshold != 0).then_some(threshold),
+                    jobs,
+                    manifest,
                 })
             }
             other => Err(ProtoError::UnknownKind(other)),
@@ -415,6 +458,16 @@ mod tests {
                 instructions: true,
                 trace: Vec::new(),
             },
+            Request::Corpus {
+                threshold: Some(50),
+                jobs: 4,
+                manifest: "/srv/corpus.toml".into(),
+            },
+            Request::Corpus {
+                threshold: None,
+                jobs: 0,
+                manifest: String::new(),
+            },
         ];
         for (i, req) in cases.into_iter().enumerate() {
             let frame = req.clone().into_frame(i as u64, "acme");
@@ -466,6 +519,30 @@ mod tests {
         assert!(matches!(
             Request::from_frame(&short_subscribe),
             Err(ProtoError::Short { .. })
+        ));
+        let short_corpus = Frame {
+            request_id: 1,
+            kind: kind::REQ_CORPUS,
+            tenant: String::new(),
+            body: vec![0; 15],
+        };
+        assert!(matches!(
+            Request::from_frame(&short_corpus),
+            Err(ProtoError::Short { .. })
+        ));
+        let bad_utf8_corpus = Frame {
+            request_id: 1,
+            kind: kind::REQ_CORPUS,
+            tenant: String::new(),
+            body: {
+                let mut b = vec![0; 16];
+                b.extend_from_slice(&[0xff, 0xfe]);
+                b
+            },
+        };
+        assert!(matches!(
+            Request::from_frame(&bad_utf8_corpus),
+            Err(ProtoError::BadUtf8)
         ));
         let unknown = Frame {
             request_id: 1,

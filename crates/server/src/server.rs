@@ -464,6 +464,11 @@ fn dispatch(frame: Frame, ctx: &Arc<Ctx>) -> Response {
         Request::Report { threshold, trace } => {
             analysis_request(ctx, &frame.tenant, threshold, &trace, Action::Report)
         }
+        Request::Corpus {
+            threshold,
+            jobs,
+            manifest,
+        } => corpus_request(ctx, &frame.tenant, threshold, jobs, &manifest),
         // Subscriptions are routed by kind byte in `serve_connection`
         // before dispatch; reaching here means a caller bypassed that.
         Request::Subscribe { .. } => Response::Error {
@@ -773,6 +778,114 @@ fn analysis_request(
                 retry_after_ms: None,
             },
         }
+    });
+    match outcome {
+        Ok(response) => response,
+        Err(e @ (ResilienceError::Timeout { .. } | ResilienceError::MemoryBudget { .. })) => {
+            Response::Error {
+                code: ErrorCode::Analysis,
+                message: e.to_string(),
+                retry_after_ms: None,
+            }
+        }
+        Err(e) => Response::Error {
+            code: ErrorCode::Fault,
+            message: format!("request fault contained: {e}"),
+            retry_after_ms: None,
+        },
+    }
+}
+
+/// Quota → admission → fanned corpus run for a server-local manifest.
+///
+/// The manifest travels as a path (the traces it names are already on
+/// the server's filesystem), so validation happens *before* quota is
+/// charged — a malformed manifest is a free, typed refusal. Quota is
+/// then charged by the summed on-disk size of every trace the manifest
+/// names: the batch's real in-flight bytes, same currency as uploads.
+fn corpus_request(
+    ctx: &Arc<Ctx>,
+    tenant: &str,
+    threshold: Option<u64>,
+    jobs: u64,
+    manifest: &str,
+) -> Response {
+    let corpus = match bwsa_corpus::Corpus::open(Path::new(manifest)) {
+        Ok(c) => c,
+        Err(e) => {
+            return Response::Error {
+                code: if e.is_usage() {
+                    ErrorCode::Malformed
+                } else {
+                    ErrorCode::Analysis
+                },
+                message: e.to_string(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let corpus_bytes: u64 = corpus
+        .manifest()
+        .entries
+        .iter()
+        .map(|e| std::fs::metadata(&e.path).map_or(0, |m| m.len()))
+        .sum();
+    let _quota = match ctx.quota.try_admit(tenant, corpus_bytes) {
+        Ok(guard) => guard,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Quota,
+                message: e.to_string(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let _slot = match ctx.admission.enter() {
+        Ok(guard) => guard,
+        Err(AdmissionError::Shed { retry_after }) => {
+            ctx.obs.add("server.requests_shed", 1);
+            return Response::Error {
+                code: ErrorCode::Overload,
+                message: "admission queue at the shed watermark".to_owned(),
+                retry_after_ms: Some(retry_after.as_millis().min(u128::from(u64::MAX)) as u64),
+            };
+        }
+        Err(AdmissionError::ShuttingDown) => {
+            return Response::Error {
+                code: ErrorCode::Shutdown,
+                message: "daemon is draining".to_owned(),
+                retry_after_ms: None,
+            }
+        }
+    };
+    let _deadline = ctx
+        .request_deadline
+        .map(|budget| watchdog::arm_local(Instant::now() + budget));
+    let outcome = catch(|| {
+        if let Some(t) = threshold {
+            if let Err(e) = ConflictConfig::with_threshold(t) {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                    retry_after_ms: None,
+                };
+            }
+        }
+        ctx.obs.add("server.corpus_runs", 1);
+        let mut session = corpus
+            .session()
+            .with_supervisor(ctx.supervisor)
+            .with_observer(ctx.obs.clone());
+        if jobs > 0 {
+            session = session.with_jobs(jobs as usize);
+        }
+        if let Some(t) = threshold {
+            session = session.with_threshold(t);
+        }
+        // run_all is infallible: per-entry failures are degraded/failed
+        // rows in the summary, exactly the containment this daemon
+        // promises per request.
+        Response::Ok(session.run_all().to_json().to_pretty_string())
     });
     match outcome {
         Ok(response) => response,

@@ -411,6 +411,90 @@ fn windowed_subscription_streams_summaries_then_the_exact_whole_trace_answer() {
 }
 
 #[test]
+fn corpus_request_answers_the_exact_local_fleet_summary() {
+    // Lay out a 2-trace corpus on the server's filesystem.
+    let dir = std::env::temp_dir().join(format!("bwsa-it-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("a.bwss"), trace_bytes("a", 600)).unwrap();
+    std::fs::write(dir.join("b.bwss"), trace_bytes("b", 900)).unwrap();
+    let manifest = dir.join("corpus.toml");
+    std::fs::write(
+        &manifest,
+        "name = \"served\"\n\n[defaults]\nclass = \"synthetic\"\n\n\
+         [[trace]]\npath = \"a.bwss\"\n\n[[trace]]\npath = \"b.bwss\"\n",
+    )
+    .unwrap();
+
+    let handle = spawn_server("corpus", |_| {});
+    let mut client = Client::connect(handle.socket(), "fleet").unwrap();
+    let served = expect_ok(client.corpus(manifest.to_str().unwrap(), None, 2).unwrap());
+
+    // Byte-for-byte the summary a local Corpus run produces — the
+    // fleet fold is schedule-independent, so server jobs=2 matches a
+    // local serial run.
+    let local = bwsa_corpus::Corpus::open(&manifest)
+        .unwrap()
+        .session()
+        .run_all()
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(served, local);
+    let doc = Json::parse(&served).unwrap();
+    assert_eq!(
+        doc.get("corpus")
+            .and_then(|c| c.get("entries"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    // A malformed manifest is a typed, free refusal.
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "[[trace]]\npath = \"ghost.bwss\"\n").unwrap();
+    match client.corpus(bad.to_str().unwrap(), None, 0).unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert!(message.contains("ghost.bwss"), "{message}");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    // Every quota charge (summed trace file sizes) was released.
+    assert_eq!(handle.quota().in_flight(), (0, 0));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn corpus_quota_is_charged_by_summed_trace_sizes() {
+    let dir = std::env::temp_dir().join(format!("bwsa-it-corpus-quota-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bytes = trace_bytes("q", 500);
+    std::fs::write(dir.join("q.bwss"), &bytes).unwrap();
+    let manifest = dir.join("corpus.toml");
+    std::fs::write(&manifest, "[[trace]]\npath = \"q.bwss\"\n").unwrap();
+
+    // Byte quota below the trace's on-disk size: typed quota refusal.
+    let handle = spawn_server("corpus-quota", |c| {
+        c.quotas = TenantQuotas {
+            max_concurrent: 4,
+            max_in_flight_bytes: bytes.len() as u64 - 1,
+        };
+    });
+    let mut client = Client::connect(handle.socket(), "fleet").unwrap();
+    match client.corpus(manifest.to_str().unwrap(), None, 0).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Quota),
+        other => panic!("expected quota refusal, got {other:?}"),
+    }
+    assert_eq!(handle.quota().in_flight(), (0, 0));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
 fn expired_request_deadlines_are_typed_per_request() {
     let handle = spawn_server("deadline", |c| {
         c.request_deadline = Some(Duration::from_nanos(1));

@@ -6,13 +6,10 @@
 //! cargo run --release --example cumulative_profiles
 //! ```
 
-use bwsa::core::allocation::{allocate, AllocationConfig};
-use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::merge::CumulativeProfile;
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::predictor::{simulate, AllocatedIndex, BhtIndexer, Pag};
-use bwsa::trace::{BranchTable, Trace};
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::predictor::AllocatedIndex;
+use bwsa::prelude::*;
+use bwsa::trace::BranchTable;
 
 const TABLE: usize = 128;
 

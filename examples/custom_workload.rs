@@ -6,8 +6,7 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use bwsa::core::conflict::ConflictConfig;
-use bwsa::core::pipeline::AnalysisPipeline;
+use bwsa::prelude::*;
 use bwsa::workload::behavior::BranchBehavior;
 use bwsa::workload::builder::{PlannedBranch, ProgramBuilder, RegionPlan};
 use bwsa::workload::interp::{execute, InterpConfig};

@@ -5,10 +5,8 @@
 //! cargo run --release --example export_dot > conflict.dot
 //! ```
 
-use bwsa::core::conflict::ConflictConfig;
-use bwsa::core::pipeline::AnalysisPipeline;
 use bwsa::graph::dot::{to_dot, DotOptions};
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::prelude::*;
 
 fn main() {
     // A small slice of pgp keeps the graph renderable.

@@ -6,10 +6,9 @@
 //! ```
 
 use bwsa::predictor::{
-    simulate, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor, Gag, Gap, Gselect, Gshare,
-    Hybrid, Pag, Pap, StaticPredictor,
+    Agree, BiMode, Bimodal, Gag, Gap, Gselect, Gshare, Hybrid, Pap, StaticPredictor,
 };
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::prelude::*;
 
 fn main() {
     let name = std::env::args()

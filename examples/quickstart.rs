@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::{Classified, Session};
-use bwsa::predictor::{simulate, BhtIndexer, Pag};
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::prelude::*;
 
 fn main() {
     // 1. Generate a dynamic conditional-branch trace. In the paper this
@@ -20,7 +17,7 @@ fn main() {
     // 2. Run the branch working set analysis (§4): timestamp interleaving,
     //    conflict graph, threshold, working sets, classification.
     let pipeline = AnalysisPipeline {
-        conflict: bwsa::core::conflict::ConflictConfig::with_threshold(20).unwrap(),
+        conflict: ConflictConfig::with_threshold(20).unwrap(),
         ..AnalysisPipeline::new()
     };
     let session = Session::new(&trace).with_pipeline(pipeline);

@@ -17,7 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> clippy: no unwrap on library fallible paths"
 cargo clippy -p bwsa-resilience -p bwsa-trace -p bwsa-graph -p bwsa-predictor \
-    -p bwsa-workload -p bwsa-obs -p bwsa-core -p bwsa-server --lib \
+    -p bwsa-workload -p bwsa-obs -p bwsa-core -p bwsa-server -p bwsa-corpus --lib \
     -- -D warnings -D clippy::unwrap_used
 
 echo "==> parallel/serial equivalence + golden fixtures"
@@ -46,6 +46,12 @@ echo "==> server: end-to-end daemon suite + zero-leak accounting properties"
 cargo test -q --test server_integration -p bwsa-server
 cargo test -q --test quota_prop -p bwsa-server
 
+echo "==> corpus: fold algebra properties + batch integration + CLI contract"
+cargo test -q --test fleet_prop -p bwsa-corpus
+cargo test -q --test corpus_integration -p bwsa-corpus
+cargo test -q --test cli_corpus
+cargo test -q --test fleet_summary
+
 echo "==> run report smoke (--report json validates against the golden schema)"
 report_tmp="$(mktemp -d)"
 trap 'rm -rf "$report_tmp"' EXIT
@@ -73,6 +79,64 @@ else
     [ "$rc" -eq 2 ] || { echo "--window 0: expected exit 2, got $rc"; exit 1; }
 fi
 
+echo "==> corpus smoke (manifest batch → fleet summary validates, order-invariant)"
+corpus_dir="$report_tmp/corpus"
+mkdir -p "$corpus_dir"
+for bench in compress pgp li; do
+    "$bwsa" generate "$bench" --scale 0.01 --format bwss \
+        -o "$corpus_dir/$bench.bwss" > /dev/null
+done
+cat > "$corpus_dir/corpus.toml" << 'MANIFEST'
+name = "smoke"
+
+[defaults]
+threshold = 10
+class = "integer"
+
+[[trace]]
+path = "compress.bwss"
+
+[[trace]]
+path = "pgp.bwss"
+class = "crypto"
+
+[[trace]]
+path = "li.bwss"
+MANIFEST
+"$bwsa" corpus "$corpus_dir/corpus.toml" --jobs 2 \
+    --emit-fleet "$corpus_dir/fleet.json" > /dev/null
+"$bwsa" validate-fleet "$corpus_dir/fleet.json"
+# The fleet fold is order- and schedule-invariant: a permuted manifest
+# run serially emits byte-identical JSON.
+cat > "$corpus_dir/permuted.toml" << 'MANIFEST'
+name = "smoke"
+
+[defaults]
+threshold = 10
+class = "integer"
+
+[[trace]]
+path = "li.bwss"
+
+[[trace]]
+path = "compress.bwss"
+
+[[trace]]
+path = "pgp.bwss"
+class = "crypto"
+MANIFEST
+"$bwsa" corpus "$corpus_dir/permuted.toml" --jobs 1 \
+    --emit-fleet "$corpus_dir/fleet_permuted.json" > /dev/null
+cmp "$corpus_dir/fleet.json" "$corpus_dir/fleet_permuted.json"
+# A dangling manifest entry is a typed usage error (exit 2).
+printf 'name = "bad"\n\n[[trace]]\npath = "ghost.bwss"\n' > "$corpus_dir/bad.toml"
+if "$bwsa" corpus "$corpus_dir/bad.toml" 2> /dev/null; then
+    echo "dangling corpus entry unexpectedly succeeded"; exit 1
+else
+    rc=$?
+    [ "$rc" -eq 2 ] || { echo "dangling entry: expected exit 2, got $rc"; exit 1; }
+fi
+
 echo "==> bench smoke (single iteration, parallel sweep)"
 cargo run --release -p bwsa-bench --bin experiments_all -- --quick --bench compress --jobs 2 > /dev/null
 
@@ -97,6 +161,11 @@ grep -q '"index"' "$report_tmp/subscribe.out"
 "$bwsa" client "$sock" report "$report_tmp/smoke.bwst" --tenant smoke \
     > "$report_tmp/served-report.json"
 "$bwsa" validate-report "$report_tmp/served-report.json"
+# A served corpus batch answers a fleet summary that validates
+# against this build's golden schema.
+"$bwsa" client "$sock" corpus "$corpus_dir/corpus.toml" --tenant smoke \
+    --jobs 2 > "$report_tmp/served-fleet.json"
+"$bwsa" validate-fleet "$report_tmp/served-fleet.json"
 # A poisoned payload (valid magic, garbage body) must be a typed
 # refusal (exit 1) answered by the daemon — which must survive it.
 printf 'BWSS\377\377\377\377 this is not a stream' > "$report_tmp/poison.bwss"
@@ -118,5 +187,10 @@ echo "==> server bench smoke (throughput + overload phases, schema validates)"
 cargo run --release -p bwsa-bench --bin server_bench -- \
     --quick --clients 2 --requests 3 --out "$report_tmp/server.json" 2> /dev/null
 cargo run --release -p bwsa-bench --bin server_bench -- --validate "$report_tmp/server.json"
+
+echo "==> corpus bench smoke (quick corpus, serial==parallel, schema validates)"
+cargo run --release -p bwsa-bench --bin corpus_bench -- \
+    --quick --jobs 2 --out "$report_tmp/corpus.json" 2> /dev/null
+cargo run --release -p bwsa-bench --bin corpus_bench -- --validate "$report_tmp/corpus.json"
 
 echo "==> all checks passed"

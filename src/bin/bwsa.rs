@@ -33,9 +33,21 @@
 //! bwsa dot <trace> [--threshold N] [--salvage]
 //!     Emit the conflict graph as Graphviz DOT, colored by working set.
 //!
+//! bwsa corpus <manifest> [--jobs N] [--threshold N] [--report json|text]
+//!             [--emit-fleet FILE]
+//!     Run every trace named by a TOML/JSON corpus manifest through the
+//!     supervised analysis pipeline — fanned across --jobs workers, each
+//!     entry salvage-ingested and fault-isolated so one corrupt trace
+//!     never sinks the batch — and fold the results into a versioned
+//!     fleet summary, bit-identical for any job count or manifest order.
+//!
 //! bwsa validate-report <report.json>
 //!     Check a previously emitted run report against this build's schema
 //!     fixture and version.
+//!
+//! bwsa validate-fleet <fleet.json>
+//!     Check a previously emitted fleet summary against this build's
+//!     schema fixture and version.
 //!
 //! bwsa serve <socket> [--workers N] [--queue N] [--max-concurrent N]
 //!            [--max-bytes-mb N] [--deadline-seconds S] [--retries N]
@@ -44,8 +56,9 @@
 //!     Unix-domain socket until SIGTERM / ctrl-c / a shutdown request,
 //!     then drain gracefully and exit 0. Bind failures exit 2.
 //!
-//! bwsa client <socket> <ping|analyze|allocate|report|status|shutdown> [<trace>]
-//!             [--tenant NAME] [--threshold N] [--table N] [--classify]
+//! bwsa client <socket> <ping|analyze|allocate|corpus|report|status|shutdown>
+//!             [<trace>|<manifest>] [--tenant NAME] [--threshold N] [--table N]
+//!             [--classify] [--jobs N]
 //!     One request against a running daemon; typed server-side errors
 //!     exit 1 with the server's message (and retry-after hint on
 //!     overload).
@@ -74,6 +87,7 @@ use bwsa::core::{
     Classified, Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig,
     WindowConfig,
 };
+use bwsa::corpus::{Corpus, EntryStatus, FleetSummary, FLEET_SUMMARY_VERSION};
 use bwsa::graph::dot::{to_dot, DotOptions};
 use bwsa::obs::json::Json;
 use bwsa::obs::report::schema_shape;
@@ -154,7 +168,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("allocate") => cmd_allocate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
         Some("validate-report") => cmd_validate_report(&args[1..]),
+        Some("validate-fleet") => cmd_validate_fleet(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("help") | None => {
@@ -181,13 +197,16 @@ subcommands:
            [--jobs N] [--salvage] [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
            [--report json|text] [--metrics FILE]
   dot      <trace> [--threshold N] [--salvage]
+  corpus   <manifest> [--jobs N] [--threshold N] [--report json|text]
+           [--emit-fleet FILE]
   validate-report <report.json>
+  validate-fleet  <fleet.json>
   serve    <socket> [--workers N] [--queue N] [--max-concurrent N]
            [--max-bytes-mb N] [--deadline-seconds S] [--retries N]
            [--max-rss-mb N] [--seed N]
-  client   <socket> <ping|analyze|subscribe|allocate|report|status|shutdown>
-           [<trace>] [--tenant NAME] [--threshold N] [--table N] [--classify]
-           [--window N[i]]
+  client   <socket> <ping|analyze|subscribe|allocate|corpus|report|status|shutdown>
+           [<trace>|<manifest>] [--tenant NAME] [--threshold N] [--table N]
+           [--classify] [--window N[i]] [--jobs N]
   help
 
 trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
@@ -224,6 +243,19 @@ result digests, supervision outcome) as the only stdout output;
 `validate-report` checks an emitted report against this build's schema
 and version.
 
+`corpus` runs the whole batch named by a TOML or JSON manifest: every
+trace is ingested under salvage and analyzed in a supervised session,
+fanned across --jobs worker threads, and the per-entry results fold into
+a versioned fleet summary (working-set distributions, allocation win per
+workload class, degradation rates) that is bit-identical for any job
+count or manifest order. One corrupt trace never sinks the batch — the
+entry is marked degraded or failed and the rest complete. --report json
+prints the summary document instead of the table; --emit-fleet FILE
+writes it to a file; `validate-fleet` checks an emitted summary against
+this build's schema fixture. A malformed manifest (duplicate trace
+paths, dangling entries, unknown keys) exits 2; a completed batch exits
+0 even when entries degraded.
+
 `serve` runs the long-lived multi-tenant analysis daemon on a Unix-domain
 socket: every request is supervised and fault-isolated (a poisoned trace
 answers with a typed error frame, never a crashed daemon), per-tenant
@@ -239,7 +271,9 @@ failure — like any malformed flag — exits 2.
 allocate print the server's JSON response; subscribe streams a trace for
 windowed analysis (--window N[i]) and prints each window summary as the
 server emits it, then the whole-trace result — bit-identical to analyze
-on the same trace; report prints the versioned
+on the same trace; corpus asks the daemon to batch-analyze a manifest on
+the *server's* filesystem (the path travels, not the traces) and prints
+the fleet summary; report prints the versioned
 RunReport of that request's own supervised run (it validates with
 `validate-report`); status prints live metrics with per-tenant counters;
 shutdown asks for a drain. A typed server-side
@@ -1307,6 +1341,203 @@ fn cmd_validate_report(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The pinned fleet-summary schema this build emits and validates
+/// against — the same fixture the golden schema test locks
+/// (`tests/golden/`).
+const FLEET_SUMMARY_SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/fleet_summary.schema"
+));
+
+/// `bwsa corpus <manifest>` — batch-analyze every trace a manifest names
+/// and fold the results into a fleet summary. Manifest problems
+/// (unparseable, duplicate paths, dangling entries) are invocation
+/// errors (exit 2); a completed batch exits 0 even when individual
+/// entries degraded or failed, because per-entry containment is the
+/// subcommand's contract.
+fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
+    let p = parse(
+        args,
+        &[
+            "jobs",
+            "threshold",
+            "report",
+            "emit-fleet",
+            "retries",
+            "max-seconds",
+            "max-rss-mb",
+        ],
+        &[],
+    )?;
+    let manifest = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("corpus needs a manifest file"))?;
+    if p.positionals.len() > 1 {
+        return Err(usage_err(format!(
+            "unexpected argument {:?}",
+            p.positionals[1]
+        )));
+    }
+    let report_mode = match p.value("report") {
+        None => None,
+        Some("json") => Some(ReportMode::Json),
+        Some("text") => Some(ReportMode::Text),
+        Some(other) => {
+            return Err(usage_err(format!(
+                "bad --report {other:?} (use json or text)"
+            )))
+        }
+    };
+    // Validate every flag before touching the filesystem: misuse exits
+    // 2 even when the manifest does not exist.
+    let jobs = jobs_of(&p)?;
+    let threshold = match p.value("threshold") {
+        None => None,
+        Some(v) => {
+            let t: u64 = v
+                .parse()
+                .map_err(|_| usage_err(format!("bad threshold {v:?}")))?;
+            ConflictConfig::with_threshold(t).map_err(|e| usage_err(e.to_string()))?;
+            Some(t)
+        }
+    };
+    let supervisor = supervisor_of(&p)?;
+    let corpus = Corpus::open(manifest.as_ref()).map_err(|e| {
+        if e.is_usage() {
+            usage_err(e.to_string())
+        } else {
+            runtime_err(e.to_string())
+        }
+    })?;
+    let mut session = corpus.session();
+    if let Some(jobs) = jobs {
+        session = session.with_jobs(jobs);
+    }
+    if let Some(t) = threshold {
+        session = session.with_threshold(t);
+    }
+    if let Some(config) = supervisor {
+        session = session.with_supervisor(config);
+    }
+    let summary = session.run_all();
+    if let Some(path) = p.value("emit-fleet") {
+        std::fs::write(path, summary.to_json().to_pretty_string())
+            .map_err(|e| runtime_err(format!("cannot write {path}: {e}")))?;
+    }
+    match report_mode {
+        Some(ReportMode::Json) => println!("{}", summary.to_json().to_pretty_string()),
+        Some(ReportMode::Text) | None => print_fleet_text(&summary),
+    }
+    Ok(())
+}
+
+/// Renders a fleet summary as the human-readable corpus table.
+fn print_fleet_text(summary: &FleetSummary) {
+    println!(
+        "corpus {}: {} entries, {} records",
+        summary.name,
+        summary.entries.len(),
+        summary.records
+    );
+    println!(
+        "{:<28} {:<9} {:>10} {:>6} {:>6} {:>9} {:>8}",
+        "entry", "status", "records", "sets", "max", "required", "win"
+    );
+    for e in &summary.entries {
+        if e.status == EntryStatus::Failed {
+            println!(
+                "{:<28} {:<9} {}",
+                e.key,
+                e.status.label(),
+                e.error.as_deref().unwrap_or("unknown error")
+            );
+        } else {
+            println!(
+                "{:<28} {:<9} {:>10} {:>6} {:>6} {:>9} {:>7.1}x",
+                e.key,
+                e.status.label(),
+                e.records,
+                e.total_sets,
+                e.max_set,
+                e.required_size,
+                e.win()
+            );
+        }
+    }
+    println!(
+        "resilience: {} ok, {} degraded, {} failed ({:.1}% degraded); \
+         {} retries, {} downgrades, {} chunks dropped",
+        summary.ok,
+        summary.degraded,
+        summary.failed,
+        summary.degradation_rate() * 100.0,
+        summary.retries,
+        summary.downgrades,
+        summary.chunks_dropped
+    );
+    println!(
+        "working sets: count p50 {:.0} p90 {:.0} p99 {:.0}; \
+         max size p50 {:.0} p90 {:.0} p99 {:.0}",
+        summary.total_sets.p50,
+        summary.total_sets.p90,
+        summary.total_sets.p99,
+        summary.max_size.p50,
+        summary.max_size.p90,
+        summary.max_size.p99
+    );
+    for c in &summary.classes {
+        println!(
+            "allocation win [{}]: {} entries, mean {:.1}x (min {:.1}x, max {:.1}x)",
+            c.class,
+            c.entries,
+            c.mean_win(),
+            c.min_win,
+            c.max_win
+        );
+    }
+}
+
+/// `bwsa validate-fleet <fleet.json>` — check an emitted fleet summary
+/// against this build's pinned schema fixture and version, mirroring
+/// `validate-report`.
+fn cmd_validate_fleet(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &[], &[])?;
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| usage_err("validate-fleet needs a fleet summary JSON file"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| runtime_err(format!("{path}: {e}")))?;
+    let version = doc
+        .get("fleet_summary_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| runtime_err(format!("{path}: missing fleet_summary_version")))?;
+    if version != FLEET_SUMMARY_VERSION {
+        return Err(runtime_err(format!(
+            "{path}: fleet_summary_version {version}, this build validates version {FLEET_SUMMARY_VERSION}"
+        )));
+    }
+    // Subset check, same contract as validate-report: a real summary may
+    // omit shapes the canonical fixture pins (a clean corpus has no
+    // string-typed `error`), but must not introduce unknown paths.
+    let known: std::collections::BTreeSet<&str> = FLEET_SUMMARY_SCHEMA.lines().collect();
+    let shape = schema_shape(&doc);
+    let unknown: Vec<&str> = shape
+        .lines()
+        .filter(|line| !line.is_empty() && !known.contains(line))
+        .collect();
+    if !unknown.is_empty() {
+        return Err(runtime_err(format!(
+            "{path}: shape differs from the version-{FLEET_SUMMARY_VERSION} schema; unknown fields:\n  {}",
+            unknown.join("\n  ")
+        )));
+    }
+    println!("{path}: valid fleet summary (version {version})");
+    Ok(())
+}
+
 /// `bwsa serve <socket> [...]` — run the multi-tenant analysis daemon
 /// until a drain signal, then exit 0. Malformed flags and bind failures
 /// are both invocation errors (exit 2); request-level failures never
@@ -1429,7 +1660,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 fn cmd_client(args: &[String]) -> Result<(), CliError> {
     let p = parse(
         args,
-        &["tenant", "threshold", "table", "window"],
+        &["tenant", "threshold", "table", "window", "jobs"],
         &["classify"],
     )?;
     let socket = p
@@ -1437,7 +1668,9 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         .first()
         .ok_or_else(|| usage_err("client needs a socket path"))?;
     let action = p.positionals.get(1).ok_or_else(|| {
-        usage_err("client needs an action: ping|analyze|subscribe|allocate|report|status|shutdown")
+        usage_err(
+            "client needs an action: ping|analyze|subscribe|allocate|corpus|report|status|shutdown",
+        )
     })?;
     let tenant = p.value("tenant").unwrap_or("cli");
     let threshold = match p.value("threshold") {
@@ -1502,9 +1735,18 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
                 p.has("classify"),
             )
         }
+        "corpus" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| usage_err("client corpus needs a manifest path"))?;
+            // The manifest path is server-local: nothing is uploaded,
+            // the daemon reads the traces off its own filesystem.
+            client.corpus(path, threshold, jobs_of(&p)?.unwrap_or(0) as u64)
+        }
         other => {
             return Err(usage_err(format!(
-                "unknown client action {other:?} (ping|analyze|subscribe|allocate|report|status|shutdown)"
+                "unknown client action {other:?} (ping|analyze|subscribe|allocate|corpus|report|status|shutdown)"
             )))
         }
     };

@@ -24,6 +24,9 @@
 //! * [`resilience`] — failpoints, the deterministic fault model, the
 //!   cooperative watchdog, and the supervision primitives behind
 //!   [`core::Session::with_supervisor`].
+//! * [`corpus`] — fleet-scale batch analytics: trace manifests,
+//!   parallel corpus ingestion, and order-invariant
+//!   [`corpus::FleetSummary`] aggregation (`bwsa corpus`).
 //! * [`server`] — the fault-isolated multi-tenant analysis daemon:
 //!   BWSS2 over a length-prefixed socket protocol, per-tenant quotas,
 //!   admission backpressure, and graceful drain (`bwsa serve`).
@@ -42,6 +45,7 @@
 //! ```
 
 pub use bwsa_core as core;
+pub use bwsa_corpus as corpus;
 pub use bwsa_graph as graph;
 pub use bwsa_obs as obs;
 pub use bwsa_predictor as predictor;
@@ -64,12 +68,11 @@ pub use bwsa_workload as workload;
 /// # let _ = analysis;
 /// ```
 pub mod prelude {
-    pub use bwsa_core::allocation::{allocate, AllocationConfig};
-    pub use bwsa_core::conflict::{ConflictAnalysis, ConflictConfig};
-    pub use bwsa_core::pipeline::{Analysis, AnalysisPipeline};
+    pub use bwsa_core::allocation::allocate;
+    pub use bwsa_core::conflict::ConflictAnalysis;
+    pub use bwsa_core::prelude::*;
     pub use bwsa_core::{classify, BiasClass, WorkingSetDefinition};
-    pub use bwsa_core::{Classified, Execution, Session};
-    pub use bwsa_obs::{Obs, RunReport};
+    pub use bwsa_corpus::{Corpus, CorpusError, FleetSummary, Manifest};
     pub use bwsa_predictor::{simulate, BhtIndexer, BranchPredictor, Pag, SimResult};
     pub use bwsa_trace::{BranchId, BranchRecord, Direction, Pc, Trace, TraceBuilder};
     pub use bwsa_workload::suite::{Benchmark, InputSet};

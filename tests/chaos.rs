@@ -14,15 +14,13 @@
 //! The failpoint registry is a process global, so every test here holds
 //! [`CHAOS_LOCK`] and scopes its spec with [`failpoint::scoped`].
 
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::{
-    Execution, ParallelConfig, Session, StreamingAnalysis, SupervisorConfig, WindowConfig,
-};
+use bwsa::core::StreamingAnalysis;
 use bwsa::graph::coloring::{try_color_graph, ColoringOptions};
 use bwsa::graph::GraphBuilder;
 use bwsa::obs::json::Json;
 use bwsa::obs::Obs;
 use bwsa::predictor::{simulate, sweep, Pag, SimCheckpoint, SweepCell};
+use bwsa::prelude::*;
 use bwsa::resilience::{failpoint, supervisor};
 use bwsa::server::frame::{read_frame, DEFAULT_MAX_FRAME_BYTES};
 use bwsa::server::server::ServerConfig;

@@ -1,12 +1,10 @@
 //! Integration: §5.2 cumulative profiles across the workload, core, and
 //! predictor crates.
 
-use bwsa::core::allocation::{allocate, AllocationConfig};
-use bwsa::core::conflict::ConflictConfig;
 use bwsa::core::merge::CumulativeProfile;
 use bwsa::predictor::AllocatedIndex;
+use bwsa::prelude::*;
 use bwsa::trace::BranchTable;
-use bwsa::workload::suite::{Benchmark, InputSet};
 
 const SCALE: f64 = 0.05;
 

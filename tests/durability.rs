@@ -2,12 +2,10 @@
 //! to the same analysis minus the damaged chunk, interrupted runs resume
 //! bit-identically, and the `bwsa` binary honours its exit-code contract.
 
-use bwsa::core::pipeline::AnalysisPipeline;
 use bwsa::core::StreamingAnalysis;
-use bwsa::predictor::{simulate, simulate_resumable, Gshare, SimCheckpoint};
+use bwsa::predictor::{simulate_resumable, Gshare, SimCheckpoint};
+use bwsa::prelude::*;
 use bwsa::trace::stream::{frame_spans, RecoveryPolicy, StreamReader, StreamWriter};
-use bwsa::trace::{BranchRecord, Trace};
-use bwsa::workload::suite::{Benchmark, InputSet};
 use std::path::PathBuf;
 use std::process::Command;
 

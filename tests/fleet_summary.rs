@@ -1,0 +1,138 @@
+//! Golden schema test for the versioned [`FleetSummary`] JSON document.
+//!
+//! Like the run report, the fleet summary is a public machine-readable
+//! interface: CI dashboards parse `bwsa corpus --report json` output, so
+//! its shape must not drift silently. This test pins the shape of a
+//! canonical summary — one that exercises every status, a failed entry's
+//! error string, multiple workload classes, and a multi-bucket
+//! histogram — against `tests/golden/fleet_summary.schema`, the same
+//! fixture `bwsa validate-fleet` checks emitted summaries against.
+//!
+//! Changing the summary's shape intentionally means bumping
+//! [`FLEET_SUMMARY_VERSION`] and regenerating:
+//!
+//! ```text
+//! BWSA_UPDATE_GOLDEN=1 cargo test --test fleet_summary
+//! ```
+
+use bwsa::corpus::FLEET_SUMMARY_VERSION;
+use bwsa::corpus::{EntryRecord, EntryStatus, FleetAccumulator, FleetSummary};
+use bwsa::obs::json::Json;
+use bwsa::obs::report::schema_shape;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fleet_summary.schema")
+}
+
+fn entry(key: &str, class: &str, status: EntryStatus, max_set: u64) -> EntryRecord {
+    EntryRecord {
+        key: key.to_owned(),
+        class: class.to_owned(),
+        status,
+        error: None,
+        records: 5_000,
+        chunks_dropped: u64::from(status == EntryStatus::Degraded),
+        retries: 1,
+        downgrades: u64::from(status == EntryStatus::Degraded),
+        total_sets: 6,
+        max_set,
+        avg_dynamic_size: 3.25,
+        avg_static_size: 2.5,
+        required_size: 128,
+        baseline: 1024,
+    }
+}
+
+/// A summary exercising every schema element: all three entry statuses
+/// (so both the null and string shapes of `error` are pinned), two
+/// workload classes, and max-set sizes spread across histogram buckets.
+fn canonical_summary() -> FleetSummary {
+    let acc: FleetAccumulator = vec![
+        entry("compress_a.bwss", "integer", EntryStatus::Ok, 3),
+        entry("pgp_a.bwss", "crypto", EntryStatus::Degraded, 9),
+        entry("li_a.bwss", "integer", EntryStatus::Ok, 17),
+        EntryRecord::failed("broken.bwss", "integer", "cannot read: bad checksum"),
+    ]
+    .into_iter()
+    .collect();
+    acc.finish("golden")
+}
+
+#[test]
+fn fleet_summary_schema_matches_golden_fixture() {
+    let shape = schema_shape(&canonical_summary().to_json());
+    let path = golden_path();
+    if std::env::var_os("BWSA_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &shape).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        shape, golden,
+        "FleetSummary JSON shape changed without a schema update.\n\
+         If intentional: bump FLEET_SUMMARY_VERSION in crates/corpus/src/fleet.rs\n\
+         and regenerate with BWSA_UPDATE_GOLDEN=1 cargo test --test fleet_summary"
+    );
+}
+
+#[test]
+fn schema_version_is_pinned() {
+    // Bumping the version is deliberate: it invalidates old summaries
+    // for `bwsa validate-fleet` and requires regenerating the fixture.
+    assert_eq!(FLEET_SUMMARY_VERSION, 1);
+}
+
+#[test]
+fn canonical_summary_roundtrips_through_json() {
+    let summary = canonical_summary();
+    let doc = Json::parse(&summary.to_json().to_pretty_string()).unwrap();
+    assert_eq!(
+        doc.get("fleet_summary_version").and_then(Json::as_u64),
+        Some(FLEET_SUMMARY_VERSION)
+    );
+    assert_eq!(
+        doc.get("corpus")
+            .and_then(|c| c.get("entries"))
+            .and_then(Json::as_u64),
+        Some(4)
+    );
+    assert_eq!(
+        doc.get("resilience")
+            .and_then(|r| r.get("failed"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    // A parsed emitted summary has exactly the pinned shape.
+    assert_eq!(
+        schema_shape(&doc),
+        schema_shape(&summary.to_json()),
+        "serialisation must not change the shape"
+    );
+}
+
+#[test]
+fn real_corpus_summary_validates_against_the_fixture() {
+    // The shape of a summary produced by an actual (all-ok, single
+    // class) run must be a subset of the canonical shape — this is the
+    // exact check `bwsa validate-fleet` performs on emitted files.
+    let acc: FleetAccumulator = vec![
+        entry("a.bwss", "integer", EntryStatus::Ok, 4),
+        entry("b.bwss", "integer", EntryStatus::Ok, 8),
+    ]
+    .into_iter()
+    .collect();
+    let shape = schema_shape(&acc.finish("subset").to_json());
+    let golden = std::fs::read_to_string(golden_path()).unwrap();
+    let known: std::collections::BTreeSet<&str> = golden.lines().collect();
+    for line in shape.lines().filter(|l| !l.is_empty()) {
+        assert!(
+            known.contains(line),
+            "emitted summary path {line:?} missing from the golden schema"
+        );
+    }
+}

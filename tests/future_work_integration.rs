@@ -4,8 +4,7 @@
 
 use bwsa::core::phases::PhaseTimeline;
 use bwsa::predictor::clustering::{clustering_stats, misprediction_flags};
-use bwsa::predictor::Pag;
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::prelude::*;
 
 const WINDOW: usize = 500;
 

@@ -12,12 +12,8 @@
 //! BWSA_UPDATE_GOLDEN=1 cargo test --test golden_regression
 //! ```
 
-use bwsa::core::allocation::AllocationConfig;
-use bwsa::core::conflict::ConflictConfig;
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::{analyze_parallel_observed, Classified, ParallelConfig};
-use bwsa::obs::Obs;
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::core::analyze_parallel_observed;
+use bwsa::prelude::*;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;

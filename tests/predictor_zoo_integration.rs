@@ -2,10 +2,9 @@
 //! invariants that must hold regardless of tuning.
 
 use bwsa::predictor::{
-    simulate, Agree, BhtIndexer, BiMode, Bimodal, BranchPredictor, Gag, Gap, Gselect, Gshare,
-    Hybrid, Pag, Pap, StaticPredictor,
+    Agree, BiMode, Bimodal, Gag, Gap, Gselect, Gshare, Hybrid, Pap, StaticPredictor,
 };
-use bwsa::workload::suite::{Benchmark, InputSet};
+use bwsa::prelude::*;
 
 fn trace() -> bwsa::trace::Trace {
     Benchmark::M88ksim.generate_scaled(InputSet::A, 0.05)

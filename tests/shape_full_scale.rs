@@ -7,13 +7,8 @@
 //! cargo test --release --test shape_full_scale -- --ignored
 //! ```
 
-use bwsa::core::allocation::AllocationConfig;
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::Classified;
-use bwsa::obs::Obs;
-use bwsa::predictor::{simulate, BhtIndexer, Pag};
+use bwsa::prelude::*;
 use bwsa::trace::profile::FrequencyFilter;
-use bwsa::workload::suite::{Benchmark, InputSet};
 
 fn full_analysis(bench: Benchmark) -> (bwsa::trace::Trace, bwsa::core::pipeline::Analysis) {
     let raw = bench.generate(InputSet::A);

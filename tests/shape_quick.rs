@@ -8,15 +8,9 @@
 //! proportionally scaled conflict thresholds and execution filters, per
 //! the bench harness convention).
 
-use bwsa::core::allocation::AllocationConfig;
-use bwsa::core::conflict::ConflictConfig;
-use bwsa::core::pipeline::AnalysisPipeline;
-use bwsa::core::ParallelConfig;
-use bwsa::core::{analyze_parallel_observed, Classified};
-use bwsa::obs::Obs;
-use bwsa::predictor::{simulate, BhtIndexer, Pag};
+use bwsa::core::analyze_parallel_observed;
+use bwsa::prelude::*;
 use bwsa::trace::profile::FrequencyFilter;
-use bwsa::workload::suite::{Benchmark, InputSet};
 use std::num::NonZeroUsize;
 
 const SCALE: f64 = 0.05;
