@@ -20,8 +20,13 @@
 //!   records absorbed into a fresh accumulator and `finish`ed repeatedly;
 //!   reports mean wall time per fold, separating aggregation cost from
 //!   analysis cost.
+//! * **cache** — the content-addressed result cache: a cold run that
+//!   fills it vs a warm rerun that replays every entry (zero analyses);
+//!   reports both wall times, warm ingest throughput, and the speedup,
+//!   and asserts the warm summary is byte-identical with every entry a
+//!   hit.
 //!
-//! `--out` writes `BENCH_corpus.json` (schema `bwsa-bench-corpus/1`) and
+//! `--out` writes `BENCH_corpus.json` (schema `bwsa-bench-corpus/2`) and
 //! refuses to run in a debug build. `--validate` re-parses a written
 //! report and checks the invariants (the CI smoke step).
 
@@ -192,6 +197,55 @@ fn bench_aggregation(summary: &FleetSummary) -> Json {
     ])
 }
 
+/// Phase 3: the result cache — one cold run filling a fresh cache, one
+/// warm rerun replaying every entry from it without re-analysis.
+fn bench_cache(manifest: &Path, corpus_bytes: u64) -> Json {
+    let cache_dir = manifest
+        .parent()
+        .expect("manifest has a parent")
+        .join("bench-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run = || {
+        let started = Instant::now();
+        let summary = Corpus::open(manifest)
+            .expect("open bench corpus")
+            .session()
+            .with_cache(&cache_dir)
+            .run_all();
+        (summary, started.elapsed().as_nanos().max(1) as u64)
+    };
+    let (cold, cold_ns) = run();
+    let (warm, warm_ns) = run();
+    assert_eq!(
+        cold.to_json().to_pretty_string(),
+        warm.to_json().to_pretty_string(),
+        "warm cache summary diverged from the cold run"
+    );
+    let entries = cold.entries.len() as u64;
+    assert_eq!(
+        (warm.cache.hits, warm.cache.misses),
+        (entries, 0),
+        "a warm rerun must replay every entry from the cache"
+    );
+    let speedup = cold_ns as f64 / warm_ns as f64;
+    let warm_bytes_per_sec = corpus_bytes as f64 / (warm_ns as f64 / 1e9);
+    eprintln!(
+        "[cache] cold {:.3}s, warm {:.3}s ({speedup:.1}x, {:.1} MB/s warm ingest, {} hits)",
+        cold_ns as f64 / 1e9,
+        warm_ns as f64 / 1e9,
+        warm_bytes_per_sec / 1e6,
+        warm.cache.hits,
+    );
+    Json::object([
+        ("cold_ns", Json::from(cold_ns)),
+        ("warm_ns", Json::from(warm_ns)),
+        ("speedup", Json::from(speedup)),
+        ("warm_hits", Json::from(warm.cache.hits)),
+        ("warm_misses", Json::from(warm.cache.misses)),
+        ("warm_bytes_per_sec", Json::from(warm_bytes_per_sec)),
+    ])
+}
+
 /// Validates a previously written report's schema and invariants.
 fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -200,7 +254,7 @@ fn validate(path: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing schema field")?;
-    if schema != "bwsa-bench-corpus/1" {
+    if schema != "bwsa-bench-corpus/2" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     let batch = doc.get("batch").ok_or("missing batch phase")?;
@@ -231,6 +285,20 @@ fn validate(path: &str) -> Result<(), String> {
     }
     if u(aggregation, "entries")? != u(batch, "traces")? {
         return Err("aggregation must fold exactly the batch's entries".into());
+    }
+    let cache = doc.get("cache").ok_or("missing cache phase")?;
+    if u(cache, "cold_ns")? == 0 || u(cache, "warm_ns")? == 0 {
+        return Err("cache wall times must be positive".into());
+    }
+    if u(cache, "warm_hits")? != u(batch, "traces")? || u(cache, "warm_misses")? != 0 {
+        return Err("a warm rerun must replay every entry from the cache".into());
+    }
+    let warm_faster = matches!(
+        cache.get("speedup"),
+        Some(Json::Float(s)) if *s > 1.0
+    );
+    if !warm_faster {
+        return Err("cache.speedup must exceed 1.0 (warm replay beats re-analysis)".into());
     }
     println!("{path}: ok");
     Ok(())
@@ -281,12 +349,14 @@ fn main() {
     );
     let (batch, summary) = bench_batch(&args, &manifest, corpus_bytes);
     let aggregation = bench_aggregation(&summary);
+    let cache = bench_cache(&manifest, corpus_bytes);
     let _ = std::fs::remove_dir_all(&dir);
     let doc = Json::object([
-        ("schema", Json::from("bwsa-bench-corpus/1")),
+        ("schema", Json::from("bwsa-bench-corpus/2")),
         ("quick", Json::from(args.quick)),
         ("batch", batch),
         ("aggregation", aggregation),
+        ("cache", cache),
     ]);
     let text = doc.to_pretty_string();
     match &args.out {

@@ -19,6 +19,8 @@
 
 use bwsa_obs::json::Json;
 
+use crate::cache::CacheStats;
+
 /// Version stamp of the `FleetSummary` JSON document. Bump when the
 /// shape changes and regenerate `tests/golden/fleet_summary.schema`.
 pub const FLEET_SUMMARY_VERSION: u64 = 1;
@@ -254,6 +256,7 @@ impl FleetAccumulator {
             avg_dynamic,
             histogram,
             classes,
+            cache: CacheStats::default(),
         }
     }
 }
@@ -426,6 +429,11 @@ pub struct FleetSummary {
     pub histogram: Vec<HistogramBucket>,
     /// Allocation win per workload class, sorted by class.
     pub classes: Vec<ClassWin>,
+    /// Result-cache counters for the run that produced this summary.
+    /// All-zero without a cache. Deliberately excluded from
+    /// [`FleetSummary::to_json`]: the JSON bytes are the bit-identity
+    /// contract, and a warm run must render identically to a cold one.
+    pub cache: CacheStats,
 }
 
 impl FleetSummary {

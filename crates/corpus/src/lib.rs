@@ -28,11 +28,27 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 mod fleet;
+pub mod journal;
 mod manifest;
 mod run;
 
+/// Failpoint sites this crate traverses (see `bwsa_resilience::failpoint`).
+pub mod failpoints {
+    /// Fires when a cache cell read begins; a fault degrades to a miss.
+    pub const CACHE_READ: &str = "corpus.cache_read";
+    /// Fires when a cache cell write begins; a fault skips the write.
+    pub const CACHE_WRITE: &str = "corpus.cache_write";
+    /// Fires when a journal append begins; a fault poisons the journal
+    /// (later appends are dropped) without failing the run.
+    pub const JOURNAL_APPEND: &str = "corpus.journal_append";
+    /// Every site in this crate, for chaos-sweep enumeration.
+    pub const SITES: &[&str] = &[CACHE_READ, CACHE_WRITE, JOURNAL_APPEND];
+}
+
+pub use cache::{CacheKey, CacheStats, ResultCache, DEFAULT_CACHE_BUDGET, ENGINE_VERSION};
 pub use error::CorpusError;
 pub use fleet::{
     ClassWin, EntryRecord, EntryStatus, FleetAccumulator, FleetSummary, HistogramBucket,

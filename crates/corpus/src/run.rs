@@ -17,17 +17,20 @@
 //! 3. The whole entry is wrapped in [`supervisor::catch`]: even a
 //!    panic is contained to a `failed` row in the summary.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bwsa_core::parallel::parallel_map;
 use bwsa_core::{AnalysisPipeline, Classified, ConflictConfig, Session, SupervisorConfig};
 use bwsa_obs::Obs;
 use bwsa_resilience::supervisor;
+use bwsa_trace::codec;
 use bwsa_trace::stream::{RecoveryPolicy, StreamReader};
 use bwsa_trace::{io as trace_io, Trace};
 
+use crate::cache::{CacheKey, CacheStats, ResultCache, DEFAULT_CACHE_BUDGET};
 use crate::error::CorpusError;
 use crate::fleet::{EntryRecord, EntryStatus, FleetAccumulator, FleetSummary};
+use crate::journal::{self, Journal, JournalEntry};
 use crate::manifest::{Manifest, ManifestEntry};
 
 /// An opened, validated corpus — the root object of the batch API.
@@ -84,6 +87,9 @@ impl Corpus {
             threshold: None,
             supervisor: None,
             obs: Obs::noop(),
+            cache_dir: None,
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            resume: false,
         }
     }
 }
@@ -96,6 +102,9 @@ pub struct CorpusSession<'c> {
     threshold: Option<u64>,
     supervisor: Option<SupervisorConfig>,
     obs: Obs,
+    cache_dir: Option<PathBuf>,
+    cache_budget: u64,
+    resume: bool,
 }
 
 impl CorpusSession<'_> {
@@ -131,6 +140,37 @@ impl CorpusSession<'_> {
         self
     }
 
+    /// Enables the content-addressed result cache in `dir` (typically
+    /// `.bwsa-cache/` beside the manifest): entries whose trace
+    /// content, config, and engine version match a verified cell are
+    /// served from disk instead of re-analyzed, and fresh results are
+    /// written back. Cached and fresh runs produce byte-identical
+    /// summaries — the cell codec round-trips [`EntryRecord`] exactly.
+    #[must_use]
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Byte budget for the cache directory's LRU eviction pass (default
+    /// [`DEFAULT_CACHE_BUDGET`]).
+    #[must_use]
+    pub fn with_cache_budget(mut self, bytes: u64) -> Self {
+        self.cache_budget = bytes;
+        self
+    }
+
+    /// Resumes an interrupted run: the run journal's completed entries
+    /// are loaded (falling back to the rotated ancestor when the newest
+    /// journal is torn) and the journal is compacted, instead of
+    /// rotating to a fresh one. Requires [`CorpusSession::with_cache`];
+    /// without a cache the flag is inert.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
     /// Runs every entry and folds the results into a [`FleetSummary`].
     ///
     /// Infallible by design: corpus-level validation already happened
@@ -140,7 +180,28 @@ impl CorpusSession<'_> {
     pub fn run_all(&self) -> FleetSummary {
         let _span = self.obs.span("corpus_run");
         let entries = self.corpus.manifest.entries.clone();
-        let records = parallel_map(entries, self.jobs, |_i, entry| self.run_entry(&entry));
+        let cache = self
+            .cache_dir
+            .as_ref()
+            .map(|dir| ResultCache::open(dir.clone(), self.cache_budget));
+        // The journal needs the writer lock: a read-only cache (second
+        // concurrent runner) reads cells but leaves the journal alone.
+        let journal = match &cache {
+            Some(c) if c.writable() => {
+                if self.resume {
+                    let (completed, _) = journal::load(c.dir());
+                    self.obs
+                        .add("corpus.journal_resumed", completed.len() as u64);
+                    Journal::resumed(c.dir(), &completed)
+                } else {
+                    Journal::fresh(c.dir())
+                }
+            }
+            _ => None,
+        };
+        let records = parallel_map(entries, self.jobs, |_i, entry| {
+            self.run_entry(&entry, cache.as_ref(), journal.as_ref())
+        });
         for r in &records {
             self.obs.add("corpus.entries", 1);
             match r.status {
@@ -150,25 +211,102 @@ impl CorpusSession<'_> {
             }
             self.obs.add("corpus.records", r.records);
         }
-        records
+        if let Some(journal) = &journal {
+            journal.finish();
+        }
+        let mut cache_stats = CacheStats::default();
+        if let Some(cache) = &cache {
+            cache.evict_to_budget();
+            cache_stats = cache.stats();
+            self.obs.add("corpus.cache_hits", cache_stats.hits);
+            self.obs.add("corpus.cache_misses", cache_stats.misses);
+            self.obs
+                .add("corpus.cache_evictions", cache_stats.evictions);
+            self.obs.add("corpus.cache_corrupt", cache_stats.corrupt);
+        }
+        let mut summary = records
             .into_iter()
             .collect::<FleetAccumulator>()
-            .finish(&self.corpus.manifest.name)
+            .finish(&self.corpus.manifest.name);
+        summary.cache = cache_stats;
+        summary
     }
 
     /// Runs one entry through the full ladder; never propagates an
     /// error or a panic.
-    fn run_entry(&self, entry: &ManifestEntry) -> EntryRecord {
+    fn run_entry(
+        &self,
+        entry: &ManifestEntry,
+        cache: Option<&ResultCache>,
+        journal: Option<&Journal>,
+    ) -> EntryRecord {
         let threshold = self.threshold.unwrap_or(entry.threshold);
-        match supervisor::catch(|| self.run_entry_inner(entry, threshold)) {
-            Ok(record) => record,
+        let outcome = match cache {
+            Some(cache) => supervisor::catch(|| self.run_entry_cached(entry, threshold, cache)),
+            None => supervisor::catch(|| (self.run_entry_inner(entry, threshold), None)),
+        };
+        match outcome {
+            Ok((record, cache_key)) => {
+                if record.status != EntryStatus::Failed {
+                    if let (Some(journal), Some(cache_key)) = (journal, cache_key) {
+                        journal.append(&JournalEntry {
+                            key: entry.key.clone(),
+                            cache_key,
+                        });
+                        self.obs.add("corpus.journal_appends", 1);
+                    }
+                }
+                record
+            }
             Err(fault) => EntryRecord::failed(&entry.key, &entry.class, fault.to_string()),
         }
     }
 
+    /// The cached entry path: digest the trace bytes, try the cell,
+    /// analyze and write back on a miss. Returns the record plus the
+    /// cache key the journal should log.
+    fn run_entry_cached(
+        &self,
+        entry: &ManifestEntry,
+        threshold: u64,
+        cache: &ResultCache,
+    ) -> (EntryRecord, Option<CacheKey>) {
+        let bytes = match std::fs::read(&entry.path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                let message = format!("cannot read {}: {e}", entry.path.display());
+                return (EntryRecord::failed(&entry.key, &entry.class, message), None);
+            }
+        };
+        let key = CacheKey::for_entry(
+            codec::content_digest(&bytes),
+            &entry.key,
+            &entry.class,
+            threshold,
+            entry.baseline,
+        );
+        if let Some(record) = cache.load(key, &entry.key) {
+            return (record, Some(key));
+        }
+        let record = self.run_entry_bytes(entry, threshold, &bytes);
+        cache.store(key, &record);
+        (record, Some(key))
+    }
+
     fn run_entry_inner(&self, entry: &ManifestEntry, threshold: u64) -> EntryRecord {
+        let bytes = match std::fs::read(&entry.path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                let message = format!("cannot read {}: {e}", entry.path.display());
+                return EntryRecord::failed(&entry.key, &entry.class, message);
+            }
+        };
+        self.run_entry_bytes(entry, threshold, &bytes)
+    }
+
+    fn run_entry_bytes(&self, entry: &ManifestEntry, threshold: u64, bytes: &[u8]) -> EntryRecord {
         let fail = |e: String| EntryRecord::failed(&entry.key, &entry.class, e);
-        let (trace, chunks_dropped) = match load_trace(&entry.path) {
+        let (trace, chunks_dropped) = match load_trace_bytes(bytes, &entry.path) {
             Ok(loaded) => loaded,
             Err(e) => return fail(e),
         };
@@ -226,17 +364,18 @@ impl CorpusSession<'_> {
     }
 }
 
-/// Loads one trace file by magic (BWST in-memory binary or BWSS2
+/// Decodes one trace's bytes by magic (BWST in-memory binary or BWSS2
 /// stream), salvaging damaged stream chunks. Returns the trace and the
-/// number of chunks salvage had to drop.
-fn load_trace(path: &Path) -> Result<(Trace, u64), String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+/// number of chunks salvage had to drop. The caller reads the file
+/// once; with a cache enabled the same bytes also feed the content
+/// digest.
+fn load_trace_bytes(bytes: &[u8], path: &Path) -> Result<(Trace, u64), String> {
     if bytes.starts_with(b"BWST") {
-        let trace = trace_io::decode_binary(&bytes)
+        let trace = trace_io::decode_binary(bytes)
             .map_err(|e| format!("cannot decode {}: {e}", path.display()))?;
         return Ok((trace, 0));
     }
-    let mut reader = StreamReader::with_recovery(bytes.as_slice(), RecoveryPolicy::Salvage)
+    let mut reader = StreamReader::with_recovery(bytes, RecoveryPolicy::Salvage)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut trace = Trace::new(reader.name().to_owned());
     for item in reader.by_ref() {

@@ -1,0 +1,154 @@
+//! Cache-poisoning property tests: arbitrary bit damage to a serialized
+//! cache cell must *always* read as a miss and force a recompute —
+//! never decode into a wrong `EntryRecord`, never raise an error.
+//!
+//! The codec-level property flips 1–3 bits anywhere in a cell: CRC32
+//! (IEEE) has Hamming distance ≥ 4 at these payload sizes, and the
+//! frame's exact-length check catches damage to the length field
+//! structurally, so detection is guaranteed, not probabilistic. The
+//! end-to-end test poisons every cell of a real on-disk cache and pins
+//! the recompute path: identical summary bytes, `corrupt` counter up.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bwsa_corpus::cache::{decode_cell, encode_cell};
+use bwsa_corpus::{Corpus, EntryRecord, EntryStatus};
+use bwsa_trace::stream::StreamWriter;
+use bwsa_workload::suite::{Benchmark, InputSet};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = EntryRecord> {
+    (
+        (".{0,12}", ".{0,8}", any::<bool>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<f64>(), any::<f64>()),
+    )
+        .prop_map(
+            |(
+                (key, class, degraded),
+                (records, chunks_dropped, retries, downgrades),
+                (total_sets, max_set, required_size, baseline),
+                (avg_dynamic_size, avg_static_size),
+            )| EntryRecord {
+                key,
+                class,
+                status: if degraded {
+                    EntryStatus::Degraded
+                } else {
+                    EntryStatus::Ok
+                },
+                error: None,
+                records,
+                chunks_dropped,
+                retries,
+                downgrades,
+                total_sets,
+                max_set,
+                avg_dynamic_size,
+                avg_static_size,
+                required_size,
+                baseline,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn any_few_bit_flips_always_miss(
+        record in arb_record(),
+        flips in prop::collection::vec((any::<u64>(), 0u8..8), 1..=3),
+    ) {
+        let cell = encode_cell(&record);
+        prop_assert!(decode_cell(&cell, &record.key).is_some());
+        let mut damaged = cell.clone();
+        let mut changed = false;
+        for (pos, bit) in flips {
+            let idx = (pos % damaged.len() as u64) as usize;
+            damaged[idx] ^= 1 << bit;
+            changed |= damaged[idx] != cell[idx];
+        }
+        // Flips can cancel pairwise; only a net-damaged cell must miss.
+        if changed {
+            // A damaged cell must never verify.
+            prop_assert_eq!(decode_cell(&damaged, &record.key), None);
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_point_always_misses(
+        record in arb_record(),
+        cut in any::<u64>(),
+    ) {
+        let cell = encode_cell(&record);
+        let cut = (cut % cell.len() as u64) as usize;
+        prop_assert_eq!(decode_cell(&cell[..cut], &record.key), None);
+    }
+}
+
+/// End-to-end: poison every cell of a warm on-disk cache; the next run
+/// must recompute everything (miss + corrupt counters), produce
+/// byte-identical summary bytes, and leave repaired cells behind.
+#[test]
+fn poisoned_cells_force_recompute_not_wrong_results() {
+    let dir = std::env::temp_dir().join(format!("bwsa_cachepoison_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    for (bench, name) in [
+        (Benchmark::Compress, "compress_a.bwss"),
+        (Benchmark::Li, "li_a.bwss"),
+    ] {
+        let trace = bench.generate_scaled(InputSet::A, 0.01);
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf, &trace.meta().name).expect("stream header");
+        for rec in trace.iter() {
+            w.push(*rec).expect("stream record");
+        }
+        w.finish(trace.meta().total_instructions).expect("finish");
+        fs::write(dir.join(name), buf).expect("write trace");
+    }
+    let manifest = dir.join("corpus.toml");
+    fs::write(
+        &manifest,
+        "name = \"poison\"\n\n[defaults]\nthreshold = 10\n\n\
+         [[trace]]\npath = \"compress_a.bwss\"\n\n[[trace]]\npath = \"li_a.bwss\"\n",
+    )
+    .expect("write manifest");
+    let cache_dir = dir.join(".bwsa-cache");
+    let corpus = Corpus::open(&manifest).expect("open corpus");
+    let cold = corpus.session().with_cache(&cache_dir).run_all();
+
+    let cells: Vec<PathBuf> = fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p: &PathBuf| p.extension().and_then(|e| e.to_str()) == Some("cell"))
+        .collect();
+    assert_eq!(cells.len(), 2);
+    for (i, cell) in cells.iter().enumerate() {
+        let mut bytes = fs::read(cell).expect("read cell");
+        let idx = (i * 7) % bytes.len();
+        bytes[idx] ^= 1 << (i % 8);
+        fs::write(cell, bytes).expect("poison cell");
+    }
+
+    let poisoned = corpus.session().with_cache(&cache_dir).run_all();
+    assert_eq!(
+        poisoned.to_json().to_pretty_string(),
+        cold.to_json().to_pretty_string(),
+        "poisoned cells must recompute to the same bytes, never serve garbage"
+    );
+    assert_eq!(
+        (
+            poisoned.cache.hits,
+            poisoned.cache.misses,
+            poisoned.cache.corrupt
+        ),
+        (0, 2, 2)
+    );
+    // The recompute rewrote the cells: a third run is all hits again.
+    let healed = corpus.session().with_cache(&cache_dir).run_all();
+    assert_eq!((healed.cache.hits, healed.cache.corrupt), (2, 0));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -221,6 +221,128 @@ fn open_rejects_dangling_and_duplicate_entries() {
 }
 
 #[test]
+fn warm_cache_rerun_is_byte_identical_with_zero_analyses() {
+    let dir = scratch("warmcache");
+    let manifest = build_corpus(&dir);
+    let cache_dir = dir.join(".bwsa-cache");
+    let corpus = Corpus::open(&manifest).expect("open corpus");
+    let cold = corpus.session().with_cache(&cache_dir).run_all();
+    assert_eq!(
+        (cold.cache.hits, cold.cache.misses),
+        (0, 3),
+        "cold run misses every entry"
+    );
+    let obs = bwsa_obs::Obs::recording();
+    let warm = corpus
+        .session()
+        .with_jobs(2)
+        .with_cache(&cache_dir)
+        .with_observer(obs.clone())
+        .run_all();
+    assert_eq!(
+        warm.to_json().to_pretty_string(),
+        cold.to_json().to_pretty_string(),
+        "warm and cold summaries must be byte-identical"
+    );
+    assert_eq!(
+        (warm.cache.hits, warm.cache.misses, warm.cache.corrupt),
+        (3, 0, 0),
+        "warm rerun performs zero trace analyses"
+    );
+    let metrics = obs.snapshot().expect("recording observer");
+    assert_eq!(metrics.counter("corpus.cache_hits"), 3);
+    assert_eq!(metrics.counter("corpus.cache_misses"), 0);
+    assert_eq!(metrics.counter("corpus.journal_appends"), 3);
+}
+
+#[test]
+fn cached_subset_matches_all_fresh_under_permutation_and_jobs() {
+    let dir = scratch("subsetcache");
+    let manifest = build_corpus(&dir);
+    let cache_dir = dir.join(".bwsa-cache");
+    let corpus = Corpus::open(&manifest).expect("open corpus");
+    let fresh = corpus.session().with_jobs(3).run_all();
+    // Populate the cache, then drop an arbitrary subset of cells so the
+    // next run mixes cache hits with fresh analyses.
+    corpus.session().with_cache(&cache_dir).run_all();
+    let mut cells: Vec<_> = fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("cell"))
+        .collect();
+    cells.sort();
+    assert_eq!(cells.len(), 3);
+    fs::remove_file(&cells[1]).expect("drop one cell");
+    let mixed = corpus
+        .session()
+        .with_jobs(2)
+        .with_cache(&cache_dir)
+        .run_all();
+    assert_eq!((mixed.cache.hits, mixed.cache.misses), (2, 1));
+    assert_eq!(
+        mixed.to_json().to_pretty_string(),
+        fresh.to_json().to_pretty_string(),
+        "a cache-hit/fresh mix must fold to the all-fresh bytes"
+    );
+}
+
+#[test]
+fn resume_replays_journaled_entries_from_cache() {
+    let dir = scratch("resume");
+    let manifest = build_corpus(&dir);
+    let cache_dir = dir.join(".bwsa-cache");
+    let corpus = Corpus::open(&manifest).expect("open corpus");
+    let uninterrupted = corpus.session().with_cache(&cache_dir).run_all();
+    let (completed, source) = bwsa_corpus::journal::load(&cache_dir);
+    assert_eq!(source, bwsa_corpus::journal::JournalSource::Primary);
+    assert_eq!(completed.len(), 3, "every completed entry journaled");
+    let obs = bwsa_obs::Obs::recording();
+    let resumed = corpus
+        .session()
+        .with_cache(&cache_dir)
+        .with_resume(true)
+        .with_observer(obs.clone())
+        .run_all();
+    assert_eq!(
+        resumed.to_json().to_pretty_string(),
+        uninterrupted.to_json().to_pretty_string(),
+        "resumed summary must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(resumed.cache.hits, 3);
+    let metrics = obs.snapshot().expect("recording observer");
+    assert_eq!(metrics.counter("corpus.journal_resumed"), 3);
+}
+
+#[test]
+fn threshold_override_addresses_different_cache_cells() {
+    let dir = scratch("cachekeys");
+    let manifest = build_corpus(&dir);
+    let cache_dir = dir.join(".bwsa-cache");
+    let corpus = Corpus::open(&manifest).expect("open corpus");
+    corpus.session().with_cache(&cache_dir).run_all();
+    // Same corpus, different effective threshold: the cache must not
+    // serve the threshold-10 results.
+    let overridden = corpus
+        .session()
+        .with_cache(&cache_dir)
+        .with_threshold(1)
+        .run_all();
+    assert_eq!(
+        (overridden.cache.hits, overridden.cache.misses),
+        (0, 3),
+        "a config change misses every cell"
+    );
+    // And rerunning with the override hits the new cells.
+    let warm = corpus
+        .session()
+        .with_cache(&cache_dir)
+        .with_threshold(1)
+        .run_all();
+    assert_eq!((warm.cache.hits, warm.cache.misses), (3, 0));
+}
+
+#[test]
 fn threshold_override_and_observer_counters_flow_through() {
     let dir = scratch("knobs");
     let manifest = build_corpus(&dir);

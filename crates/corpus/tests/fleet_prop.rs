@@ -11,6 +11,7 @@
 //! however `parallel_map` interleaves entries across workers, the
 //! folded `FleetSummary` is the serial one.
 
+use bwsa_corpus::cache::{decode_cell, encode_cell};
 use bwsa_corpus::{EntryRecord, EntryStatus, FleetAccumulator};
 use proptest::prelude::*;
 
@@ -148,6 +149,43 @@ proptest! {
     ) {
         let baseline = render(serial_fold(&records));
         prop_assert_eq!(render(tree_fold(&records, &chunks)), baseline);
+    }
+
+    /// The cached-vs-fresh contract: serving an arbitrary subset of
+    /// entries through the result-cache cell codec (the exact bytes a
+    /// warm run replays) — under an arbitrary permutation and an
+    /// arbitrary parallel fold shape (`--jobs`) — renders the same
+    /// summary JSON as analyzing everything fresh, serially. Failed
+    /// entries are never cached, mirroring the cache's store policy.
+    #[test]
+    fn cached_subset_folds_to_all_fresh_bytes(
+        records in arb_records(),
+        cached_mask in prop::collection::vec(any::<bool>(), 24),
+        seed in any::<u64>(),
+        chunks in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        let baseline = render(serial_fold(&records));
+        let mut served: Vec<EntryRecord> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let cacheable = r.status != EntryStatus::Failed;
+                if cacheable && cached_mask.get(i).copied().unwrap_or(false) {
+                    let cell = encode_cell(r);
+                    decode_cell(&cell, &r.key).expect("a stored cell verifies")
+                } else {
+                    r.clone()
+                }
+            })
+            .collect();
+        // Permute (manifest order) then tree-fold (worker schedule).
+        let mut state = seed | 1;
+        for i in (1..served.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            served.swap(i, j);
+        }
+        prop_assert_eq!(render(tree_fold(&served, &chunks)), baseline);
     }
 
     #[test]

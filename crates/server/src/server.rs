@@ -67,6 +67,11 @@ pub struct ServerConfig {
     /// Observer for live metrics; pass [`Obs::recording`] so the
     /// `status` request has something to report.
     pub obs: Obs,
+    /// Server-local result cache directory for `corpus` requests
+    /// (`None` = every corpus entry analyzes fresh). Entries already in
+    /// the cache replay from disk, and their trace bytes are not
+    /// charged against the tenant's in-flight-byte quota.
+    pub corpus_cache: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -80,6 +85,7 @@ impl ServerConfig {
             request_deadline: Some(Duration::from_secs(60)),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             obs: Obs::recording(),
+            corpus_cache: None,
         }
     }
 }
@@ -123,6 +129,7 @@ struct Ctx {
     supervisor: SupervisorConfig,
     request_deadline: Option<Duration>,
     max_frame_bytes: usize,
+    corpus_cache: Option<PathBuf>,
 }
 
 /// A bound, not-yet-running daemon. [`Server::run`] blocks until drain;
@@ -165,6 +172,7 @@ impl Server {
                 supervisor: config.supervisor,
                 request_deadline: config.request_deadline,
                 max_frame_bytes: config.max_frame_bytes,
+                corpus_cache: config.corpus_cache.clone(),
             }),
         })
     }
@@ -824,10 +832,36 @@ fn corpus_request(
             }
         }
     };
+    // With a server-local result cache, entries that will replay from
+    // disk cost no re-analysis, so their trace bytes are not charged:
+    // quota counts only the bytes the daemon will actually hold in
+    // flight. The probe decodes the cell read-only (no writer lock),
+    // and a torn or stale cell simply counts as a miss here, exactly
+    // as it will during the run.
+    let probe_hit = |e: &bwsa_corpus::ManifestEntry| -> bool {
+        let Some(dir) = ctx.corpus_cache.as_deref() else {
+            return false;
+        };
+        let Ok(bytes) = std::fs::read(&e.path) else {
+            return false;
+        };
+        let key = bwsa_corpus::CacheKey::for_entry(
+            bwsa_trace::codec::content_digest(&bytes),
+            &e.key,
+            &e.class,
+            threshold.unwrap_or(e.threshold),
+            e.baseline,
+        );
+        std::fs::read(dir.join(key.file_name()))
+            .ok()
+            .and_then(|cell| bwsa_corpus::cache::decode_cell(&cell, &e.key))
+            .is_some()
+    };
     let corpus_bytes: u64 = corpus
         .manifest()
         .entries
         .iter()
+        .filter(|e| !probe_hit(e))
         .map(|e| std::fs::metadata(&e.path).map_or(0, |m| m.len()))
         .sum();
     let _quota = match ctx.quota.try_admit(tenant, corpus_bytes) {
@@ -876,6 +910,9 @@ fn corpus_request(
             .session()
             .with_supervisor(ctx.supervisor)
             .with_observer(ctx.obs.clone());
+        if let Some(dir) = ctx.corpus_cache.as_deref() {
+            session = session.with_cache(dir);
+        }
         if jobs > 0 {
             session = session.with_jobs(jobs as usize);
         }

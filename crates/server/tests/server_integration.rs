@@ -495,6 +495,48 @@ fn corpus_quota_is_charged_by_summed_trace_sizes() {
 }
 
 #[test]
+fn cached_corpus_entries_are_not_charged_against_the_byte_quota() {
+    let dir = std::env::temp_dir().join(format!("bwsa-it-corpus-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bytes = trace_bytes("c", 500);
+    std::fs::write(dir.join("c.bwss"), &bytes).unwrap();
+    let manifest = dir.join("corpus.toml");
+    std::fs::write(&manifest, "[[trace]]\npath = \"c.bwss\"\n").unwrap();
+    let cache = dir.join("cache");
+
+    // Warm the server-local result cache under a generous quota.
+    let warm_cache = cache.clone();
+    let handle = spawn_server("corpus-cache-warm", move |c| {
+        c.corpus_cache = Some(warm_cache);
+    });
+    let mut client = Client::connect(handle.socket(), "fleet").unwrap();
+    let cold = expect_ok(client.corpus(manifest.to_str().unwrap(), None, 0).unwrap());
+    handle.begin_shutdown();
+    handle.join().unwrap();
+
+    // A one-byte quota refuses any fresh analysis of this trace (see
+    // the quota test above) — but with the entry cached, the request
+    // charges zero in-flight bytes and is served byte-identically.
+    let warmed_cache = cache.clone();
+    let handle = spawn_server("corpus-cache-warmed", move |c| {
+        c.corpus_cache = Some(warmed_cache);
+        c.quotas = TenantQuotas {
+            max_concurrent: 4,
+            max_in_flight_bytes: 1,
+        };
+    });
+    let mut client = Client::connect(handle.socket(), "fleet").unwrap();
+    let warm = expect_ok(client.corpus(manifest.to_str().unwrap(), None, 0).unwrap());
+    assert_eq!(warm, cold, "a cache replay must answer the same bytes");
+    assert_eq!(handle.quota().in_flight(), (0, 0));
+
+    handle.begin_shutdown();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn expired_request_deadlines_are_typed_per_request() {
     let handle = spawn_server("deadline", |c| {
         c.request_deadline = Some(Duration::from_nanos(1));

@@ -217,6 +217,23 @@ impl Default for Crc32 {
     }
 }
 
+/// 64-bit FNV-1a content digest over a byte slice.
+///
+/// This is the trace-content half of the corpus result-cache key: two
+/// trace files with the same bytes share a digest, and any byte change
+/// moves it. FNV-1a is not collision-resistant against adversaries —
+/// the cache's verify-on-read path (stored key + CRC framing) is what
+/// rejects wrong cells; the digest only has to make accidental
+/// collisions vanishingly unlikely.
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn crc_table() -> &'static [u32; 256] {
     use std::sync::OnceLock;
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
@@ -240,6 +257,19 @@ fn crc_table() -> &'static [u32; 256] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_digest_is_stable_and_content_sensitive() {
+        // Pinned FNV-1a vectors: the digest feeds durable cache keys,
+        // so it must never change across releases.
+        assert_eq!(content_digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let base = content_digest(b"BWSS2 payload");
+        let mut flipped = b"BWSS2 payload".to_vec();
+        flipped[5] ^= 0x01;
+        assert_ne!(content_digest(&flipped), base);
+        assert_eq!(content_digest(b"BWSS2 payload"), base);
+    }
 
     #[test]
     fn zigzag_is_a_bijection_on_extremes_and_samples() {

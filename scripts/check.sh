@@ -45,10 +45,12 @@ cargo test -q --test prop -p bwsa-workload
 echo "==> server: end-to-end daemon suite + zero-leak accounting properties"
 cargo test -q --test server_integration -p bwsa-server
 cargo test -q --test quota_prop -p bwsa-server
+cargo test -q --test cli_client_retry
 
 echo "==> corpus: fold algebra properties + batch integration + CLI contract"
 cargo test -q --test fleet_prop -p bwsa-corpus
 cargo test -q --test corpus_integration -p bwsa-corpus
+cargo test -q --test cache_prop -p bwsa-corpus
 cargo test -q --test cli_corpus
 cargo test -q --test fleet_summary
 
@@ -136,6 +138,32 @@ else
     rc=$?
     [ "$rc" -eq 2 ] || { echo "dangling entry: expected exit 2, got $rc"; exit 1; }
 fi
+
+echo "==> crash-resume smoke (kill -9 mid-batch, --resume replays byte-identically)"
+crash_dir="$report_tmp/crash"
+mkdir -p "$crash_dir"
+cp "$corpus_dir/compress.bwss" "$corpus_dir/pgp.bwss" "$corpus_dir/li.bwss" \
+    "$corpus_dir/corpus.toml" "$crash_dir/"
+"$bwsa" corpus "$crash_dir/corpus.toml" --no-cache \
+    --emit-fleet "$crash_dir/baseline.json" > /dev/null
+# Stall the first journal append for 30s, then kill the run mid-batch:
+# exactly one entry's result reached the cache before the process died.
+BWSA_FAILPOINTS="corpus.journal_append=delay(30000)" \
+    "$bwsa" corpus "$crash_dir/corpus.toml" --jobs 1 > /dev/null 2>&1 &
+crash_pid=$!
+sleep 2
+kill -9 "$crash_pid" 2> /dev/null
+wait "$crash_pid" 2> /dev/null || true
+"$bwsa" corpus "$crash_dir/corpus.toml" --resume \
+    --emit-fleet "$crash_dir/resumed.json" > /dev/null 2> "$crash_dir/resume.err"
+grep -q "cache: 1 hits, 2 misses" "$crash_dir/resume.err"
+cmp "$crash_dir/baseline.json" "$crash_dir/resumed.json"
+
+echo "==> warm cache smoke (second run is all hits, byte-identical, zero analyses)"
+"$bwsa" corpus "$crash_dir/corpus.toml" \
+    --emit-fleet "$crash_dir/warm.json" > /dev/null 2> "$crash_dir/warm.err"
+grep -q "cache: 3 hits, 0 misses" "$crash_dir/warm.err"
+cmp "$crash_dir/baseline.json" "$crash_dir/warm.json"
 
 echo "==> bench smoke (single iteration, parallel sweep)"
 cargo run --release -p bwsa-bench --bin experiments_all -- --quick --bench compress --jobs 2 > /dev/null

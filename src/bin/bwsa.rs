@@ -97,7 +97,7 @@ use bwsa::predictor::{
     BranchPredictor, Checkpointable, Gag, Gshare, Hybrid, Pag, PredictorError, SimCheckpoint,
     StaticPredictor, SweepCell,
 };
-use bwsa::resilience::{failpoint, supervisor, watchdog};
+use bwsa::resilience::{failpoint, supervisor, watchdog, DetRng};
 use bwsa::server::server::ServerConfig;
 use bwsa::server::{signal, AdmissionConfig, Client, Response, Server, TenantQuotas};
 use bwsa::trace::codec::crc32;
@@ -198,15 +198,15 @@ subcommands:
            [--report json|text] [--metrics FILE]
   dot      <trace> [--threshold N] [--salvage]
   corpus   <manifest> [--jobs N] [--threshold N] [--report json|text]
-           [--emit-fleet FILE]
+           [--emit-fleet FILE] [--cache-dir DIR | --no-cache] [--resume]
   validate-report <report.json>
   validate-fleet  <fleet.json>
   serve    <socket> [--workers N] [--queue N] [--max-concurrent N]
            [--max-bytes-mb N] [--deadline-seconds S] [--retries N]
-           [--max-rss-mb N] [--seed N]
+           [--max-rss-mb N] [--seed N] [--corpus-cache DIR]
   client   <socket> <ping|analyze|subscribe|allocate|corpus|report|status|shutdown>
            [<trace>|<manifest>] [--tenant NAME] [--threshold N] [--table N]
-           [--classify] [--window N[i]] [--jobs N]
+           [--classify] [--window N[i]] [--jobs N] [--retries N]
   help
 
 trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
@@ -256,6 +256,21 @@ this build's schema fixture. A malformed manifest (duplicate trace
 paths, dangling entries, unknown keys) exits 2; a completed batch exits
 0 even when entries degraded.
 
+corpus runs are incremental by default: every finished entry is stored
+in a content-addressed result cache (`.bwsa-cache/` beside the manifest,
+or --cache-dir DIR), keyed by the trace's content digest and the entry's
+effective analysis configuration, so an unchanged entry is replayed from
+disk instead of re-analyzed — the folded summary is byte-identical
+either way. Cache cells are checksummed and verified on read; a torn or
+damaged cell is treated as a miss and recomputed, never an error. A
+journal of completed entries is fsynced as the batch runs; after a crash
+(even kill -9), `--resume` replays the completed entries from the cache
+and analyzes only the remainder, producing the same summary bytes as an
+uninterrupted run. The journal rotates to journal.prev on each fresh
+run, and --resume falls back to it when the newest journal is torn.
+--no-cache disables all of this (and conflicts with --cache-dir and
+--resume). Cache hit/miss/eviction/corrupt counts print to stderr.
+
 `serve` runs the long-lived multi-tenant analysis daemon on a Unix-domain
 socket: every request is supervised and fault-isolated (a poisoned trace
 answers with a typed error frame, never a crashed daemon), per-tenant
@@ -278,8 +293,14 @@ RunReport of that request's own supervised run (it validates with
 `validate-report`); status prints live metrics with per-tenant counters;
 shutdown asks for a drain. A typed server-side
 error prints to stderr and exits 1 (an overload rejection includes the
-server's retry-after hint). BWST trace files are re-encoded to BWSS2 on
-the fly before upload.
+server's retry-after hint). --retries N retries a shed request up to N
+times, sleeping at least the server's retry-after hint (plus
+deterministic jittered backoff) between attempts, so a briefly
+overloaded daemon is ridden out instead of failed. BWST trace files are
+re-encoded to BWSS2 on the fly before upload. `serve --corpus-cache DIR`
+gives the daemon a server-local result cache for corpus requests:
+already-cached entries are replayed without charging the tenant's
+in-flight byte quota for re-analysis.
 
 env: BWSA_FAILPOINTS=site=action;... arms deterministic fault injection
 for chaos testing (actions: panic, error(msg), delay(ms), off; prefix
@@ -1366,8 +1387,9 @@ fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
             "retries",
             "max-seconds",
             "max-rss-mb",
+            "cache-dir",
         ],
-        &[],
+        &["no-cache", "resume"],
     )?;
     let manifest = p
         .positionals
@@ -1378,6 +1400,16 @@ fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
             "unexpected argument {:?}",
             p.positionals[1]
         )));
+    }
+    let no_cache = p.has("no-cache");
+    let resume = p.has("resume");
+    if no_cache && p.value("cache-dir").is_some() {
+        return Err(usage_err("--no-cache conflicts with --cache-dir"));
+    }
+    if no_cache && resume {
+        return Err(usage_err(
+            "--no-cache conflicts with --resume (resume replays the result cache)",
+        ));
     }
     let report_mode = match p.value("report") {
         None => None,
@@ -1420,7 +1452,53 @@ fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
     if let Some(config) = supervisor {
         session = session.with_supervisor(config);
     }
+    if no_cache {
+        // Every entry runs fresh; nothing is read or written on disk.
+    } else {
+        // The cache lives beside the manifest by default, so repeated
+        // runs over the same corpus share it without any flag.
+        let cache_dir = match p.value("cache-dir") {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => std::path::Path::new(manifest)
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("."))
+                .join(".bwsa-cache"),
+        };
+        if resume {
+            let (entries, source) = bwsa::corpus::journal::load(&cache_dir);
+            match source {
+                bwsa::corpus::journal::JournalSource::Absent => {
+                    eprintln!(
+                        "warning: no run journal in {}; starting fresh",
+                        cache_dir.display()
+                    );
+                }
+                bwsa::corpus::journal::JournalSource::Ancestor => {
+                    eprintln!(
+                        "warning: newest journal unreadable; resuming from \
+                         previous good journal ({} completed entries)",
+                        entries.len()
+                    );
+                }
+                bwsa::corpus::journal::JournalSource::Primary => {
+                    eprintln!(
+                        "resuming: {} entries already complete in journal",
+                        entries.len()
+                    );
+                }
+            }
+            session = session.with_resume(true);
+        }
+        session = session.with_cache(cache_dir);
+    }
     let summary = session.run_all();
+    if !no_cache {
+        let c = summary.cache;
+        eprintln!(
+            "cache: {} hits, {} misses, {} evicted, {} corrupt",
+            c.hits, c.misses, c.evictions, c.corrupt
+        );
+    }
     if let Some(path) = p.value("emit-fleet") {
         std::fs::write(path, summary.to_json().to_pretty_string())
             .map_err(|e| runtime_err(format!("cannot write {path}: {e}")))?;
@@ -1554,6 +1632,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "retries",
             "max-rss-mb",
             "seed",
+            "corpus-cache",
         ],
         &[],
     )?;
@@ -1642,6 +1721,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // supervisor's process-global deadline stays off so concurrent
     // requests cannot clobber each other.
     config.supervisor.max_wall = None;
+    if let Some(dir) = p.value("corpus-cache") {
+        config.corpus_cache = Some(std::path::PathBuf::from(dir));
+    }
 
     // An unusable socket is an invocation error, same class as a
     // malformed flag: nothing was served yet, exit 2.
@@ -1660,7 +1742,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 fn cmd_client(args: &[String]) -> Result<(), CliError> {
     let p = parse(
         args,
-        &["tenant", "threshold", "table", "window", "jobs"],
+        &["tenant", "threshold", "table", "window", "jobs", "retries"],
         &["classify"],
     )?;
     let socket = p
@@ -1680,77 +1762,117 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
                 .map_err(|_| usage_err(format!("bad threshold {v:?}")))?,
         ),
     };
-    let mut client = Client::connect(socket, tenant).map_err(|e| runtime_err(e.to_string()))?;
-    let response = match action.as_str() {
-        "ping" => client.ping(),
-        "status" => client.status(),
-        "shutdown" => client.shutdown(),
+    let retries: u32 = match p.value("retries") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --retries {v:?}")))?,
+    };
+    let jobs = jobs_of(&p)?.unwrap_or(0) as u64;
+    // Read and re-encode the trace once, before the retry loop: a shed
+    // request retries the same bytes instead of re-touching the file.
+    let upload: Option<Vec<u8>> = match action.as_str() {
         "analyze" => {
             let path = p
                 .positionals
                 .get(2)
                 .ok_or_else(|| usage_err("client analyze needs a trace file"))?;
-            client.analyze(trace_upload_bytes(path)?, threshold)
+            Some(trace_upload_bytes(path)?)
         }
         "report" => {
             let path = p
                 .positionals
                 .get(2)
                 .ok_or_else(|| usage_err("client report needs a trace file"))?;
-            client.report(trace_upload_bytes(path)?, threshold)
+            Some(trace_upload_bytes(path)?)
         }
         "subscribe" => {
             let path = p
                 .positionals
                 .get(2)
                 .ok_or_else(|| usage_err("client subscribe needs a trace file"))?;
-            let spec = p
-                .value("window")
-                .ok_or_else(|| usage_err("client subscribe needs --window N[i]"))?;
-            let config = WindowConfig::parse(spec)
-                .map_err(|e| usage_err(format!("bad --window value: {e}")))?;
-            client.subscribe(
-                trace_upload_bytes(path)?,
-                threshold,
-                config.interval(),
-                config.unit() == bwsa::core::WindowUnit::Instructions,
-                |json| print!("{json}"),
-            )
+            Some(trace_upload_bytes(path)?)
         }
         "allocate" => {
             let path = p
                 .positionals
                 .get(2)
                 .ok_or_else(|| usage_err("client allocate needs a trace file"))?;
-            let table: u64 = match p.value("table") {
-                None => 1024,
-                Some(v) => v
-                    .parse()
-                    .map_err(|_| usage_err(format!("bad --table {v:?}")))?,
-            };
-            client.allocate(
-                trace_upload_bytes(path)?,
-                threshold,
-                table,
-                p.has("classify"),
-            )
+            Some(trace_upload_bytes(path)?)
         }
-        "corpus" => {
-            let path = p
-                .positionals
-                .get(2)
-                .ok_or_else(|| usage_err("client corpus needs a manifest path"))?;
-            // The manifest path is server-local: nothing is uploaded,
-            // the daemon reads the traces off its own filesystem.
-            client.corpus(path, threshold, jobs_of(&p)?.unwrap_or(0) as u64)
-        }
-        other => {
-            return Err(usage_err(format!(
-                "unknown client action {other:?} (ping|analyze|subscribe|allocate|corpus|report|status|shutdown)"
-            )))
+        _ => None,
+    };
+    // Rejections with a retry-after hint (overload sheds) are worth
+    // riding out: sleep at least the server's hint, plus decorrelated
+    // jitter so a herd of shed clients does not stampede back in step.
+    let mut backoff =
+        supervisor::Backoff::with_cap(Duration::from_millis(25), Duration::from_millis(2_000));
+    let mut rng = DetRng::new(0xc11e_0000 ^ u64::from(std::process::id()));
+    let mut attempt: u32 = 0;
+    let response = loop {
+        let mut client = Client::connect(socket, tenant).map_err(|e| runtime_err(e.to_string()))?;
+        let response = match action.as_str() {
+            "ping" => client.ping(),
+            "status" => client.status(),
+            "shutdown" => client.shutdown(),
+            "analyze" => client.analyze(upload.clone().unwrap(), threshold),
+            "report" => client.report(upload.clone().unwrap(), threshold),
+            "subscribe" => {
+                let spec = p
+                    .value("window")
+                    .ok_or_else(|| usage_err("client subscribe needs --window N[i]"))?;
+                let config = WindowConfig::parse(spec)
+                    .map_err(|e| usage_err(format!("bad --window value: {e}")))?;
+                client.subscribe(
+                    upload.clone().unwrap(),
+                    threshold,
+                    config.interval(),
+                    config.unit() == bwsa::core::WindowUnit::Instructions,
+                    |json| print!("{json}"),
+                )
+            }
+            "allocate" => {
+                let table: u64 = match p.value("table") {
+                    None => 1024,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| usage_err(format!("bad --table {v:?}")))?,
+                };
+                client.allocate(upload.clone().unwrap(), threshold, table, p.has("classify"))
+            }
+            "corpus" => {
+                let path = p
+                    .positionals
+                    .get(2)
+                    .ok_or_else(|| usage_err("client corpus needs a manifest path"))?;
+                // The manifest path is server-local: nothing is uploaded,
+                // the daemon reads the traces off its own filesystem.
+                client.corpus(path, threshold, jobs)
+            }
+            other => {
+                return Err(usage_err(format!(
+                    "unknown client action {other:?} (ping|analyze|subscribe|allocate|corpus|report|status|shutdown)"
+                )))
+            }
+        };
+        match response.map_err(|e| runtime_err(e.to_string()))? {
+            Response::Error {
+                code,
+                message,
+                retry_after_ms: Some(ms),
+            } if attempt < retries => {
+                attempt += 1;
+                let wait = Duration::from_millis(ms).max(backoff.delay_jittered(&mut rng));
+                eprintln!(
+                    "server busy ({code}): {message}; retry {attempt}/{retries} in {}ms",
+                    wait.as_millis()
+                );
+                std::thread::sleep(wait);
+            }
+            terminal => break terminal,
         }
     };
-    match response.map_err(|e| runtime_err(e.to_string()))? {
+    match response {
         Response::Ok(json) => {
             print!("{json}");
             Ok(())

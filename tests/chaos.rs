@@ -31,7 +31,8 @@ use bwsa::trace::stream::{StreamReader, StreamWriter};
 use bwsa::trace::{Trace, TraceBuilder};
 use std::num::NonZeroUsize;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -49,6 +50,7 @@ fn all_sites() -> Vec<&'static str> {
     sites.extend_from_slice(bwsa::graph::failpoints::SITES);
     sites.extend_from_slice(bwsa::predictor::failpoints::SITES);
     sites.extend_from_slice(bwsa::core::failpoints::SITES);
+    sites.extend_from_slice(bwsa::corpus::failpoints::SITES);
     sites
 }
 
@@ -60,6 +62,9 @@ struct Harness {
     trace: Trace,
     bwss: Vec<u8>,
     bwst: Vec<u8>,
+    /// On-disk corpus (manifest + traces) for the corpus cache/journal
+    /// sites; each drive gets a fresh cache dir (see [`Harness::drive_corpus`]).
+    corpus_dir: PathBuf,
 }
 
 impl Harness {
@@ -79,7 +84,23 @@ impl Harness {
         w.finish(4096).unwrap();
         let mut bwst = Vec::new();
         bwsa::trace::io::write_binary(&trace, &mut bwst).unwrap();
-        Harness { trace, bwss, bwst }
+        let corpus_dir =
+            std::env::temp_dir().join(format!("bwsa-chaos-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&corpus_dir).unwrap();
+        std::fs::write(corpus_dir.join("a.bwss"), &bwss).unwrap();
+        std::fs::write(corpus_dir.join("b.bwss"), &bwss).unwrap();
+        std::fs::write(
+            corpus_dir.join("corpus.toml"),
+            "name = \"chaos\"\n\n[defaults]\nthreshold = 10\n\n\
+             [[trace]]\npath = \"a.bwss\"\n\n[[trace]]\npath = \"b.bwss\"\n",
+        )
+        .unwrap();
+        Harness {
+            trace,
+            bwss,
+            bwst,
+            corpus_dir,
+        }
     }
 
     fn drive(&self, site: &str) -> Result<String, String> {
@@ -102,6 +123,7 @@ impl Harness {
                     shards: NonZeroUsize::new(5),
                 }))
             }
+            other if other.starts_with("corpus.") => self.drive_corpus(),
             other => panic!("no chaos driver for failpoint site '{other}'"),
         }
     }
@@ -119,6 +141,27 @@ impl Harness {
             Ok(analysis) => Ok(format!("{analysis:?}")),
             Err(e) => Err(e.to_string()),
         }
+    }
+
+    /// Cached corpus run over a fresh cache dir; covers the cache-read,
+    /// cache-write, and journal-append sites. Cache and journal faults
+    /// are contained *inside* the cache layer (a faulting read is a
+    /// miss, a faulting write is an unwritten cell, a faulting append
+    /// poisons the journal) — so the summary must always come out
+    /// bit-identical, never a typed error. The cache dir is fresh per
+    /// drive: every invocation is a cold run that traverses read, write,
+    /// and append for every entry.
+    fn drive_corpus(&self) -> Result<String, String> {
+        static FRESH: AtomicU64 = AtomicU64::new(0);
+        let cache = self
+            .corpus_dir
+            .join(format!("cache-{}", FRESH.fetch_add(1, Ordering::Relaxed)));
+        let corpus =
+            Corpus::open(&self.corpus_dir.join("corpus.toml")).map_err(|e| e.to_string())?;
+        let summary = corpus.session().with_cache(&cache).run_all();
+        let digest = summary.to_json().to_pretty_string();
+        let _ = std::fs::remove_dir_all(&cache);
+        Ok(digest)
     }
 
     /// Streaming analysis save/load roundtrip; covers the analysis
@@ -272,7 +315,14 @@ fn the_failpoint_catalog_spans_the_required_surface() {
     let mut sites = all_sites();
     sites.extend_from_slice(server_failpoints::SITES);
     assert!(sites.len() >= 15, "only {} sites registered", sites.len());
-    for prefix in ["trace.", "graph.", "predictor.", "core.", "server."] {
+    for prefix in [
+        "trace.",
+        "graph.",
+        "predictor.",
+        "core.",
+        "server.",
+        "corpus.",
+    ] {
         assert!(
             sites.iter().any(|s| s.starts_with(prefix)),
             "no failpoint site in {prefix}*"

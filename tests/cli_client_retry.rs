@@ -1,0 +1,132 @@
+//! Shed-then-recover contract for `bwsa client --retries`, exercised
+//! against the real binaries: a request rejected at the daemon's shed
+//! watermark is retried after the server's retry-after hint (plus
+//! jittered backoff) until a worker frees, and the late answer is
+//! byte-identical to the one the occupying tenant got.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bwsa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bwsa"))
+        .args(args)
+        .output()
+        .expect("bwsa binary runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (killed by signal?)")
+}
+
+/// Kills the daemon on test failure so a panicking assert cannot leak
+/// the child process.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn wait_for_socket(sock: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {sock:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn bad_retries_value_exits_2() {
+    let out = bwsa(&["client", "/no/such.sock", "ping", "--retries", "lots"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--retries"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn shed_request_is_retried_until_the_daemon_recovers() {
+    let dir = std::env::temp_dir().join(format!("bwsa_cli_retry_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.bwss");
+    let out = bwsa(&[
+        "generate",
+        "pgp",
+        "--scale",
+        "0.01",
+        "--format",
+        "bwss",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "generate failed: {out:?}");
+
+    // One worker, shed watermark zero: while a request holds the slot,
+    // every newcomer is refused with a retry-after hint. The one-shot
+    // delay failpoint fires inside the first analyze's slot (decoding
+    // its uploaded trace), pinning the slot busy for a full second.
+    let sock = dir.join("daemon.sock");
+    let daemon = Command::new(env!("CARGO_BIN_EXE_bwsa"))
+        .args([
+            "serve",
+            sock.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--queue",
+            "0",
+        ])
+        .env("BWSA_FAILPOINTS", "trace.decode_record=1*delay(1000)")
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let daemon = DaemonGuard(daemon);
+    wait_for_socket(&sock);
+
+    let occupier = {
+        let sock: PathBuf = sock.clone();
+        let trace = trace.clone();
+        std::thread::spawn(move || {
+            bwsa(&[
+                "client",
+                sock.to_str().unwrap(),
+                "analyze",
+                trace.to_str().unwrap(),
+            ])
+        })
+    };
+    // Land well inside the occupier's one-second stall so the first
+    // attempt is genuinely shed.
+    std::thread::sleep(Duration::from_millis(300));
+    let retried = bwsa(&[
+        "client",
+        sock.to_str().unwrap(),
+        "analyze",
+        trace.to_str().unwrap(),
+        "--retries",
+        "40",
+    ]);
+    assert_eq!(exit_code(&retried), 0, "{retried:?}");
+    let stderr = String::from_utf8_lossy(&retried.stderr);
+    assert!(
+        stderr.contains("server busy") && stderr.contains("retry"),
+        "the request was never shed: {stderr}"
+    );
+
+    let occupied = occupier.join().unwrap();
+    assert_eq!(exit_code(&occupied), 0, "{occupied:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&occupied.stdout),
+        String::from_utf8_lossy(&retried.stdout),
+        "the retried answer drifted from the occupying tenant's"
+    );
+
+    let down = bwsa(&["client", sock.to_str().unwrap(), "shutdown"]);
+    assert_eq!(exit_code(&down), 0, "{down:?}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}

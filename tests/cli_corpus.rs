@@ -182,6 +182,141 @@ fn validate_fleet_rejects_junk_and_wrong_versions() {
 }
 
 #[test]
+fn cache_flag_conflicts_exit_2_before_io() {
+    // Validation precedes I/O: the manifest path never exists, yet the
+    // conflict is still reported as usage (2), not runtime (1).
+    for args in [
+        vec![
+            "corpus",
+            "/no/such.toml",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/x",
+        ],
+        vec!["corpus", "/no/such.toml", "--no-cache", "--resume"],
+    ] {
+        let out = bwsa(&args);
+        assert_eq!(exit_code(&out), 2, "{args:?}: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--no-cache"),
+            "{out:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_rerun_is_all_hits_and_byte_identical() {
+    let manifest = fixture_corpus("warm");
+    let dir = manifest.parent().unwrap();
+    let cache = dir.join("cache");
+    let cold_fleet = dir.join("cold.json");
+    let warm_fleet = dir.join("warm.json");
+    let cold = bwsa(&[
+        "corpus",
+        manifest.to_str().unwrap(),
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--emit-fleet",
+        cold_fleet.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&cold), 0, "{cold:?}");
+    assert!(
+        String::from_utf8_lossy(&cold.stderr).contains("cache: 0 hits, 3 misses"),
+        "{cold:?}"
+    );
+    // A second run replays every entry from the cache — zero analyses —
+    // and the emitted summary is byte-for-byte the cold one.
+    let warm = bwsa(&[
+        "corpus",
+        manifest.to_str().unwrap(),
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--emit-fleet",
+        warm_fleet.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&warm), 0, "{warm:?}");
+    assert!(
+        String::from_utf8_lossy(&warm.stderr).contains("cache: 3 hits, 0 misses"),
+        "{warm:?}"
+    );
+    assert_eq!(
+        std::fs::read(&cold_fleet).unwrap(),
+        std::fs::read(&warm_fleet).unwrap(),
+        "warm summary drifted from cold"
+    );
+    // --no-cache opts out entirely: no stats line, same bytes anyway.
+    let fresh_fleet = dir.join("fresh.json");
+    let fresh = bwsa(&[
+        "corpus",
+        manifest.to_str().unwrap(),
+        "--no-cache",
+        "--emit-fleet",
+        fresh_fleet.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&fresh), 0, "{fresh:?}");
+    assert!(!String::from_utf8_lossy(&fresh.stderr).contains("cache:"));
+    assert_eq!(
+        std::fs::read(&cold_fleet).unwrap(),
+        std::fs::read(&fresh_fleet).unwrap(),
+        "cached summary drifted from an uncached run"
+    );
+}
+
+#[test]
+fn torn_journal_resumes_from_the_rotated_ancestor() {
+    let manifest = fixture_corpus("tornjournal");
+    let dir = manifest.parent().unwrap();
+    let m = manifest.to_str().unwrap();
+    let baseline_fleet = dir.join("baseline.json");
+    // Two runs: the second rotates the first's journal to journal.prev.
+    let out = bwsa(&[
+        "corpus",
+        m,
+        "--emit-fleet",
+        baseline_fleet.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let out = bwsa(&["corpus", m]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let cache = dir.join(".bwsa-cache");
+    assert!(cache.join("journal.prev").is_file(), "rotation missing");
+    // Tear the newest journal's header beyond parsing; --resume must
+    // fall back to the rotated ancestor, warn, and still produce the
+    // byte-identical summary (the cache replays every entry).
+    std::fs::write(cache.join("journal"), b"JU").unwrap();
+    let resumed_fleet = dir.join("resumed.json");
+    let out = bwsa(&[
+        "corpus",
+        m,
+        "--resume",
+        "--emit-fleet",
+        resumed_fleet.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("previous good journal (3 completed entries)"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("cache: 3 hits, 0 misses"), "{stderr}");
+    assert_eq!(
+        std::fs::read(&baseline_fleet).unwrap(),
+        std::fs::read(&resumed_fleet).unwrap(),
+        "resumed summary drifted"
+    );
+}
+
+#[test]
+fn resume_without_a_journal_warns_and_starts_fresh() {
+    let manifest = fixture_corpus("resumefresh");
+    let out = bwsa(&["corpus", manifest.to_str().unwrap(), "--resume"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no run journal"), "{stderr}");
+    assert!(stderr.contains("cache: 0 hits, 3 misses"), "{stderr}");
+}
+
+#[test]
 fn corrupt_member_degrades_but_batch_exits_0() {
     let manifest = fixture_corpus("salvage");
     let dir = manifest.parent().unwrap();
