@@ -1,6 +1,7 @@
 //! Corpus batch-analytics benchmark: a pinned synthetic trace corpus on
-//! disk, ingested and folded into a fleet summary at several fan-out
-//! widths.
+//! disk — encoded once as `BWSS2` streams and once as `BWSS3` columnar
+//! files with identical names — ingested and folded into fleet
+//! summaries.
 //!
 //! ```text
 //! cargo run --release -p bwsa-bench --bin corpus_bench -- \
@@ -8,31 +9,40 @@
 //! cargo run --release -p bwsa-bench --bin corpus_bench -- --validate FILE
 //! ```
 //!
-//! Two phases over the same generated corpus:
+//! Five phases over the same generated corpus:
 //!
+//! * **ingest** — cold decode-only throughput per format: every `BWSS2`
+//!   file through the stream reader vs every `BWSS3` file through the
+//!   mmap'd columnar decoder (and once more fully buffered, isolating
+//!   the mmap-vs-`read(2)` delta). Asserts the `BWSS3` mmap path
+//!   ingests at least 3x the `BWSS2` records/sec — the format's reason
+//!   to exist, measured where it is cheapest to regress.
+//! * **identity** — the cross-format contract: the analysis, windowed,
+//!   corpus, and predictor paths each run over both encodings of the
+//!   same records and must render byte-identical results.
 //! * **batch** — `Corpus::open(..).session().run_all()` serial and at
-//!   `--jobs` width; reports end-to-end wall time, ingest throughput
-//!   (bytes/sec and records/sec over the summed on-disk trace sizes),
-//!   and asserts the serial and parallel summaries are byte-identical —
-//!   the fleet fold's schedule-independence contract, measured where it
-//!   is cheapest to violate.
+//!   `--jobs` width; reports end-to-end wall time, ingest throughput,
+//!   the fan-out decision (small corpora demote to serial), and asserts
+//!   the serial and parallel summaries are byte-identical.
 //! * **aggregation** — the pure fold in isolation: the batch's entry
-//!   records absorbed into a fresh accumulator and `finish`ed repeatedly;
-//!   reports mean wall time per fold, separating aggregation cost from
-//!   analysis cost.
+//!   records absorbed into a fresh accumulator and `finish`ed repeatedly.
 //! * **cache** — the content-addressed result cache: a cold run that
-//!   fills it vs a warm rerun that replays every entry (zero analyses);
-//!   reports both wall times, warm ingest throughput, and the speedup,
-//!   and asserts the warm summary is byte-identical with every entry a
-//!   hit.
+//!   fills it vs a warm rerun that replays every entry (zero analyses).
 //!
-//! `--out` writes `BENCH_corpus.json` (schema `bwsa-bench-corpus/2`) and
+//! `--out` writes `BENCH_corpus.json` (schema `bwsa-bench-corpus/3`) and
 //! refuses to run in a debug build. `--validate` re-parses a written
 //! report and checks the invariants (the CI smoke step).
 
+use bwsa_core::columnar::decode_columnar;
+use bwsa_core::{AnalysisPipeline, WindowConfig, WindowedAnalysis};
 use bwsa_corpus::{Corpus, EntryStatus, FleetAccumulator, FleetSummary};
 use bwsa_obs::json::Json;
-use bwsa_trace::stream::StreamWriter;
+use bwsa_obs::Obs;
+use bwsa_predictor::{simulate, BhtIndexer, Pag};
+use bwsa_trace::columnar::write_columnar;
+use bwsa_trace::mmap::TraceBytes;
+use bwsa_trace::stream::{RecoveryPolicy, StreamReader, StreamWriter};
+use bwsa_trace::Trace;
 use bwsa_workload::suite::{Benchmark, InputSet};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -85,13 +95,33 @@ const ROTATION: [(Benchmark, &str); 4] = [
     (Benchmark::Perl, "interp"),
 ];
 
-/// Generates the corpus on disk and returns (manifest path, summed
-/// trace bytes).
-fn build_corpus(dir: &Path, traces: usize, quick: bool) -> (PathBuf, u64) {
+/// The generated corpus, encoded twice: sibling directories with
+/// identical file names and manifest text, so entry keys — and
+/// therefore fleet summaries — can only differ if the formats decode
+/// differently.
+struct CorpusPair {
+    bwss_manifest: PathBuf,
+    bws3_manifest: PathBuf,
+    bwss_bytes: u64,
+    bws3_bytes: u64,
+    records: u64,
+}
+
+/// Generates the corpus on disk in both formats.
+fn build_corpus(dir: &Path, traces: usize, quick: bool) -> CorpusPair {
     let scale = if quick { 0.005 } else { 0.05 };
-    std::fs::create_dir_all(dir).expect("create corpus dir");
+    let bwss_dir = dir.join("bwss");
+    let bws3_dir = dir.join("bws3");
+    std::fs::create_dir_all(&bwss_dir).expect("create corpus dir");
+    std::fs::create_dir_all(&bws3_dir).expect("create corpus dir");
     let mut manifest = String::from("name = \"bench\"\n\n[defaults]\nthreshold = 100\n");
-    let mut bytes = 0u64;
+    let mut pair = CorpusPair {
+        bwss_manifest: bwss_dir.join("corpus.toml"),
+        bws3_manifest: bws3_dir.join("corpus.toml"),
+        bwss_bytes: 0,
+        bws3_bytes: 0,
+        records: 0,
+    };
     for i in 0..traces {
         let (bench, class) = ROTATION[i % ROTATION.len()];
         // Alternate input sets so repeated benchmarks still differ.
@@ -101,25 +131,226 @@ fn build_corpus(dir: &Path, traces: usize, quick: bool) -> (PathBuf, u64) {
             InputSet::B
         };
         let trace = bench.generate_scaled(input, scale);
-        let name = format!("t{i:03}.bwss");
-        let path = dir.join(&name);
-        let mut buf = Vec::new();
-        let mut writer = StreamWriter::new(&mut buf, &trace.meta().name).expect("encode trace");
+        pair.records += trace.len() as u64;
+        let name = format!("t{i:03}.trace");
+
+        let mut bwss = Vec::new();
+        let mut writer = StreamWriter::new(&mut bwss, &trace.meta().name).expect("encode trace");
         for record in trace.records() {
             writer.push(*record).expect("encode trace");
         }
         writer
             .finish(trace.meta().total_instructions)
             .expect("encode trace");
-        bytes += buf.len() as u64;
-        std::fs::write(&path, &buf).expect("write trace");
+        pair.bwss_bytes += bwss.len() as u64;
+        std::fs::write(bwss_dir.join(&name), &bwss).expect("write trace");
+
+        let mut bws3 = Vec::new();
+        write_columnar(&trace, &mut bws3).expect("encode trace");
+        pair.bws3_bytes += bws3.len() as u64;
+        std::fs::write(bws3_dir.join(&name), &bws3).expect("write trace");
+
         manifest.push_str(&format!(
             "\n[[trace]]\npath = \"{name}\"\nclass = \"{class}\"\n"
         ));
     }
-    let manifest_path = dir.join("corpus.toml");
-    std::fs::write(&manifest_path, manifest).expect("write manifest");
-    (manifest_path, bytes)
+    std::fs::write(&pair.bwss_manifest, &manifest).expect("write manifest");
+    std::fs::write(&pair.bws3_manifest, &manifest).expect("write manifest");
+    pair
+}
+
+/// Decodes one BWSS2 stream file the way the corpus runner does.
+fn decode_bwss(path: &Path) -> Trace {
+    let bytes = std::fs::read(path).expect("read trace");
+    let mut reader = StreamReader::new(&bytes[..]).expect("open stream");
+    let mut trace = Trace::new(reader.name().to_owned());
+    for item in reader.by_ref() {
+        trace
+            .push(item.expect("decode record"))
+            .expect("push record");
+    }
+    if let Some(total) = reader.total_instructions() {
+        trace.meta_mut().total_instructions = total;
+    }
+    trace
+}
+
+/// Lists the trace files of one corpus directory, in name order.
+fn trace_files(manifest: &Path) -> Vec<PathBuf> {
+    let dir = manifest.parent().expect("manifest has a parent");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("list corpus dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Best-of-N wall time for `f`, returning (ns, records decoded in one
+/// pass). Cold-cache honesty is impossible in-process; best-of-N at
+/// least pins the decode cost rather than first-touch noise.
+fn time_decode(iters: usize, mut f: impl FnMut() -> u64) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut records = 0;
+    for _ in 0..iters {
+        let started = Instant::now();
+        records = f();
+        best = best.min(started.elapsed().as_nanos().max(1) as u64);
+    }
+    (best, records)
+}
+
+/// Minimum BWSS3-over-BWSS2 cold-ingest speedup the report asserts.
+fn ingest_floor(quick: bool) -> f64 {
+    if quick {
+        2.0
+    } else {
+        3.0
+    }
+}
+
+/// Phase 1: cold decode-only ingest, BWSS2 stream vs BWSS3 columnar
+/// (mmap'd and buffered).
+fn bench_ingest(pair: &CorpusPair, jobs: usize, quick: bool) -> Json {
+    let bwss_files = trace_files(&pair.bwss_manifest);
+    let bws3_files = trace_files(&pair.bws3_manifest);
+    let iters = if quick { 3 } else { 5 };
+
+    let (bwss_ns, bwss_records) = time_decode(iters, || {
+        bwss_files.iter().map(|p| decode_bwss(p).len() as u64).sum()
+    });
+    let (mmap_ns, mmap_records) = time_decode(iters, || {
+        bws3_files
+            .iter()
+            .map(|p| {
+                let bytes = TraceBytes::open(p).expect("mmap trace");
+                let (trace, _) =
+                    decode_columnar(&bytes, RecoveryPolicy::Strict, jobs).expect("decode columnar");
+                trace.len() as u64
+            })
+            .sum()
+    });
+    let (buffered_ns, buffered_records) = time_decode(iters, || {
+        bws3_files
+            .iter()
+            .map(|p| {
+                let bytes = TraceBytes::from_vec(std::fs::read(p).expect("read trace"));
+                let (trace, _) =
+                    decode_columnar(&bytes, RecoveryPolicy::Strict, jobs).expect("decode columnar");
+                trace.len() as u64
+            })
+            .sum()
+    });
+    assert_eq!(
+        (bwss_records, mmap_records, buffered_records),
+        (pair.records, pair.records, pair.records),
+        "every ingest path must decode the whole corpus"
+    );
+
+    let rps = |ns: u64| pair.records as f64 / (ns as f64 / 1e9);
+    let bwss_rps = rps(bwss_ns);
+    let mmap_rps = rps(mmap_ns);
+    let buffered_rps = rps(buffered_ns);
+    let speedup = mmap_rps / bwss_rps;
+    let mmap_vs_buffered = buffered_ns as f64 / mmap_ns as f64;
+    eprintln!(
+        "[ingest] {} records: bwss2 {:.1}M rec/s, bws3 mmap {:.1}M rec/s ({speedup:.1}x), \
+         bws3 buffered {:.1}M rec/s (mmap {mmap_vs_buffered:.2}x buffered)",
+        pair.records,
+        bwss_rps / 1e6,
+        mmap_rps / 1e6,
+        buffered_rps / 1e6,
+    );
+    // The published floor is 3x; a --quick smoke corpus is too small to
+    // amortise per-file costs, so it gets a looser 2x sanity floor.
+    let floor = ingest_floor(quick);
+    assert!(
+        speedup >= floor,
+        "BWSS3 mmap cold ingest must be >= {floor}x BWSS2 records/sec, got {speedup:.2}x"
+    );
+    Json::object([
+        ("records", Json::from(pair.records)),
+        ("bwss_bytes", Json::from(pair.bwss_bytes)),
+        ("bws3_bytes", Json::from(pair.bws3_bytes)),
+        ("decode_jobs", Json::from(jobs as u64)),
+        ("bwss2_ns", Json::from(bwss_ns)),
+        ("bws3_mmap_ns", Json::from(mmap_ns)),
+        ("bws3_buffered_ns", Json::from(buffered_ns)),
+        ("bwss2_records_per_sec", Json::from(bwss_rps)),
+        ("bws3_mmap_records_per_sec", Json::from(mmap_rps)),
+        ("bws3_buffered_records_per_sec", Json::from(buffered_rps)),
+        ("bws3_speedup", Json::from(speedup)),
+        ("mmap_vs_buffered", Json::from(mmap_vs_buffered)),
+    ])
+}
+
+/// Phase 2: the cross-format identity contract — every downstream path
+/// must render byte-identical results over both encodings.
+fn bench_identity(pair: &CorpusPair, jobs: usize) -> Json {
+    let bwss_files = trace_files(&pair.bwss_manifest);
+    let bws3_files = trace_files(&pair.bws3_manifest);
+    let path_pairs: Vec<(Trace, Trace)> = bwss_files
+        .iter()
+        .zip(&bws3_files)
+        .map(|(s, c)| {
+            let bytes = TraceBytes::open(c).expect("mmap trace");
+            let (columnar, _) =
+                decode_columnar(&bytes, RecoveryPolicy::Strict, jobs).expect("decode columnar");
+            (decode_bwss(s), columnar)
+        })
+        .collect();
+
+    let pipeline = AnalysisPipeline::new();
+    let analysis = path_pairs.iter().all(|(s, c)| {
+        let a = pipeline.run_observed(s, &Obs::noop()).summary_json();
+        let b = pipeline.run_observed(c, &Obs::noop()).summary_json();
+        a.to_pretty_string() == b.to_pretty_string()
+    });
+    let windowed = path_pairs.iter().all(|(s, c)| {
+        let run = |t: &Trace| {
+            let config = WindowConfig::branches(1000).expect("window config");
+            let mut engine = WindowedAnalysis::new(config, AnalysisPipeline::new());
+            for (id, r) in t.indexed_records() {
+                engine.push(id.as_u32(), r.time.get(), r.is_taken());
+            }
+            engine.finish().to_json().to_pretty_string()
+        };
+        run(s) == run(c)
+    });
+    let predictor = path_pairs.iter().all(|(s, c)| {
+        let run = |t: &Trace| {
+            let mut pag = Pag::new(BhtIndexer::pc_modulo(1024), 10);
+            let r = simulate(&mut pag, t);
+            (r.total, r.mispredictions)
+        };
+        run(s) == run(c)
+    });
+    let corpus_run = |manifest: &Path| {
+        Corpus::open(manifest)
+            .expect("open bench corpus")
+            .session()
+            .run_all()
+            .to_json()
+            .to_pretty_string()
+    };
+    let corpus = corpus_run(&pair.bwss_manifest) == corpus_run(&pair.bws3_manifest);
+    eprintln!(
+        "[identity] analysis {analysis}, windowed {windowed}, corpus {corpus}, \
+         predictor {predictor} across {} trace pairs",
+        path_pairs.len()
+    );
+    assert!(
+        analysis && windowed && corpus && predictor,
+        "a result diverged between the BWSS2 and BWSS3 encodings"
+    );
+    Json::object([
+        ("analysis", Json::from(analysis)),
+        ("windowed", Json::from(windowed)),
+        ("corpus", Json::from(corpus)),
+        ("predictor", Json::from(predictor)),
+    ])
 }
 
 fn run_at(manifest: &Path, jobs: usize) -> (FleetSummary, u64) {
@@ -132,7 +363,7 @@ fn run_at(manifest: &Path, jobs: usize) -> (FleetSummary, u64) {
     (summary, started.elapsed().as_nanos().max(1) as u64)
 }
 
-/// Phase 1: end-to-end batch runs, serial vs fanned.
+/// Phase 3: end-to-end batch runs, serial vs fanned.
 fn bench_batch(args: &Args, manifest: &Path, corpus_bytes: u64) -> (Json, FleetSummary) {
     let (serial, serial_ns) = run_at(manifest, 1);
     let (parallel, parallel_ns) = run_at(manifest, args.jobs);
@@ -151,14 +382,17 @@ fn bench_batch(args: &Args, manifest: &Path, corpus_bytes: u64) -> (Json, FleetS
     let best_ns = serial_ns.min(parallel_ns);
     let ingest_bytes_per_sec = corpus_bytes as f64 / (best_ns as f64 / 1e9);
     let records_per_sec = records as f64 / (best_ns as f64 / 1e9);
+    let fan_out = parallel.fan_out;
     eprintln!(
-        "[batch] {} traces, {} records: serial {:.3}s, jobs={} {:.3}s ({:.1} MB/s ingest)",
+        "[batch] {} traces, {} records: serial {:.3}s, jobs={} {:.3}s \
+         ({:.1} MB/s ingest, fan-out {})",
         serial.entries.len(),
         records,
         serial_ns as f64 / 1e9,
         args.jobs,
         parallel_ns as f64 / 1e9,
         ingest_bytes_per_sec / 1e6,
+        fan_out.mode(),
     );
     let doc = Json::object([
         ("traces", Json::from(serial.entries.len() as u64)),
@@ -168,13 +402,22 @@ fn bench_batch(args: &Args, manifest: &Path, corpus_bytes: u64) -> (Json, FleetS
         ("jobs", Json::from(args.jobs as u64)),
         ("parallel_ns", Json::from(parallel_ns)),
         ("identical", Json::from(identical)),
+        ("fan_out_mode", Json::from(fan_out.mode())),
+        (
+            "fan_out_effective_jobs",
+            Json::from(fan_out.effective_jobs as u64),
+        ),
+        (
+            "largest_entry_bytes",
+            Json::from(fan_out.largest_entry_bytes),
+        ),
         ("ingest_bytes_per_sec", Json::from(ingest_bytes_per_sec)),
         ("records_per_sec", Json::from(records_per_sec)),
     ]);
     (doc, serial)
 }
 
-/// Phase 2: the pure fold, isolated from analysis cost.
+/// Phase 4: the pure fold, isolated from analysis cost.
 fn bench_aggregation(summary: &FleetSummary) -> Json {
     let iters = 200usize;
     let started = Instant::now();
@@ -197,7 +440,7 @@ fn bench_aggregation(summary: &FleetSummary) -> Json {
     ])
 }
 
-/// Phase 3: the result cache — one cold run filling a fresh cache, one
+/// Phase 5: the result cache — one cold run filling a fresh cache, one
 /// warm rerun replaying every entry from it without re-analysis.
 fn bench_cache(manifest: &Path, corpus_bytes: u64) -> Json {
     let cache_dir = manifest
@@ -254,15 +497,47 @@ fn validate(path: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing schema field")?;
-    if schema != "bwsa-bench-corpus/2" {
+    if schema != "bwsa-bench-corpus/3" {
         return Err(format!("unexpected schema {schema:?}"));
     }
-    let batch = doc.get("batch").ok_or("missing batch phase")?;
     let u = |node: &Json, field: &str| -> Result<u64, String> {
         node.get(field)
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("missing {field}"))
     };
+    let quick = matches!(doc.get("quick"), Some(Json::Bool(true)));
+    let ingest = doc.get("ingest").ok_or("missing ingest phase")?;
+    if u(ingest, "records")? == 0 {
+        return Err("ingest phase decoded nothing".into());
+    }
+    if u(ingest, "bwss2_ns")? == 0
+        || u(ingest, "bws3_mmap_ns")? == 0
+        || u(ingest, "bws3_buffered_ns")? == 0
+    {
+        return Err("ingest wall times must be positive".into());
+    }
+    let floor = ingest_floor(quick);
+    let fast_enough = matches!(
+        ingest.get("bws3_speedup"),
+        Some(Json::Float(s)) if *s >= floor
+    );
+    if !fast_enough {
+        return Err(format!(
+            "ingest.bws3_speedup must be >= {floor} (BWSS3 mmap vs BWSS2 cold ingest)"
+        ));
+    }
+    if !matches!(ingest.get("mmap_vs_buffered"), Some(Json::Float(r)) if *r > 0.0) {
+        return Err("ingest.mmap_vs_buffered must be positive".into());
+    }
+    let identity = doc.get("identity").ok_or("missing identity phase")?;
+    for field in ["analysis", "windowed", "corpus", "predictor"] {
+        if !matches!(identity.get(field), Some(Json::Bool(true))) {
+            return Err(format!(
+                "identity.{field} must be true (BWSS2 and BWSS3 results byte-identical)"
+            ));
+        }
+    }
+    let batch = doc.get("batch").ok_or("missing batch phase")?;
     if u(batch, "traces")? == 0 || u(batch, "records")? == 0 || u(batch, "corpus_bytes")? == 0 {
         return Err("batch phase analyzed nothing".into());
     }
@@ -271,6 +546,10 @@ fn validate(path: &str) -> Result<(), String> {
     }
     if !matches!(batch.get("identical"), Some(Json::Bool(true))) {
         return Err("serial and parallel summaries must be byte-identical".into());
+    }
+    match batch.get("fan_out_mode").and_then(Json::as_str) {
+        Some("serial") | Some("parallel") => {}
+        _ => return Err("batch.fan_out_mode must be \"serial\" or \"parallel\"".into()),
     }
     let ok_rate = matches!(
         batch.get("ingest_bytes_per_sec"),
@@ -340,20 +619,26 @@ fn main() {
     };
     let dir = std::env::temp_dir().join(format!("bwsa-bench-corpus-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let (manifest, corpus_bytes) = build_corpus(&dir, args.traces, args.quick);
+    let pair = build_corpus(&dir, args.traces, args.quick);
     eprintln!(
-        "[corpus] {} traces, {} bytes on disk at {}",
+        "[corpus] {} traces, {} records: {} bytes as BWSS2, {} as BWSS3, at {}",
         args.traces,
-        corpus_bytes,
+        pair.records,
+        pair.bwss_bytes,
+        pair.bws3_bytes,
         dir.display()
     );
-    let (batch, summary) = bench_batch(&args, &manifest, corpus_bytes);
+    let ingest = bench_ingest(&pair, args.jobs, args.quick);
+    let identity = bench_identity(&pair, args.jobs);
+    let (batch, summary) = bench_batch(&args, &pair.bwss_manifest, pair.bwss_bytes);
     let aggregation = bench_aggregation(&summary);
-    let cache = bench_cache(&manifest, corpus_bytes);
+    let cache = bench_cache(&pair.bwss_manifest, pair.bwss_bytes);
     let _ = std::fs::remove_dir_all(&dir);
     let doc = Json::object([
-        ("schema", Json::from("bwsa-bench-corpus/2")),
+        ("schema", Json::from("bwsa-bench-corpus/3")),
         ("quick", Json::from(args.quick)),
+        ("ingest", ingest),
+        ("identity", identity),
         ("batch", batch),
         ("aggregation", aggregation),
         ("cache", cache),

@@ -26,6 +26,9 @@
 //!   associative shard-combine types behind parallel analysis.
 //! * [`parallel`] — sharded multi-threaded execution of the pipeline,
 //!   bit-identical to the serial pass.
+//! * [`columnar`] — `BWSS3` ingest: footer-driven shard planning,
+//!   parallel block-range decode, and block-wise streaming into the
+//!   flat engines.
 //! * [`phases`] — working sets over time (transition detection).
 //! * [`pipeline`] — the pipeline engine and its products.
 //! * [`session`] — the [`Session`] entry point: trace + configuration +
@@ -56,6 +59,7 @@
 pub mod allocation;
 pub mod checkpoint;
 pub mod classify;
+pub mod columnar;
 pub mod conflict;
 mod error;
 pub mod interleave;

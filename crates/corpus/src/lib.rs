@@ -44,15 +44,18 @@ pub mod failpoints {
     /// Fires when a journal append begins; a fault poisons the journal
     /// (later appends are dropped) without failing the run.
     pub const JOURNAL_APPEND: &str = "corpus.journal_append";
+    /// Fires when one entry's trace bytes start decoding (any format);
+    /// a fault degrades that entry to a `failed` row, never the batch.
+    pub const INGEST_DECODE: &str = "corpus.ingest_decode";
     /// Every site in this crate, for chaos-sweep enumeration.
-    pub const SITES: &[&str] = &[CACHE_READ, CACHE_WRITE, JOURNAL_APPEND];
+    pub const SITES: &[&str] = &[CACHE_READ, CACHE_WRITE, JOURNAL_APPEND, INGEST_DECODE];
 }
 
 pub use cache::{CacheKey, CacheStats, ResultCache, DEFAULT_CACHE_BUDGET, ENGINE_VERSION};
 pub use error::CorpusError;
 pub use fleet::{
-    ClassWin, EntryRecord, EntryStatus, FleetAccumulator, FleetSummary, HistogramBucket,
-    Percentiles, FLEET_SUMMARY_VERSION,
+    ClassWin, EntryRecord, EntryStatus, FanOutDecision, FleetAccumulator, FleetSummary,
+    HistogramBucket, Percentiles, FLEET_SUMMARY_VERSION,
 };
 pub use manifest::{Manifest, ManifestEntry, DEFAULT_BASELINE, DEFAULT_CLASS, DEFAULT_THRESHOLD};
-pub use run::{Corpus, CorpusSession};
+pub use run::{Corpus, CorpusSession, PARALLEL_BYTE_THRESHOLD};

@@ -9,8 +9,9 @@
 //! Each entry gets its own degradation ladder, so one corrupt trace
 //! never sinks the batch:
 //!
-//! 1. **Ingest** reads BWSS2 streams under [`RecoveryPolicy::Salvage`]
-//!    — damaged chunks are dropped and counted, not fatal.
+//! 1. **Ingest** reads BWSS2 streams and BWSS3 columnar files under
+//!    [`RecoveryPolicy::Salvage`] — damaged chunks or blocks are
+//!    dropped and counted, not fatal.
 //! 2. **Analysis** runs under the session supervisor (configurable via
 //!    [`CorpusSession::with_supervisor`]), inheriting the
 //!    parallel→serial→streaming ladder.
@@ -23,15 +24,24 @@ use bwsa_core::parallel::parallel_map;
 use bwsa_core::{AnalysisPipeline, Classified, ConflictConfig, Session, SupervisorConfig};
 use bwsa_obs::Obs;
 use bwsa_resilience::supervisor;
-use bwsa_trace::codec;
 use bwsa_trace::stream::{RecoveryPolicy, StreamReader};
+use bwsa_trace::{codec, columnar};
 use bwsa_trace::{io as trace_io, Trace};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache, DEFAULT_CACHE_BUDGET};
 use crate::error::CorpusError;
-use crate::fleet::{EntryRecord, EntryStatus, FleetAccumulator, FleetSummary};
+use crate::failpoints;
+use crate::fleet::{EntryRecord, EntryStatus, FanOutDecision, FleetAccumulator, FleetSummary};
 use crate::journal::{self, Journal, JournalEntry};
 use crate::manifest::{Manifest, ManifestEntry};
+
+/// Below this per-entry file size the batch runs serially even when
+/// `with_jobs` asked for more: for sub-megabyte traces the worker-thread
+/// spawn and queue handoff cost more than the decode+analysis they
+/// parallelise, so fan-out *loses* wall-clock (the corpus bench showed
+/// `--jobs 4` slower than serial on 74 KiB traces). The gate keys on the
+/// **largest** entry — one big trace is enough to make fan-out pay.
+pub const PARALLEL_BYTE_THRESHOLD: u64 = 1 << 20;
 
 /// An opened, validated corpus — the root object of the batch API.
 ///
@@ -199,7 +209,11 @@ impl CorpusSession<'_> {
             }
             _ => None,
         };
-        let records = parallel_map(entries, self.jobs, |_i, entry| {
+        let fan_out = self.plan_fan_out(&entries);
+        if fan_out.effective_jobs < self.jobs {
+            self.obs.add("corpus.fan_out_demoted", 1);
+        }
+        let records = parallel_map(entries, fan_out.effective_jobs, |_i, entry| {
             self.run_entry(&entry, cache.as_ref(), journal.as_ref())
         });
         for r in &records {
@@ -229,7 +243,35 @@ impl CorpusSession<'_> {
             .collect::<FleetAccumulator>()
             .finish(&self.corpus.manifest.name);
         summary.cache = cache_stats;
+        summary.fan_out = fan_out;
         summary
+    }
+
+    /// Decides serial vs parallel fan-out for this batch: requested jobs
+    /// are demoted to 1 when every entry's file is smaller than
+    /// [`PARALLEL_BYTE_THRESHOLD`]. Files whose size cannot be read are
+    /// treated as above-threshold (they will surface their error in the
+    /// per-entry record, not here).
+    fn plan_fan_out(&self, entries: &[ManifestEntry]) -> FanOutDecision {
+        let largest = entries
+            .iter()
+            .map(|e| match std::fs::metadata(&e.path) {
+                Ok(meta) => meta.len(),
+                Err(_) => u64::MAX,
+            })
+            .max()
+            .unwrap_or(0);
+        let effective = if self.jobs > 1 && largest < PARALLEL_BYTE_THRESHOLD {
+            1
+        } else {
+            self.jobs
+        };
+        FanOutDecision {
+            requested_jobs: self.jobs,
+            effective_jobs: effective,
+            largest_entry_bytes: largest,
+            threshold_bytes: PARALLEL_BYTE_THRESHOLD,
+        }
     }
 
     /// Runs one entry through the full ladder; never propagates an
@@ -364,12 +406,18 @@ impl CorpusSession<'_> {
     }
 }
 
-/// Decodes one trace's bytes by magic (BWST in-memory binary or BWSS2
-/// stream), salvaging damaged stream chunks. Returns the trace and the
-/// number of chunks salvage had to drop. The caller reads the file
-/// once; with a cache enabled the same bytes also feed the content
-/// digest.
+/// Decodes one trace's bytes by magic (BWST in-memory binary, BWSS3
+/// columnar, or BWSS2 stream), salvaging damaged stream chunks or
+/// columnar blocks. Returns the trace and the number of chunks/blocks
+/// salvage had to drop. The caller reads the file once; with a cache
+/// enabled the same bytes also feed the content digest.
 fn load_trace_bytes(bytes: &[u8], path: &Path) -> Result<(Trace, u64), String> {
+    bwsa_resilience::failpoint!(failpoints::INGEST_DECODE);
+    if columnar::is_columnar(bytes) {
+        let (trace, report) = columnar::read_columnar(bytes, RecoveryPolicy::Salvage)
+            .map_err(|e| format!("cannot decode {}: {e}", path.display()))?;
+        return Ok((trace, report.chunks_dropped));
+    }
     if bytes.starts_with(b"BWST") {
         let trace = trace_io::decode_binary(bytes)
             .map_err(|e| format!("cannot decode {}: {e}", path.display()))?;

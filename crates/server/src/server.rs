@@ -950,8 +950,16 @@ fn pipeline_for(threshold: Option<u64>) -> Result<AnalysisPipeline, String> {
     Ok(pipeline)
 }
 
-/// Materialises an uploaded BWSS2 stream into a [`Trace`].
+/// Materialises an uploaded trace payload (BWSS2 stream or BWSS3
+/// columnar file) into a [`Trace`]. Uploads decode strictly: a tenant's
+/// damaged payload is a typed error, not a silent partial result.
 fn parse_trace(bytes: &[u8]) -> Result<Trace, String> {
+    if bwsa_trace::columnar::is_columnar(bytes) {
+        let (trace, _) =
+            bwsa_trace::columnar::read_columnar(bytes, bwsa_trace::stream::RecoveryPolicy::Strict)
+                .map_err(|e| format!("bad trace payload: {e}"))?;
+        return Ok(trace);
+    }
     let mut reader = StreamReader::new(bytes).map_err(|e| format!("bad trace payload: {e}"))?;
     let mut trace = Trace::new(reader.name().to_owned());
     for item in reader.by_ref() {

@@ -195,12 +195,30 @@ impl Crc32 {
     }
 
     /// Feeds `bytes` into the checksum.
+    ///
+    /// Eight-byte words go through a slice-by-8 table pass — eight
+    /// independent lookups per word instead of a one-byte dependency
+    /// chain — which is what keeps block validation off the columnar
+    /// ingest profile (DESIGN.md §16).
     #[must_use]
     pub fn update(mut self, bytes: &[u8]) -> Self {
-        let table = crc_table();
-        for &b in bytes {
+        let tables = crc_tables();
+        let mut chunks = bytes.chunks_exact(8);
+        for word in chunks.by_ref() {
+            let lo = self.state ^ u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+            let hi = u32::from_le_bytes([word[4], word[5], word[6], word[7]]);
+            self.state = tables[7][(lo & 0xff) as usize]
+                ^ tables[6][((lo >> 8) & 0xff) as usize]
+                ^ tables[5][((lo >> 16) & 0xff) as usize]
+                ^ tables[4][(lo >> 24) as usize]
+                ^ tables[3][(hi & 0xff) as usize]
+                ^ tables[2][((hi >> 8) & 0xff) as usize]
+                ^ tables[1][((hi >> 16) & 0xff) as usize]
+                ^ tables[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
             let idx = (self.state ^ u32::from(b)) & 0xff;
-            self.state = (self.state >> 8) ^ table[idx as usize];
+            self.state = (self.state >> 8) ^ tables[0][idx as usize];
         }
         self
     }
@@ -234,12 +252,15 @@ pub fn content_digest(bytes: &[u8]) -> u64 {
     h
 }
 
-fn crc_table() -> &'static [u32; 256] {
+/// Slice-by-8 lookup tables: `tables[0]` is the classic byte table,
+/// `tables[k][b]` advances byte `b` through `k` further zero bytes, so
+/// eight per-byte steps collapse into eight independent XORs.
+fn crc_tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u32; 256]; 8];
+        for (i, entry) in tables[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -250,7 +271,14 @@ fn crc_table() -> &'static [u32; 256] {
             }
             *entry = c;
         }
-        table
+        let byte_table = tables[0];
+        for k in 1..8 {
+            let prev_table = tables[k - 1];
+            for (entry, &prev) in tables[k].iter_mut().zip(prev_table.iter()) {
+                *entry = (prev >> 8) ^ byte_table[(prev & 0xff) as usize];
+            }
+        }
+        tables
     })
 }
 

@@ -20,7 +20,13 @@
 //! * [`io`] — compact binary and line-oriented text serialisation.
 //! * [`stream`] — checksummed chunked streaming format (`BWSS2`) with
 //!   corruption salvage, plus the legacy `BWSS1` read path.
-//! * [`codec`] — the shared varint/zigzag/CRC32 primitives under both.
+//! * [`columnar`] — the columnar block format (`BWSS3`): SoA column
+//!   blocks with per-block CRCs and a directory/index footer, built for
+//!   cold-ingest throughput and O(1) shard planning.
+//! * [`mmap`] — zero-copy file bytes (memory map with buffered-read
+//!   fallback) feeding the columnar decoder.
+//! * [`codec`] — the shared varint/zigzag/CRC32 primitives under all of
+//!   them.
 //! * [`fault`] — deterministic fault injection for durability testing.
 //!
 //! # Example
@@ -40,14 +46,18 @@
 //!
 //! [`bwsa-workload`]: https://docs.rs/bwsa-workload
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one audited exception — the raw
+// mmap syscall wrappers in [`mmap`] — can opt in with a scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod codec;
+pub mod columnar;
 mod error;
 pub mod fault;
 mod id;
 pub mod io;
+pub mod mmap;
 pub mod profile;
 mod record;
 pub mod stats;

@@ -34,6 +34,31 @@ impl BranchTable {
         Self::default()
     }
 
+    /// Builds a table whose ids are the positions of `pcs` — the bulk
+    /// construction path used by the columnar (`BWSS3`) reader, which
+    /// knows the full directory up front and interns each static branch
+    /// exactly once instead of hashing per record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] if `pcs` contains a duplicate or
+    /// more than `u32::MAX` entries.
+    pub fn from_pcs(pcs: impl IntoIterator<Item = Pc>) -> Result<Self, TraceError> {
+        let pcs: Vec<Pc> = pcs.into_iter().collect();
+        if u32::try_from(pcs.len()).is_err() {
+            return Err(TraceError::format("more than u32::MAX static branches"));
+        }
+        let mut by_pc = HashMap::with_capacity(pcs.len());
+        for (i, &pc) in pcs.iter().enumerate() {
+            if by_pc.insert(pc, BranchId::new(i as u32)).is_some() {
+                return Err(TraceError::format(format!(
+                    "duplicate pc {pc} in branch directory"
+                )));
+            }
+        }
+        Ok(BranchTable { by_pc, pcs })
+    }
+
     /// Returns the id for `pc`, assigning a fresh one on first sight.
     pub fn intern(&mut self, pc: Pc) -> BranchId {
         if let Some(&id) = self.by_pc.get(&pc) {
@@ -205,6 +230,61 @@ impl Trace {
             self.meta.total_instructions = record.time.get();
         }
         Ok(())
+    }
+
+    /// Assembles a trace from pre-interned columns in one shot — the bulk
+    /// construction path for columnar (`BWSS3`) decode, which replaces the
+    /// per-record hash/intern of [`Trace::push`] with flat validation
+    /// scans over the finished arrays.
+    ///
+    /// `meta.total_instructions` is raised to the last record's timestamp
+    /// when it falls short, matching [`Trace::push`] semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] when `ids` and `records` disagree in
+    /// length or an id does not map to its record's pc in `table`, and
+    /// [`TraceError::OutOfOrder`] when timestamps regress.
+    pub fn from_parts(
+        mut meta: TraceMeta,
+        table: BranchTable,
+        ids: Vec<BranchId>,
+        records: Vec<BranchRecord>,
+    ) -> Result<Trace, TraceError> {
+        if ids.len() != records.len() {
+            return Err(TraceError::format(format!(
+                "id column has {} entries for {} records",
+                ids.len(),
+                records.len()
+            )));
+        }
+        // One fused flat scan validates both invariants — monotone
+        // timestamps and id/directory agreement — touching each record
+        // once; no hashing, bounds-check-free via zip.
+        let mut prev_time = InstrCount::new(0);
+        for (id, rec) in ids.iter().zip(records.iter()) {
+            if rec.time < prev_time {
+                return Err(TraceError::OutOfOrder {
+                    previous: prev_time.get(),
+                    found: rec.time.get(),
+                });
+            }
+            prev_time = rec.time;
+            if table.pcs.get(id.index()) != Some(&rec.pc) {
+                return Err(TraceError::format(
+                    "id column disagrees with the branch directory",
+                ));
+            }
+        }
+        if let Some(last) = records.last() {
+            meta.total_instructions = meta.total_instructions.max(last.time.get());
+        }
+        Ok(Trace {
+            meta,
+            records,
+            ids,
+            table,
+        })
     }
 
     /// Returns a new trace containing only records whose static branch is

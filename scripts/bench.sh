@@ -6,9 +6,10 @@
 #       replicas.
 #   BENCH_server.json  — daemon throughput (req/sec, p50/p99 latency)
 #       and deterministic overload shedding with retry-after recovery.
-#   BENCH_corpus.json  — corpus batch analytics: end-to-end ingest
-#       throughput serial vs fanned (summaries byte-identical) and the
-#       isolated fleet-fold wall time.
+#   BENCH_corpus.json  — corpus batch analytics: BWSS2-vs-BWSS3 cold
+#       ingest (mmap and buffered), cross-format result identity,
+#       end-to-end batch throughput serial vs fanned (summaries
+#       byte-identical), and the isolated fleet-fold wall time.
 #
 # Always a release build — both binaries refuse to write a report from a
 # debug build. Each report is validated right after it is written.

@@ -40,6 +40,7 @@ cargo test -q --test run_report
 echo "==> chaos: every failpoint site contained, fuzzed decoders never panic"
 cargo test -q --test chaos
 cargo test -q --test stream_prop -p bwsa-trace
+cargo test -q --test columnar_prop -p bwsa-trace
 cargo test -q --test prop -p bwsa-workload
 
 echo "==> server: end-to-end daemon suite + zero-leak accounting properties"
@@ -80,6 +81,24 @@ else
     rc=$?
     [ "$rc" -eq 2 ] || { echo "--window 0: expected exit 2, got $rc"; exit 1; }
 fi
+
+echo "==> columnar convert smoke (BWSS3 round-trip, analysis byte-identical)"
+convert_dir="$report_tmp/convert"
+mkdir -p "$convert_dir"
+"$bwsa" generate li --scale 0.01 -o "$convert_dir/li.bwst" > /dev/null
+"$bwsa" convert "$convert_dir/li.bwst" "$convert_dir/li.bws3" > /dev/null
+"$bwsa" convert "$convert_dir/li.bws3" "$convert_dir/back.bwst" > /dev/null
+cmp "$convert_dir/li.bwst" "$convert_dir/back.bwst"
+# The streaming BWSS3 analyze path must print byte-for-byte what the
+# in-memory BWST path prints, and windowed sidecars must match too.
+"$bwsa" analyze "$convert_dir/li.bwst" > "$convert_dir/bwst.out"
+"$bwsa" analyze "$convert_dir/li.bws3" > "$convert_dir/bws3.out"
+cmp "$convert_dir/bwst.out" "$convert_dir/bws3.out"
+"$bwsa" analyze "$convert_dir/li.bwst" --window 500 \
+    --emit-windows "$convert_dir/bwst-windows.json" > /dev/null
+"$bwsa" analyze "$convert_dir/li.bws3" --window 500 \
+    --emit-windows "$convert_dir/bws3-windows.json" > /dev/null
+cmp "$convert_dir/bwst-windows.json" "$convert_dir/bws3-windows.json"
 
 echo "==> corpus smoke (manifest batch → fleet summary validates, order-invariant)"
 corpus_dir="$report_tmp/corpus"
@@ -216,7 +235,7 @@ cargo run --release -p bwsa-bench --bin server_bench -- \
     --quick --clients 2 --requests 3 --out "$report_tmp/server.json" 2> /dev/null
 cargo run --release -p bwsa-bench --bin server_bench -- --validate "$report_tmp/server.json"
 
-echo "==> corpus bench smoke (quick corpus, serial==parallel, schema validates)"
+echo "==> corpus bench smoke (BWSS3 cold ingest, cross-format identity, schema validates)"
 cargo run --release -p bwsa-bench --bin corpus_bench -- \
     --quick --jobs 2 --out "$report_tmp/corpus.json" 2> /dev/null
 cargo run --release -p bwsa-bench --bin corpus_bench -- --validate "$report_tmp/corpus.json"

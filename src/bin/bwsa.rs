@@ -1,9 +1,13 @@
 //! `bwsa` — command-line front end to the whole workspace.
 //!
 //! ```text
-//! bwsa generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
-//!     Generate a benchmark trace and write it in BWST1 binary format or
-//!     as a checksummed BWSS2 stream.
+//! bwsa generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss|bwss3] [-o FILE]
+//!     Generate a benchmark trace and write it in BWST1 binary format,
+//!     as a checksummed BWSS2 stream, or as a BWSS3 columnar file.
+//!
+//! bwsa convert <in> <out> [--format bwst|bwss|bwss3] [--salvage]
+//!     Transcode a trace between formats (target taken from --format or
+//!     the output extension). The round trip is record-identical.
 //!
 //! bwsa analyze <trace> [--threshold N] [--jobs N] [--salvage]
 //!              [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
@@ -101,6 +105,8 @@ use bwsa::resilience::{failpoint, supervisor, watchdog, DetRng};
 use bwsa::server::server::ServerConfig;
 use bwsa::server::{signal, AdmissionConfig, Client, Response, Server, TenantQuotas};
 use bwsa::trace::codec::crc32;
+use bwsa::trace::columnar::{self, ColumnarFile};
+use bwsa::trace::mmap::TraceBytes;
 use bwsa::trace::stream::{
     RecoveryPolicy, SalvageReport, StreamReader, StreamWriter, DEFAULT_CHUNK_RECORDS,
 };
@@ -164,6 +170,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("allocate") => cmd_allocate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
@@ -184,7 +191,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
 const USAGE: &str = "bwsa — branch working set analysis toolkit
 
 subcommands:
-  generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss] [-o FILE]
+  generate <benchmark> [--input a|b] [--scale F] [--format bwst|bwss|bwss3] [-o FILE]
+  convert  <in> <out> [--format bwst|bwss|bwss3] [--salvage]
   analyze  <trace> [--threshold N] [--jobs N] [--salvage]
            [--window N[i] [--emit-windows FILE]]
            [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
@@ -209,11 +217,20 @@ subcommands:
            [--classify] [--window N[i]] [--jobs N] [--retries N]
   help
 
-trace files may be BWST (in-memory binary) or BWSS (checksummed stream);
-the format is detected from the file's magic. --salvage recovers what it
-can from a corrupted BWSS stream (partial results exit 0 with a warning on
+trace files may be BWST (in-memory binary), BWSS (checksummed stream),
+or BWS3 (columnar blocks, the fast ingest path); the format is detected
+from the file's magic. --salvage recovers what it can from a corrupted
+BWSS stream or BWSS3 block (partial results exit 0 with a warning on
 stderr). --checkpoint writes a resumable BWCK checkpoint every N stream
-chunks (default 64, one chunk = 4096 records); --resume continues from one.
+chunks (default 64, one chunk = 4096 records); --resume continues from
+one (BWSS streams only — BWSS3 ingest is fast enough to restart).
+
+`convert` transcodes a trace between the three formats: the target is
+--format, or else the output extension (.bwst/.bwss/.bws3). The record
+sequence is preserved exactly, so every analysis, simulation, and corpus
+result over the converted file is byte-identical to the original. BWSS3
+files memory-map on ingest and decode column blocks straight into the
+analysis engines — the recommended format for large cold corpora.
 
 --jobs N runs analysis shards or simulation grid cells on N worker
 threads (default: all hardware threads); results are bit-identical to a
@@ -297,7 +314,8 @@ server's retry-after hint). --retries N retries a shed request up to N
 times, sleeping at least the server's retry-after hint (plus
 deterministic jittered backoff) between attempts, so a briefly
 overloaded daemon is ridden out instead of failed. BWST trace files are
-re-encoded to BWSS2 on the fly before upload. `serve --corpus-cache DIR`
+re-encoded to BWSS2 on the fly before upload; BWSS2 and BWSS3 files
+travel as-is. `serve --corpus-cache DIR`
 gives the daemon a server-local result cache for corpus requests:
 already-cached entries are replayed without charging the tenant's
 in-flight byte quota for re-analysis.
@@ -362,6 +380,8 @@ enum TraceFormat {
     Bwst,
     /// `BWSS`: chunked, checksummed stream (bwsa_trace::stream).
     Bwss,
+    /// `BWS3`: columnar block format (bwsa_trace::columnar).
+    Bwss3,
 }
 
 fn detect_format(path: &str) -> Result<TraceFormat, CliError> {
@@ -372,8 +392,9 @@ fn detect_format(path: &str) -> Result<TraceFormat, CliError> {
     match &magic {
         b"BWST" => Ok(TraceFormat::Bwst),
         b"BWSS" => Ok(TraceFormat::Bwss),
+        b"BWS3" => Ok(TraceFormat::Bwss3),
         _ => Err(runtime_err(format!(
-            "{path}: unrecognised trace format (expected BWST or BWSS magic)"
+            "{path}: unrecognised trace format (expected BWST, BWSS, or BWS3 magic)"
         ))),
     }
 }
@@ -535,6 +556,17 @@ fn load_trace(
                 trace.meta_mut().total_instructions = total;
             }
             Ok((trace, reader.salvage_report().clone()))
+        }
+        TraceFormat::Bwss3 => {
+            // Memory-map the file and decode column blocks in parallel
+            // off the footer's block index (bit-identical to serial).
+            let bytes = TraceBytes::open(path.as_ref())
+                .map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+            let jobs = ParallelConfig::available().jobs.get();
+            let (trace, report) = bwsa::core::columnar::decode_columnar(&bytes, policy, jobs)
+                .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+            obs.add("trace.records_read", trace.len() as u64);
+            Ok((trace, report))
         }
     };
     span.finish();
@@ -710,15 +742,17 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let format = match p.value("format").unwrap_or("bwst") {
         "bwst" => TraceFormat::Bwst,
         "bwss" => TraceFormat::Bwss,
+        "bwss3" => TraceFormat::Bwss3,
         other => {
             return Err(usage_err(format!(
-                "bad format {other:?} (use bwst or bwss)"
+                "bad format {other:?} (use bwst, bwss, or bwss3)"
             )))
         }
     };
     let ext = match format {
         TraceFormat::Bwst => "bwst",
         TraceFormat::Bwss => "bwss",
+        TraceFormat::Bwss3 => "bws3",
     };
     let out_path = p
         .value("o")
@@ -741,10 +775,76 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
             sw.finish(trace.meta().total_instructions)
                 .map_err(|e| runtime_err(e.to_string()))?;
         }
+        TraceFormat::Bwss3 => {
+            columnar::write_columnar(&trace, &mut w).map_err(|e| runtime_err(e.to_string()))?;
+        }
     }
     w.flush().map_err(|e| runtime_err(e.to_string()))?;
     println!("{trace}");
     println!("wrote {out_path}");
+    Ok(())
+}
+
+/// `bwsa convert <in> <out>` — transcode a trace between the BWST, BWSS,
+/// and BWSS3 formats, preserving the record sequence exactly. The target
+/// format comes from `--format`, or else the output file's extension.
+fn cmd_convert(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &["format"], &["salvage"])?;
+    let [in_path, out_path] = p.positionals.as_slice() else {
+        return Err(usage_err("convert needs an input and an output file"));
+    };
+    let target = match p.value("format") {
+        Some("bwst") => TraceFormat::Bwst,
+        Some("bwss") => TraceFormat::Bwss,
+        Some("bwss3") => TraceFormat::Bwss3,
+        Some(other) => {
+            return Err(usage_err(format!(
+                "bad format {other:?} (use bwst, bwss, or bwss3)"
+            )))
+        }
+        None => match std::path::Path::new(out_path)
+            .extension()
+            .and_then(|e| e.to_str())
+        {
+            Some("bwst") => TraceFormat::Bwst,
+            Some("bwss") => TraceFormat::Bwss,
+            Some("bws3") => TraceFormat::Bwss3,
+            _ => {
+                return Err(usage_err(format!(
+                    "cannot infer the target format from {out_path:?}; \
+                     use --format bwst|bwss|bwss3 or a .bwst/.bwss/.bws3 extension"
+                )))
+            }
+        },
+    };
+    let (trace, report) = load_trace(in_path, recovery_policy(&p), &Obs::noop())?;
+    warn_salvage(in_path, &report);
+    let file = File::create(out_path)
+        .map_err(|e| runtime_err(format!("cannot create {out_path}: {e}")))?;
+    let mut w = BufWriter::new(file);
+    match target {
+        TraceFormat::Bwst => {
+            trace_io::write_binary(&trace, &mut w).map_err(|e| runtime_err(e.to_string()))?;
+        }
+        TraceFormat::Bwss => {
+            let mut sw = StreamWriter::new(&mut w, &trace.meta().name)
+                .map_err(|e| runtime_err(e.to_string()))?;
+            for r in trace.records() {
+                sw.push(*r).map_err(|e| runtime_err(e.to_string()))?;
+            }
+            sw.finish(trace.meta().total_instructions)
+                .map_err(|e| runtime_err(e.to_string()))?;
+        }
+        TraceFormat::Bwss3 => {
+            columnar::write_columnar(&trace, &mut w).map_err(|e| runtime_err(e.to_string()))?;
+        }
+    }
+    w.flush().map_err(|e| runtime_err(e.to_string()))?;
+    println!(
+        "converted {in_path} -> {out_path} ({} records, {} static branches)",
+        trace.len(),
+        trace.static_branch_count()
+    );
     Ok(())
 }
 
@@ -821,6 +921,85 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
                 .map(|wall| watchdog::arm(Instant::now() + wall));
             analyze_stream(path, &p, &pipeline, &spec, &obs)?
         }
+        TraceFormat::Bwss3 if wants_checkpointing => {
+            return Err(usage_err(
+                "--checkpoint/--resume need a BWSS stream trace; BWSS3 ingest \
+                 is fast enough to restart (see `bwsa convert`)",
+            ));
+        }
+        // Windowed or explicitly parallel runs materialise the trace via
+        // the block-parallel decoder; otherwise blocks stream straight
+        // into the flat engines with no per-record materialisation.
+        TraceFormat::Bwss3 if jobs.is_some_and(|j| j > 1) || windowing.is_some() => {
+            let (trace, report) = load_trace(path, recovery_policy(&p), &obs)?;
+            warn_salvage(path, &report);
+            analyze_in_memory(&trace, &pipeline, jobs, supervisor, &windowing, &spec, &obs)?;
+        }
+        TraceFormat::Bwss3 => {
+            let _watchdog = supervisor
+                .and_then(|c| c.max_wall)
+                .map(|wall| watchdog::arm(Instant::now() + wall));
+            analyze_columnar(path, &p, &pipeline, &spec, &obs)?
+        }
+    }
+    Ok(())
+}
+
+/// Streaming analysis of a BWSS3 columnar trace: blocks decode into a
+/// reusable scratch and feed the streaming engine record-by-record, so
+/// memory stays constant in the trace length and the file bytes come
+/// straight off the memory map.
+fn analyze_columnar(
+    path: &str,
+    p: &Parsed,
+    pipeline: &AnalysisPipeline,
+    spec: &ReportSpec,
+    obs: &Obs,
+) -> Result<(), CliError> {
+    let bytes = TraceBytes::open(path.as_ref())
+        .map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+    let file =
+        ColumnarFile::parse(&bytes).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+    let trace_name = file.name().to_owned();
+    let instructions = file.footer().map(|f| f.total_instructions);
+    let (result, report) =
+        bwsa::core::columnar::analyze_columnar_stream(pipeline, &bytes, recovery_policy(p), obs)
+            .map_err(|e| runtime_err(format!("cannot read {path}: {e}")))?;
+    warn_salvage(path, &report);
+    let n = report.records_recovered;
+    let static_count = result.profile.iter().count();
+    if !spec.json_only() {
+        println!(
+            "trace '{}': {} dynamic branches over {} static sites, {} instructions",
+            trace_name,
+            n,
+            static_count,
+            instructions.map_or_else(|| "unknown".to_owned(), |t| t.to_string())
+        );
+        let taken: u64 = result.profile.iter().map(|(_, s)| s.taken).sum();
+        let density = match instructions {
+            Some(t) if t > 0 => n as f64 / t as f64,
+            _ => 0.0,
+        };
+        let taken_rate = if n > 0 { taken as f64 / n as f64 } else { 0.0 };
+        println!(
+            "density {:.3} branches/instr, dynamic taken rate {:.1}%",
+            density,
+            taken_rate * 100.0
+        );
+        print_analysis(&result, pipeline);
+    }
+    if let Some(metrics) = obs.snapshot() {
+        let mut report = RunReport::new(
+            "analyze",
+            trace_name,
+            n,
+            static_count as u64,
+            stream_config_json(pipeline),
+            &metrics,
+        );
+        push_analysis_digests(&mut report, &result);
+        spec.emit(&report)?;
     }
     Ok(())
 }
@@ -1898,11 +2077,12 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// Reads a trace file into the BWSS2 bytes the daemon expects, re-encoding
-/// BWST binaries on the fly.
+/// Reads a trace file into the bytes the daemon expects (BWSS2 streams
+/// and BWSS3 columnar files travel as-is), re-encoding BWST binaries on
+/// the fly.
 fn trace_upload_bytes(path: &str) -> Result<Vec<u8>, CliError> {
     match detect_format(path)? {
-        TraceFormat::Bwss => {
+        TraceFormat::Bwss | TraceFormat::Bwss3 => {
             std::fs::read(path).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))
         }
         TraceFormat::Bwst => {
@@ -2442,6 +2622,94 @@ mod tests {
         ));
         std::fs::remove_file(trace).unwrap();
         std::fs::remove_file(ck).unwrap();
+    }
+
+    #[test]
+    fn convert_roundtrips_record_identical_across_all_formats() {
+        let dir = std::env::temp_dir().join("bwsa_cli_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let orig = dir.join("t.bwst");
+        let orig_s = orig.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.01", "-o", &orig_s,
+        ]))
+        .unwrap();
+        // bwst -> bws3 -> bwss -> bwst, target format inferred from the
+        // extension each hop.
+        let c3 = dir.join("t.bws3");
+        let c3_s = c3.to_str().unwrap().to_owned();
+        let cs = dir.join("t.bwss");
+        let cs_s = cs.to_str().unwrap().to_owned();
+        let back = dir.join("back.bwst");
+        let back_s = back.to_str().unwrap().to_owned();
+        run(&strs(&["convert", &orig_s, &c3_s])).unwrap();
+        run(&strs(&["convert", &c3_s, &cs_s])).unwrap();
+        run(&strs(&["convert", &cs_s, &back_s])).unwrap();
+        assert_eq!(detect_format(&c3_s).unwrap(), TraceFormat::Bwss3);
+        let a = trace_io::read_binary(BufReader::new(File::open(&orig).unwrap())).unwrap();
+        let b = trace_io::read_binary(BufReader::new(File::open(&back).unwrap())).unwrap();
+        assert_eq!(a.records(), b.records(), "round trip must be identical");
+        assert_eq!(a.meta().total_instructions, b.meta().total_instructions);
+        // Every analysis path accepts the columnar file.
+        run(&strs(&["analyze", &c3_s, "--threshold", "3"])).unwrap();
+        run(&strs(&[
+            "analyze",
+            &c3_s,
+            "--threshold",
+            "3",
+            "--jobs",
+            "3",
+        ]))
+        .unwrap();
+        run(&strs(&["analyze", &c3_s, "--window", "2000"])).unwrap();
+        run(&strs(&["simulate", &c3_s, "--predictor", "pag"])).unwrap();
+        run(&strs(&["allocate", &c3_s, "--table", "64"])).unwrap();
+        for f in [orig, c3, cs, back] {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn convert_validates_flags_and_extensions() {
+        assert!(matches!(
+            run(&strs(&["convert", "only-one-arg"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["convert", "a.bwst", "b.xml"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["convert", "a.bwst", "b.bws3", "--format", "xml"])),
+            Err(CliError::Usage(_))
+        ));
+        // Valid flags but missing input: a runtime error, proving the
+        // usage gate passed.
+        assert!(matches!(
+            run(&strs(&["convert", "/no/such.bwst", "b.bws3"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn bwss3_trace_rejects_checkpoint_flags() {
+        let dir = std::env::temp_dir().join("bwsa_cli_bws3_ckflag_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.bws3");
+        let out_s = out.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "generate", "pgp", "--scale", "0.01", "--format", "bwss3", "-o", &out_s,
+        ]))
+        .unwrap();
+        assert!(matches!(
+            run(&strs(&["analyze", &out_s, "--checkpoint", "c.bwck"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["analyze", &out_s, "--resume", "c.bwck"])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(out).unwrap();
     }
 
     #[test]

@@ -89,10 +89,14 @@ impl Harness {
         std::fs::create_dir_all(&corpus_dir).unwrap();
         std::fs::write(corpus_dir.join("a.bwss"), &bwss).unwrap();
         std::fs::write(corpus_dir.join("b.bwss"), &bwss).unwrap();
+        let mut bws3 = Vec::new();
+        bwsa::trace::columnar::write_columnar(&trace, &mut bws3).unwrap();
+        std::fs::write(corpus_dir.join("c.bws3"), &bws3).unwrap();
         std::fs::write(
             corpus_dir.join("corpus.toml"),
             "name = \"chaos\"\n\n[defaults]\nthreshold = 10\n\n\
-             [[trace]]\npath = \"a.bwss\"\n\n[[trace]]\npath = \"b.bwss\"\n",
+             [[trace]]\npath = \"a.bwss\"\n\n[[trace]]\npath = \"b.bwss\"\n\n\
+             [[trace]]\npath = \"c.bws3\"\n",
         )
         .unwrap();
         Harness {
@@ -123,6 +127,7 @@ impl Harness {
                     shards: NonZeroUsize::new(5),
                 }))
             }
+            "corpus.ingest_decode" => self.drive_corpus_ingest(),
             other if other.starts_with("corpus.") => self.drive_corpus(),
             other => panic!("no chaos driver for failpoint site '{other}'"),
         }
@@ -162,6 +167,25 @@ impl Harness {
         let digest = summary.to_json().to_pretty_string();
         let _ = std::fs::remove_dir_all(&cache);
         Ok(digest)
+    }
+
+    /// Uncached corpus run; covers the per-entry ingest-decode site. A
+    /// decode fault is contained to that entry's `failed` row while the
+    /// batch completes, so the containment contract here is a typed
+    /// per-entry error — never a changed summary passed off as clean.
+    fn drive_corpus_ingest(&self) -> Result<String, String> {
+        let corpus =
+            Corpus::open(&self.corpus_dir.join("corpus.toml")).map_err(|e| e.to_string())?;
+        let summary = corpus.session().run_all();
+        if summary.failed > 0 {
+            let message = summary
+                .entries
+                .iter()
+                .find_map(|e| e.error.clone())
+                .unwrap_or_else(|| "entry failed without a message".to_owned());
+            return Err(message);
+        }
+        Ok(summary.to_json().to_pretty_string())
     }
 
     /// Streaming analysis save/load roundtrip; covers the analysis
@@ -398,6 +422,68 @@ fn transient_faults_are_absorbed_by_retry_and_degradation() {
         );
         assert!(failpoint::hits(site) > 0, "{site} never fired");
     }
+}
+
+#[test]
+fn a_poisoned_columnar_block_degrades_one_entry_and_never_the_batch() {
+    let _lock = lock();
+    failpoint::clear();
+    let harness = Harness::new();
+    let dir = harness
+        .corpus_dir
+        .join(format!("poisoned-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Small blocks so one corrupt block loses a fraction of the trace,
+    // not all of it: salvage drops the block and keeps the rest.
+    let mut bws3 = Vec::new();
+    {
+        let mut w = bwsa::trace::columnar::ColumnarWriter::new(&mut bws3, "chaos").unwrap();
+        w = w.with_block_records(64);
+        for r in harness.trace.records() {
+            w.push(*r).unwrap();
+        }
+        w.finish(4096).unwrap();
+    }
+    std::fs::write(dir.join("good.bws3"), &bws3).unwrap();
+    // Flip one payload byte inside the first block (header=15 bytes for
+    // the name "chaos", block header 36 more): the block CRC fails, the
+    // footer's directory survives, and salvage skips just that block.
+    let mut poisoned = bws3.clone();
+    poisoned[60] ^= 0xFF;
+    std::fs::write(dir.join("bad.bws3"), &poisoned).unwrap();
+    std::fs::write(
+        dir.join("corpus.toml"),
+        "name = \"poisoned\"\n\n[defaults]\nthreshold = 10\n\n\
+         [[trace]]\npath = \"good.bws3\"\n\n[[trace]]\npath = \"bad.bws3\"\n",
+    )
+    .unwrap();
+
+    let corpus = Corpus::open(&dir.join("corpus.toml")).unwrap();
+    let summary = corpus.session().run_all();
+    assert_eq!(summary.entries.len(), 2);
+    let good = summary
+        .entries
+        .iter()
+        .find(|e| e.key == "good.bws3")
+        .unwrap();
+    let bad = summary
+        .entries
+        .iter()
+        .find(|e| e.key == "bad.bws3")
+        .unwrap();
+    assert_eq!(good.status, bwsa::corpus::EntryStatus::Ok, "{good:?}");
+    assert_eq!(
+        bad.status,
+        bwsa::corpus::EntryStatus::Degraded,
+        "a poisoned block must degrade the entry, not fail it: {bad:?}"
+    );
+    assert!(bad.chunks_dropped > 0, "{bad:?}");
+    assert!(
+        bad.records < good.records,
+        "the dropped block's records must be missing: {bad:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
